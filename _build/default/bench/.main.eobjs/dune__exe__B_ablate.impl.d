@@ -1,0 +1,1 @@
+bench/b_ablate.ml: B_common Hoyan_core Hoyan_dist Hoyan_net Hoyan_sim Hoyan_workload Lazy List Option String

@@ -1,0 +1,1 @@
+bench/b_accuracy.ml: B_common Hashtbl Hoyan_config Hoyan_core Hoyan_diag Hoyan_monitor Hoyan_net Hoyan_regex Hoyan_sim Hoyan_workload Lazy List Map Option Prefix Printf Rib Route String Topology

@@ -1,0 +1,1 @@
+bench/b_changes.ml: B_common Char Flow Hoyan_config Hoyan_core Hoyan_net Hoyan_sim Hoyan_workload Ip Lazy List Option Prefix Printf Route String Topology

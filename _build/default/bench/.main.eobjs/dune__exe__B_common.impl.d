@@ -1,0 +1,1 @@
+bench/b_common.ml: Float Hoyan_workload List Printf String Unix

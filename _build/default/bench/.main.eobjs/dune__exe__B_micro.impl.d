@@ -1,0 +1,1 @@
+bench/b_micro.ml: Analyze As_path B_common Bechamel Benchmark Hoyan_config Hoyan_net Hoyan_proto Hoyan_rcl Hoyan_sim Hoyan_workload Ip Lazy List Option Prefix Route Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/b_rcl.ml: Array B_common Community Hoyan_net Hoyan_rcl Hoyan_sim Hoyan_workload Ip Lazy List Prefix Printf Random Rib Route String

@@ -1,0 +1,1 @@
+bench/b_scale.ml: B_common Float Hoyan_dist Hoyan_net Hoyan_sim Hoyan_workload Lazy List

@@ -1,0 +1,1 @@
+bench/main.ml: Array B_ablate B_accuracy B_changes B_common B_micro B_rcl B_scale List Printf String Sys Unix

@@ -1,0 +1,65 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md §4 for the experiment index and
+   EXPERIMENTS.md for paper-vs-measured numbers).
+
+   Usage:
+     dune exec bench/main.exe                  # every table and figure
+     dune exec bench/main.exe -- table4 fig5a  # selected sections
+     dune exec bench/main.exe -- --quick ...   # smaller workloads
+     dune exec bench/main.exe -- --micro       # bechamel micro-benchmarks
+     dune exec bench/main.exe -- --ablate      # design-choice ablations *)
+
+let sections : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "scale requirements", B_scale.table1);
+    ("figure1", "centralized simulation limits", B_scale.figure1);
+    ("table2", "the 12 change types", B_changes.table2);
+    ("table3", "capability matrix", B_changes.table3);
+    ("figure5a", "distributed route simulation", B_scale.figure5a);
+    ("figure5b", "distributed traffic simulation", B_scale.figure5b);
+    ("figure5c", "subtask run-time CDF", B_scale.figure5c);
+    ("figure5d", "loaded RIB files CDF", B_scale.figure5d);
+    ("figure6", "RCL running example", B_rcl.figure6_7);
+    ("figure8", "RCL spec sizes and verification time", B_rcl.figure8);
+    ("figure9", "root-cause analysis case", B_accuracy.figure9);
+    ("table4", "issue taxonomy fault injection", B_accuracy.table4);
+    ("table5", "VSB differential testing", B_accuracy.table5);
+    ("table6", "change-risk corpus", B_changes.table6);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let flags, wanted = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
+  if List.mem "--quick" flags then B_common.quick := true;
+  let t0 = Unix.gettimeofday () in
+  if List.mem "--micro" flags then B_micro.run ()
+  else if List.mem "--ablate" flags then B_ablate.all ()
+  else begin
+    let selected =
+      if wanted = [] then sections
+      else
+        List.filter
+          (fun (name, _, _) ->
+            List.exists
+              (fun w ->
+                String.equal w name
+                || String.equal ("fig" ^ String.sub name 6 (String.length name - 6)) w)
+              wanted)
+          sections
+    in
+    let selected =
+      if selected = [] && wanted <> [] then begin
+        Printf.printf "unknown section(s): %s\navailable: %s\n"
+          (String.concat " " wanted)
+          (String.concat " " (List.map (fun (n, _, _) -> n) sections));
+        []
+      end
+      else selected
+    in
+    List.iter
+      (fun (name, desc, run) ->
+        Printf.printf "\n################ %s — %s\n%!" name desc;
+        run ())
+      selected
+  end;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,364 @@
+(* The hoyan command-line interface.
+
+   In production Hoyan serves a web GUI (high-risk, manually designed
+   changes) and a REST API (automated low-risk changes); this CLI is the
+   equivalent front door for the reproduction:
+
+     hoyan simulate  [--scale small|wan|wan-dcn] [--distributed N]
+     hoyan verify    --plan FILE [--device NAME]... --intent SPEC...
+     hoyan rcl       --spec STRING [--explain]
+     hoyan diagnose  [--fault agent-down|netflow|...]
+     hoyan audit     [--scale ...]
+     hoyan vsb                         # Table-5 differential sweep *)
+
+open Cmdliner
+open Hoyan_net
+module G = Hoyan_workload.Generator
+module S = Hoyan_workload.Scenarios
+module Cp = Hoyan_config.Change_plan
+module Preprocess = Hoyan_core.Preprocess
+module Intents = Hoyan_core.Intents
+module Verify_request = Hoyan_core.Verify_request
+module Audit = Hoyan_core.Audit
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+module Bgp = Hoyan_proto.Bgp
+
+(* ------------------------------------------------------------------ *)
+(* shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let scale_arg =
+  let scales = [ ("small", G.small); ("wan", G.wan); ("wan-dcn", G.wan_dcn) ] in
+  let scale_conv = Arg.enum scales in
+  Arg.(value
+       & opt scale_conv G.small
+       & info [ "scale" ] ~docv:"SCALE"
+           ~doc:"Workload scale: $(b,small), $(b,wan) or $(b,wan-dcn).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let gen params seed = G.generate { params with G.g_seed = seed }
+
+(* ------------------------------------------------------------------ *)
+(* hoyan simulate                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let simulate params seed distributed =
+  let g = gen params seed in
+  Printf.printf "network: %s\n%!" (G.stats g);
+  let t0 = Unix.gettimeofday () in
+  let rib =
+    match distributed with
+    | None ->
+        let res = Route_sim.run g.G.model ~input_routes:g.G.input_routes () in
+        Printf.printf
+          "route simulation: %d RIB rows, %.2fx EC compression, %d fixpoint \
+           rounds\n"
+          (List.length res.Route_sim.rib)
+          res.Route_sim.compression
+          res.Route_sim.bgp_stats.Bgp.st_rounds;
+        res.Route_sim.rib
+    | Some servers ->
+        let fw = Hoyan_dist.Framework.create g.G.model in
+        let rp =
+          Hoyan_dist.Framework.run_route_phase ~subtasks:100 fw
+            ~input_routes:g.G.input_routes
+        in
+        let t =
+          Hoyan_dist.Framework.phase_time fw ~servers
+            rp.Hoyan_dist.Framework.rp_subtasks
+        in
+        Printf.printf
+          "distributed route simulation: %d RIB rows; end-to-end on %d \
+           servers: %.2fs\n"
+          (List.length rp.Hoyan_dist.Framework.rp_rib)
+          servers t;
+        rp.Hoyan_dist.Framework.rp_rib
+  in
+  let tr = Traffic_sim.run g.G.model ~rib ~flows:g.G.flows () in
+  let s f = List.fold_left (fun a fr -> a +. f fr) 0. tr.Traffic_sim.flow_results in
+  Printf.printf
+    "traffic simulation: %d flow ECs; delivered %.0f, dropped %.0f, looped \
+     %.0f of %d flow records; %d links loaded\n"
+    tr.Traffic_sim.ec_count
+    (s (fun fr -> fr.Traffic_sim.f_delivered))
+    (s (fun fr -> fr.Traffic_sim.f_dropped))
+    (s (fun fr -> fr.Traffic_sim.f_looped))
+    (List.length tr.Traffic_sim.flow_results)
+    (Hashtbl.length tr.Traffic_sim.link_load);
+  Printf.printf "total: %.2fs\n" (Unix.gettimeofday () -. t0);
+  0
+
+let simulate_cmd =
+  let distributed =
+    Arg.(value & opt (some int) None
+         & info [ "distributed" ] ~docv:"SERVERS"
+             ~doc:"Run through the distributed framework and report the \
+                   end-to-end time for $(docv) working servers.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Generate a synthetic WAN and simulate it")
+    Term.(const simulate $ scale_arg $ seed_arg $ distributed)
+
+(* ------------------------------------------------------------------ *)
+(* hoyan verify                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let verify params seed plan_file devices intents distributed =
+  let g = gen params seed in
+  let base =
+    Preprocess.prepare g.G.model ~monitored_routes:g.G.input_routes
+      ~monitored_flows:g.G.flows
+  in
+  let block =
+    match plan_file with
+    | None -> ""
+    | Some f ->
+        let ic = open_in f in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+  in
+  let commands = List.map (fun d -> (d, block)) devices in
+  let rq_intents =
+    List.map (fun spec -> Intents.Route_change spec) intents
+  in
+  let rq_intents =
+    if rq_intents = [] then [ Intents.Route_change "PRE = POST" ]
+    else rq_intents
+  in
+  let rq =
+    {
+      Verify_request.rq_name =
+        Option.value plan_file ~default:"(no-op change)";
+      rq_plan = Cp.make "cli" ~commands;
+      rq_intents;
+    }
+  in
+  let mode =
+    match distributed with
+    | None -> Verify_request.Direct
+    | Some servers -> Verify_request.Distributed { servers; subtasks = 100 }
+  in
+  let res = Verify_request.run ~mode base rq in
+  print_string (Verify_request.report res);
+  if res.Verify_request.vr_ok then 0 else 1
+
+let verify_cmd =
+  let plan =
+    Arg.(value & opt (some file) None
+         & info [ "plan" ] ~docv:"FILE"
+             ~doc:"Change-plan command block (applied to each --device).")
+  in
+  let devices =
+    Arg.(value & opt_all string []
+         & info [ "device" ] ~docv:"NAME" ~doc:"Target device (repeatable).")
+  in
+  let intents =
+    Arg.(value & opt_all string []
+         & info [ "intent" ] ~docv:"RCL"
+             ~doc:"Route-change intent in RCL (repeatable); defaults to \
+                   'PRE = POST'.")
+  in
+  let distributed =
+    Arg.(value & opt (some int) None
+         & info [ "distributed" ] ~docv:"SERVERS"
+             ~doc:"Verify through the distributed framework.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a change plan against RCL intents")
+    Term.(
+      const verify $ scale_arg $ seed_arg $ plan $ devices $ intents
+      $ distributed)
+
+(* ------------------------------------------------------------------ *)
+(* hoyan rcl                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rcl spec explain =
+  match Hoyan_rcl.Parser.parse spec with
+  | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      1
+  | Ok ast ->
+      Printf.printf "parsed: %s\nsize: %d internal nodes\n"
+        (Hoyan_rcl.Pretty.intent ast)
+        (Hoyan_rcl.Ast.size ast);
+      if explain then begin
+        (* evaluate against the Figure-6 example RIBs *)
+        let ip = Ip.of_string_exn and pfx = Prefix.of_string_exn in
+        let comm = Community.of_string_exn in
+        let route ~device ~vrf ~prefix ~communities ~lp ~nexthop =
+          Route.make ~device ~vrf ~prefix:(pfx prefix)
+            ~communities:(Community.Set.of_list (List.map comm communities))
+            ~local_pref:lp ~nexthop:(ip nexthop) ()
+        in
+        let base =
+          [
+            route ~device:"A" ~vrf:"global" ~prefix:"10.0.0.0/24"
+              ~communities:[ "100:1" ] ~lp:100 ~nexthop:"2.0.0.1";
+            route ~device:"A" ~vrf:"vrf1" ~prefix:"20.0.0.0/24"
+              ~communities:[ "100:1"; "200:1" ] ~lp:10 ~nexthop:"3.0.0.1";
+            route ~device:"B" ~vrf:"global" ~prefix:"10.0.0.0/24"
+              ~communities:[ "100:1" ] ~lp:200 ~nexthop:"4.0.0.1";
+          ]
+        in
+        let updated =
+          List.map
+            (fun (r : Route.t) ->
+              if Prefix.equal r.Route.prefix (pfx "10.0.0.0/24") then
+                { r with Route.local_pref = 300 }
+              else r)
+            base
+        in
+        match Hoyan_rcl.Verify.check ast ~base ~updated with
+        | Hoyan_rcl.Verify.Satisfied ->
+            Printf.printf "against the Figure-6 RIBs: SATISFIED\n"
+        | Hoyan_rcl.Verify.Violated vs ->
+            Printf.printf "against the Figure-6 RIBs: VIOLATED\n";
+            List.iter
+              (fun v ->
+                Printf.printf "  %s\n" (Hoyan_rcl.Verify.violation_to_string v))
+              vs
+      end;
+      0
+
+let rcl_cmd =
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SPEC" ~doc:"The RCL specification.")
+  in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Also evaluate against the paper's Figure-6 example RIBs.")
+  in
+  Cmd.v
+    (Cmd.info "rcl" ~doc:"Parse (and optionally evaluate) an RCL intent")
+    Term.(const rcl $ spec $ explain)
+
+(* ------------------------------------------------------------------ *)
+(* hoyan diagnose / audit / vsb / case                                 *)
+(* ------------------------------------------------------------------ *)
+
+let diagnose params seed =
+  let g = gen params seed in
+  let rib = (Route_sim.run g.G.model ~input_routes:g.G.input_routes ()).Route_sim.rib in
+  let traffic = Traffic_sim.run g.G.model ~rib ~flows:g.G.flows () in
+  let monitored =
+    Hoyan_monitor.Route_monitor.observe (Hoyan_monitor.Route_monitor.create ())
+      rib
+  in
+  let loads =
+    Hoyan_monitor.Traffic_monitor.observe_link_loads
+      (Hoyan_monitor.Traffic_monitor.create ())
+      traffic.Traffic_sim.link_load
+  in
+  let report =
+    Hoyan_diag.Validate.daily ~simulated_rib:rib ~monitored_rib:monitored
+      ~topo:g.G.model.Hoyan_sim.Model.topo
+      ~simulated_loads:traffic.Traffic_sim.link_load ~monitored_loads:loads ()
+  in
+  Printf.printf
+    "daily accuracy validation: %d routes checked, %d links checked\n"
+    report.Hoyan_diag.Validate.rep_routes_checked
+    report.Hoyan_diag.Validate.rep_links_checked;
+  Printf.printf "route discrepancies: %d; load discrepancies: %d -> %s\n"
+    (List.length report.Hoyan_diag.Validate.rep_route_issues)
+    (List.length report.Hoyan_diag.Validate.rep_load_issues)
+    (if Hoyan_diag.Validate.is_accurate report then "ACCURATE"
+     else "NEEDS ROOT-CAUSE ANALYSIS");
+  0
+
+let diagnose_cmd =
+  Cmd.v
+    (Cmd.info "diagnose" ~doc:"Run the daily accuracy cross-validation")
+    Term.(const diagnose $ scale_arg $ seed_arg)
+
+let audit params seed =
+  let g = gen params seed in
+  let base =
+    Preprocess.prepare g.G.model ~monitored_routes:g.G.input_routes
+      ~monitored_flows:g.G.flows
+  in
+  let rib = Lazy.force base.Preprocess.b_rib in
+  let tasks =
+    [
+      Audit.critical_prefix_everywhere
+        ~prefix:(Prefix.of_string_exn "0.0.0.0/0");
+      Audit.utilization_bound ~max_util:0.95;
+      Audit.group_consistency ~name:"borders" ~group:g.G.borders;
+    ]
+  in
+  let findings =
+    Audit.run_all tasks ~model:g.G.model ~rib ~traffic:base.Preprocess.b_traffic
+  in
+  if findings = [] then begin
+    print_endline "all audit tasks clean";
+    0
+  end
+  else begin
+    List.iter
+      (fun (f : Audit.finding) ->
+        Printf.printf "%s: %s\n" f.Audit.af_task f.Audit.af_detail)
+      findings;
+    1
+  end
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Run the daily configuration-audit tasks")
+    Term.(const audit $ scale_arg $ seed_arg)
+
+let vsb () =
+  List.iter
+    (fun (d : Hoyan_diag.Vsb_test.detection) ->
+      Printf.printf "%-30s %s\n" d.Hoyan_diag.Vsb_test.det_dimension
+        (if d.Hoyan_diag.Vsb_test.det_detected then "DETECTED" else "missed"))
+    (Hoyan_diag.Vsb_test.run_all ());
+  0
+
+let vsb_cmd =
+  Cmd.v
+    (Cmd.info "vsb" ~doc:"Differential-test the 16 Table-5 VSB dimensions")
+    Term.(const vsb $ const ())
+
+let case name =
+  let sc =
+    match name with
+    | "fig10a" -> S.fig10a ()
+    | "fig10b" -> S.fig10b ()
+    | _ -> failwith "unknown case (fig10a | fig10b)"
+  in
+  Printf.printf "%s\n%s\n\n" sc.S.sc_name sc.S.sc_description;
+  let res = Verify_request.run sc.S.sc_base sc.S.sc_request in
+  print_string (Verify_request.report res);
+  if res.Verify_request.vr_ok then 0 else 1
+
+let case_cmd =
+  let case_arg =
+    Arg.(required
+         & pos 0
+             (some (enum [ ("fig10a", "fig10a"); ("fig10b", "fig10b") ]))
+             None
+         & info [] ~docv:"CASE" ~doc:"fig10a or fig10b")
+  in
+  Cmd.v
+    (Cmd.info "case" ~doc:"Replay a real-world incident from the paper (§6.1)")
+    Term.(const case $ case_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Hoyan: global WAN change verification (SIGCOMM'25 reproduction)" in
+  let info = Cmd.info "hoyan" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            simulate_cmd; verify_cmd; rcl_cmd; diagnose_cmd; audit_cmd;
+            vsb_cmd; case_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/daily_accuracy.ml: Hashtbl Hoyan_diag Hoyan_monitor Hoyan_net Hoyan_sim Hoyan_workload List Option Printf Route String

@@ -1,0 +1,1 @@
+examples/isp_exit.ml: Hoyan_config Hoyan_core Hoyan_workload Printf

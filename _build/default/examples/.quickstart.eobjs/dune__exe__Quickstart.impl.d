@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hashtbl Hoyan_config Hoyan_core Hoyan_net Hoyan_proto Hoyan_sim Hoyan_workload Lazy List Option Printf Rib String

@@ -1,0 +1,1 @@
+examples/rcl_tour.ml: Ast Community Hoyan_net Hoyan_rcl Ip List Parser Prefix Printf Route Verify

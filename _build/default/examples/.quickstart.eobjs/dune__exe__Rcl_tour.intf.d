@@ -1,0 +1,1 @@
+examples/rcl_tour.mli:

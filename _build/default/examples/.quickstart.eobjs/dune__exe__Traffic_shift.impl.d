@@ -1,0 +1,1 @@
+examples/traffic_shift.ml: Hoyan_core Hoyan_workload List Printf

@@ -1,0 +1,49 @@
+(* The Figure 10(b) incident: changing ISP exits with the wrong command.
+
+   The operator writes 'ip ip-prefix' instead of 'ipv6-prefix'.  The
+   vendor only checks IPv4 prefixes after that command and permits all
+   IPv6 prefixes by default, so every IPv6 prefix — not just the intended
+   list — moves to exit C and its links overload.  The stated intent
+   verifies; the overload check and the "others do not change" RCL intent
+   expose the blast radius.
+
+   Run with:  dune exec examples/isp_exit.exe *)
+
+module S = Hoyan_workload.Scenarios
+module V = Hoyan_core.Verify_request
+
+let () =
+  let sc = S.fig10b () in
+  Printf.printf "%s\n%s\n\n" sc.S.sc_name sc.S.sc_description;
+  let res = V.run sc.S.sc_base sc.S.sc_request in
+  print_string (V.report res);
+  if res.V.vr_ok then (
+    print_endline "UNEXPECTED: the risky change was not flagged";
+    exit 1)
+  else begin
+    Printf.printf "\nafter fixing the command to ipv6-prefix:\n";
+    (* the corrected plan *)
+    let fixed_block =
+      {|ip ipv6-prefix EXIT2 index 5 permit 2001:db8:1:: 48
+ip ipv6-prefix EXIT2 index 10 permit 2001:db8:2:: 48
+route-policy TO_RR permit node 10
+ if-match ipv6-prefix EXIT2
+ apply local-preference 300
+route-policy TO_RR permit node 20
+bgp 65001
+ peer 10.255.1.3 as-number 65001
+ peer 10.255.1.3 route-policy TO_RR export
+|}
+    in
+    let fixed_request =
+      {
+        sc.S.sc_request with
+        V.rq_plan =
+          Hoyan_config.Change_plan.make "change-isp-exits-fixed"
+            ~commands:[ ("C", fixed_block) ];
+      }
+    in
+    let res2 = V.run sc.S.sc_base fixed_request in
+    print_string (V.report res2);
+    if not res2.V.vr_ok then exit 1
+  end

@@ -1,0 +1,1 @@
+lib/config/change_plan.ml: Hoyan_net Int Ip Lexutil List Prefix Printer Printf Route Stdlib String Topology Types

@@ -1,0 +1,1 @@
+lib/config/lexutil.ml: List Printf String

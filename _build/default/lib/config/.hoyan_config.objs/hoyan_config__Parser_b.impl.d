@@ -1,0 +1,1 @@
+lib/config/parser_b.ml: Community Hoyan_net Int Ip Lexutil List Option Prefix Printf Route String Types

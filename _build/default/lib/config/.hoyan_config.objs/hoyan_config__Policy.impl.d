@@ -1,0 +1,1 @@
+lib/config/policy.ml: As_path Community Hoyan_net Hoyan_regex List Prefix Route Types Vsb

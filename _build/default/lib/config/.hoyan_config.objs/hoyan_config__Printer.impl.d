@@ -1,0 +1,1 @@
+lib/config/printer.ml: Buffer Community Hoyan_net Ip Lexutil List Parser_a Parser_b Prefix Printf Route String Types

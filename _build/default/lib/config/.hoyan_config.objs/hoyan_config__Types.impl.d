@@ -1,0 +1,1 @@
+lib/config/types.ml: Community Hoyan_net Ip List Map Option Prefix Route String

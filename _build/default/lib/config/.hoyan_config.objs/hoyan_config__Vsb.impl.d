@@ -1,0 +1,1 @@
+lib/config/vsb.ml: List Printf String

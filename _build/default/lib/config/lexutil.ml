@@ -1,0 +1,68 @@
+(** Shared tokenization helpers for the vendor configuration parsers.
+
+    Vendor configurations are line-oriented: a line starting with a
+    non-blank character opens a (possibly nested) stanza and indented lines
+    belong to the enclosing stanza.  Comment lines start with ['!']
+    (vendor A) or ['#'] (vendor B). *)
+
+type line = { lnum : int; indent : int; tokens : string list; raw : string }
+
+let tokenize_line raw =
+  String.split_on_char ' ' raw
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let indent_of raw =
+  let rec go i =
+    if i < String.length raw && (raw.[i] = ' ' || raw.[i] = '\t') then go (i + 1)
+    else i
+  in
+  go 0
+
+(** Split config text into logical lines, dropping blank and comment
+    lines.  [comment] is the comment leader character. *)
+let lines_of_string ~(comment : char) (text : string) : line list =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i raw -> (i + 1, raw))
+  |> List.filter_map (fun (lnum, raw) ->
+         let trimmed = String.trim raw in
+         if trimmed = "" || trimmed.[0] = comment then None
+         else
+           Some
+             {
+               lnum;
+               indent = indent_of raw;
+               tokens = tokenize_line trimmed;
+               raw = trimmed;
+             })
+
+type error = { err_line : int; err_msg : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.err_line e.err_msg
+
+(** Group a flat line list into (header, body) stanzas: a stanza starts at
+    an unindented line and contains all following more-indented lines. *)
+let stanzas (lines : line list) : (line * line list) list =
+  let rec go acc current body = function
+    | [] -> (
+        match current with
+        | Some h -> List.rev ((h, List.rev body) :: acc)
+        | None -> List.rev acc)
+    | l :: rest ->
+        if l.indent = 0 then
+          let acc =
+            match current with
+            | Some h -> (h, List.rev body) :: acc
+            | None -> acc
+          in
+          go acc (Some l) [] rest
+        else (
+          match current with
+          | Some _ -> go acc current (l :: body) rest
+          | None -> go acc None body rest (* stray indented line: ignore *))
+  in
+  go [] None [] lines
+
+let int_opt = int_of_string_opt
+
+let float_opt = float_of_string_opt

@@ -1,0 +1,154 @@
+(** Route-policy evaluation with vendor-specific-behaviour hooks.
+
+    This is the single place where an update is accepted/denied/rewritten
+    by configuration; the BGP simulator calls it on ingress, egress and
+    redistribution.  Every decision that Table 5 lists as vendor-specific
+    is delegated to the device's {!Vsb.t} profile. *)
+
+open Hoyan_net
+
+type verdict = {
+  pv_action : Types.action;
+  pv_route : Route.t; (* rewritten route (meaningful when permitted) *)
+  pv_aspath_overwritten : bool;
+      (* a policy overwrote the AS path; interacts with the
+         "adding own ASN" VSB at eBGP export time *)
+  pv_matched_node : int option; (* seq of the node that decided *)
+}
+
+let denied r =
+  { pv_action = Types.Deny; pv_route = r; pv_aspath_overwritten = false;
+    pv_matched_node = None }
+
+let permitted ?(overwrote = false) ?node r =
+  { pv_action = Types.Permit; pv_route = r; pv_aspath_overwritten = overwrote;
+    pv_matched_node = node }
+
+(** Default regex matching for AS-path filters: full-string match with the
+    production engine.  The diagnosis experiments inject {!Regex.Legacy}
+    here to reproduce the flawed-regex issue class. *)
+let default_regex pattern input = Hoyan_regex.Regex.matches_str pattern input
+
+let eval_match ?(regex = default_regex) (cfg : Types.t) (vsb : Vsb.t)
+    (clause : Types.match_clause) (r : Route.t) : bool =
+  match clause with
+  | Types.Match_prefix_list name -> (
+      match Types.find_prefix_list cfg name with
+      | None -> vsb.Vsb.undefined_filter_matches
+      | Some pl ->
+          if pl.Types.pl_family <> Prefix.family r.Route.prefix then
+            (* Figure 10(b): an [ip-prefix] list applied to an IPv6 route —
+               this vendor checks only IPv4 prefixes and permits the other
+               family wholesale. *)
+            vsb.Vsb.ip_prefix_permits_other_family
+          else (
+            match Types.prefix_list_eval pl r.Route.prefix with
+            | Some Types.Permit -> true
+            | Some Types.Deny | None -> false))
+  | Types.Match_community_list name -> (
+      match Types.find_community_list cfg name with
+      | None -> vsb.Vsb.undefined_filter_matches
+      | Some cl -> (
+          match Types.community_list_eval cl r.Route.communities with
+          | Some Types.Permit -> true
+          | Some Types.Deny | None -> false))
+  | Types.Match_aspath_filter name -> (
+      match Types.find_aspath_filter cfg name with
+      | None -> vsb.Vsb.undefined_filter_matches
+      | Some af ->
+          let path_str = As_path.to_string r.Route.as_path in
+          let rec eval = function
+            | [] -> false
+            | (e : Types.aspath_entry) :: rest ->
+                if regex e.Types.ae_regex path_str then
+                  e.Types.ae_action = Types.Permit
+                else eval rest
+          in
+          eval af.Types.af_entries)
+  | Types.Match_nexthop p -> (
+      match r.Route.nexthop with
+      | Some nh -> Prefix.mem nh p
+      | None -> false)
+  | Types.Match_tag t -> r.Route.tag = t
+  | Types.Match_protocol p -> r.Route.proto = p
+  | Types.Match_family f -> Prefix.family r.Route.prefix = f
+
+let apply_set (r : Route.t) (clause : Types.set_clause) :
+    Route.t * bool (* overwrote AS path *) =
+  match clause with
+  | Types.Set_local_pref v -> ({ r with Route.local_pref = v }, false)
+  | Types.Set_med v -> ({ r with Route.med = v }, false)
+  | Types.Set_weight v -> ({ r with Route.weight = v }, false)
+  | Types.Set_preference v -> ({ r with Route.preference = v }, false)
+  | Types.Set_tag v -> ({ r with Route.tag = v }, false)
+  | Types.Set_nexthop ip -> ({ r with Route.nexthop = Some ip }, false)
+  | Types.Set_communities (op, cs) ->
+      let communities =
+        match op with
+        | Types.Comm_replace -> Community.Set.of_list cs
+        | Types.Comm_add ->
+            Community.Set.union r.Route.communities (Community.Set.of_list cs)
+        | Types.Comm_remove ->
+            Community.Set.diff r.Route.communities (Community.Set.of_list cs)
+      in
+      ({ r with Route.communities }, false)
+  | Types.Set_aspath_prepend (asn, count) ->
+      ({ r with Route.as_path = As_path.prepend_n asn count r.Route.as_path },
+       false)
+  | Types.Set_aspath_overwrite asns ->
+      ({ r with Route.as_path = As_path.of_asns asns }, true)
+
+(** Evaluate policy [name] of [cfg] on route [r].
+
+    [name = None] means no policy is applied at that attachment point; on
+    an eBGP session ([ebgp = true], the default) the "missing route
+    policy" VSB decides — some vendors require an explicit policy on eBGP
+    sessions and drop everything otherwise — while iBGP and internal
+    attachment points (redistribution, VRF leaking) accept.  An undefined
+    name triggers the "undefined route policy" VSB.  A route matching no
+    node triggers the "default route policy" VSB, and a matched node
+    without an explicit action triggers "no explicit permit/deny". *)
+let eval ?(regex = default_regex) ?(ebgp = true) (cfg : Types.t) (vsb : Vsb.t)
+    (name : string option) (r : Route.t) : verdict =
+  match name with
+  | None ->
+      if (not ebgp) || vsb.Vsb.missing_policy_accepts then permitted r
+      else denied r
+  | Some name -> (
+      match Types.find_policy cfg name with
+      | None ->
+          if vsb.Vsb.undefined_policy_accepts then permitted r else denied r
+      | Some policy ->
+          let rec eval_nodes r overwrote = function
+            | [] ->
+                if vsb.Vsb.default_policy_action_permit then
+                  permitted ~overwrote r
+                else denied r
+            | (node : Types.policy_node) :: rest ->
+                let all_match =
+                  List.for_all
+                    (fun c -> eval_match ~regex cfg vsb c r)
+                    node.Types.pn_matches
+                in
+                if not all_match then eval_nodes r overwrote rest
+                else
+                  let action =
+                    match node.Types.pn_action with
+                    | Some a -> a
+                    | None ->
+                        if vsb.Vsb.no_explicit_action_permits then Types.Permit
+                        else Types.Deny
+                  in
+                  if action = Types.Deny then denied r
+                  else
+                    let r', overwrote' =
+                      List.fold_left
+                        (fun (acc, ow) s ->
+                          let acc', ow' = apply_set acc s in
+                          (acc', ow || ow'))
+                        (r, overwrote) node.Types.pn_sets
+                    in
+                    if node.Types.pn_goto_next then eval_nodes r' overwrote' rest
+                    else permitted ~overwrote:overwrote' ~node:node.Types.pn_seq r'
+          in
+          eval_nodes r false policy.Types.rp_nodes)

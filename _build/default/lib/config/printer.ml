@@ -1,0 +1,570 @@
+(** Configuration printers: render the vendor-neutral model back to each
+    vendor's dialect.
+
+    The synthetic-WAN generator builds {!Types.t} values and prints them
+    with these printers, so that every end-to-end run genuinely exercises
+    the dialect parsers on thousands of configuration lines per device —
+    the same path production Hoyan takes from the configuration monitoring
+    system. *)
+
+open Hoyan_net
+
+let buf_add = Buffer.add_string
+
+let action_str = Types.action_to_string
+
+let proto_str = function
+  | Route.Bgp -> "bgp"
+  | Route.Isis -> "isis"
+  | Route.Static -> "static"
+  | Route.Direct -> "direct"
+  | Route.Aggregate -> "aggregate"
+  | Route.Sr_policy -> "sr"
+
+let comms_str cs = String.concat " " (List.map Community.to_string cs)
+
+module A = struct
+  let match_clause = function
+    | Types.Match_prefix_list n -> Printf.sprintf "match ip prefix-list %s" n
+    | Types.Match_community_list n -> Printf.sprintf "match community %s" n
+    | Types.Match_aspath_filter n -> Printf.sprintf "match as-path %s" n
+    | Types.Match_nexthop p ->
+        Printf.sprintf "match ip next-hop %s" (Prefix.to_string p)
+    | Types.Match_tag t -> Printf.sprintf "match tag %d" t
+    | Types.Match_protocol p -> Printf.sprintf "match protocol %s" (proto_str p)
+    | Types.Match_family Ip.Ipv4 -> "match family ipv4"
+    | Types.Match_family Ip.Ipv6 -> "match family ipv6"
+
+  let set_clause = function
+    | Types.Set_local_pref n -> Printf.sprintf "set local-preference %d" n
+    | Types.Set_med n -> Printf.sprintf "set metric %d" n
+    | Types.Set_weight n -> Printf.sprintf "set weight %d" n
+    | Types.Set_preference n -> Printf.sprintf "set preference %d" n
+    | Types.Set_tag n -> Printf.sprintf "set tag %d" n
+    | Types.Set_nexthop ip -> Printf.sprintf "set ip next-hop %s" (Ip.to_string ip)
+    | Types.Set_communities (Types.Comm_replace, cs) ->
+        Printf.sprintf "set community %s" (comms_str cs)
+    | Types.Set_communities (Types.Comm_add, cs) ->
+        Printf.sprintf "set community %s additive" (comms_str cs)
+    | Types.Set_communities (Types.Comm_remove, cs) ->
+        Printf.sprintf "set community delete %s" (comms_str cs)
+    | Types.Set_aspath_prepend (asn, n) ->
+        Printf.sprintf "set as-path prepend %d %d" asn n
+    | Types.Set_aspath_overwrite asns ->
+        Printf.sprintf "set as-path overwrite %s"
+          (String.concat " " (List.map string_of_int asns))
+
+  let print (cfg : Types.t) : string =
+    let b = Buffer.create 4096 in
+    let line fmt = Printf.ksprintf (fun s -> buf_add b (s ^ "\n")) fmt in
+    line "hostname %s" cfg.Types.dc_device;
+    line "!";
+    (* interfaces *)
+    List.iter
+      (fun (i : Types.iface_config) ->
+        line "interface %s" i.Types.if_name;
+        (match i.Types.if_addr with
+        | Some a ->
+            let kw = match Ip.family a with Ip.Ipv4 -> "ip" | Ip.Ipv6 -> "ipv6" in
+            line " %s address %s/%d" kw (Ip.to_string a) i.Types.if_plen
+        | None -> ());
+        line " bandwidth %.0f" i.Types.if_bandwidth;
+        (match i.Types.if_acl_in with
+        | Some acl -> line " ip access-group %s in" acl
+        | None -> ());
+        (match
+           List.find_opt
+             (fun ii -> String.equal ii.Types.ii_name i.Types.if_name)
+             cfg.Types.dc_isis.Types.isis_ifaces
+         with
+        | Some ii ->
+            line " isis cost %d" ii.Types.ii_cost;
+            if ii.Types.ii_te then line " isis traffic-eng"
+        | None -> ());
+        line "!")
+      (List.rev cfg.Types.dc_ifaces);
+    (* prefix lists *)
+    Types.Smap.iter
+      (fun name pl ->
+        let kw =
+          match pl.Types.pl_family with Ip.Ipv4 -> "ip" | Ip.Ipv6 -> "ipv6"
+        in
+        List.iter
+          (fun (e : Types.prefix_entry) ->
+            let opts =
+              (match e.Types.pe_ge with
+              | Some g -> Printf.sprintf " ge %d" g
+              | None -> "")
+              ^
+              match e.Types.pe_le with
+              | Some l -> Printf.sprintf " le %d" l
+              | None -> ""
+            in
+            line "%s prefix-list %s seq %d %s %s%s" kw name e.Types.pe_seq
+              (action_str e.Types.pe_action)
+              (Prefix.to_string e.Types.pe_prefix)
+              opts)
+          pl.Types.pl_entries)
+      cfg.Types.dc_prefix_lists;
+    (* community lists *)
+    Types.Smap.iter
+      (fun name cl ->
+        List.iter
+          (fun (e : Types.community_entry) ->
+            line "ip community-list %s seq %d %s %s" name e.Types.ce_seq
+              (action_str e.Types.ce_action)
+              (comms_str e.Types.ce_members))
+          cl.Types.cl_entries)
+      cfg.Types.dc_community_lists;
+    (* as-path filters *)
+    Types.Smap.iter
+      (fun name af ->
+        List.iter
+          (fun (e : Types.aspath_entry) ->
+            line "ip as-path access-list %s seq %d %s %s" name e.Types.ae_seq
+              (action_str e.Types.ae_action)
+              e.Types.ae_regex)
+          af.Types.af_entries)
+      cfg.Types.dc_aspath_filters;
+    (* route maps *)
+    Types.Smap.iter
+      (fun name rp ->
+        List.iter
+          (fun (n : Types.policy_node) ->
+            (match n.Types.pn_action with
+            | Some a ->
+                line "route-map %s %s %d" name (action_str a) n.Types.pn_seq
+            | None -> line "route-map %s %d" name n.Types.pn_seq);
+            List.iter (fun m -> line " %s" (match_clause m)) n.Types.pn_matches;
+            List.iter (fun s -> line " %s" (set_clause s)) n.Types.pn_sets;
+            if n.Types.pn_goto_next then line " continue";
+            line "!")
+          rp.Types.rp_nodes)
+      cfg.Types.dc_policies;
+    (* vrfs *)
+    List.iter
+      (fun (vd : Types.vrf_def) ->
+        line "vrf definition %s" vd.Types.vd_name;
+        if vd.Types.vd_rd <> "" then line " rd %s" vd.Types.vd_rd;
+        List.iter (fun rt -> line " route-target import %s" rt)
+          (List.rev vd.Types.vd_import_rts);
+        List.iter (fun rt -> line " route-target export %s" rt)
+          (List.rev vd.Types.vd_export_rts);
+        (match vd.Types.vd_export_policy with
+        | Some rm -> line " export map %s" rm
+        | None -> ());
+        line "!")
+      (List.rev cfg.Types.dc_bgp.Types.bgp_vrfs);
+    (* isis *)
+    if cfg.Types.dc_isis.Types.isis_enabled then begin
+      line "router isis";
+      if cfg.Types.dc_isis.Types.isis_net <> "" then
+        line " net %s" cfg.Types.dc_isis.Types.isis_net;
+      (match cfg.Types.dc_isis.Types.isis_default_cost with
+      | Some c -> line " default-cost %d" c
+      | None -> ());
+      if cfg.Types.dc_isis.Types.isis_te then line " traffic-eng level-2";
+      line "!"
+    end;
+    if cfg.Types.dc_isolated then line "isolate";
+    (* bgp *)
+    let bgp = cfg.Types.dc_bgp in
+    if bgp.Types.bgp_asn <> 0 then begin
+      line "router bgp %d" bgp.Types.bgp_asn;
+      (match bgp.Types.bgp_router_id with
+      | Some ip -> line " bgp router-id %s" (Ip.to_string ip)
+      | None -> ());
+      List.iter
+        (fun (p, vrf) ->
+          if String.equal vrf Route.default_vrf then
+            line " network %s" (Prefix.to_string p)
+          else line " network %s vrf %s" (Prefix.to_string p) vrf)
+        (List.rev bgp.Types.bgp_networks);
+      List.iter
+        (fun (ag : Types.aggregate) ->
+          line " aggregate-address %s%s%s%s"
+            (Prefix.to_string ag.Types.ag_prefix)
+            (if ag.Types.ag_as_set then " as-set" else "")
+            (if ag.Types.ag_summary_only then " summary-only" else "")
+            (if String.equal ag.Types.ag_vrf Route.default_vrf then ""
+             else " vrf " ^ ag.Types.ag_vrf))
+        (List.rev bgp.Types.bgp_aggregates);
+      List.iter
+        (fun (p, rm) ->
+          match rm with
+          | Some rm -> line " redistribute %s route-map %s" (proto_str p) rm
+          | None -> line " redistribute %s" (proto_str p))
+        (List.rev bgp.Types.bgp_redistribute);
+      List.iter
+        (fun (nb : Types.neighbor) ->
+          let ip = Ip.to_string nb.Types.nb_addr in
+          line " neighbor %s remote-as %d" ip nb.Types.nb_remote_asn;
+          (match nb.Types.nb_import with
+          | Some rm -> line " neighbor %s route-map %s in" ip rm
+          | None -> ());
+          (match nb.Types.nb_export with
+          | Some rm -> line " neighbor %s route-map %s out" ip rm
+          | None -> ());
+          if nb.Types.nb_next_hop_self then line " neighbor %s next-hop-self" ip;
+          if nb.Types.nb_rr_client then
+            line " neighbor %s route-reflector-client" ip;
+          if nb.Types.nb_add_paths > 0 then
+            line " neighbor %s additional-paths %d" ip nb.Types.nb_add_paths;
+          if not (String.equal nb.Types.nb_vrf Route.default_vrf) then
+            line " neighbor %s vrf %s" ip nb.Types.nb_vrf)
+        (List.rev bgp.Types.bgp_neighbors);
+      line "!"
+    end;
+    (* statics *)
+    List.iter
+      (fun (s : Types.static_route) ->
+        let vrf =
+          if String.equal s.Types.st_vrf Route.default_vrf then ""
+          else Printf.sprintf "vrf %s " s.Types.st_vrf
+        in
+        let target =
+          match (s.Types.st_nexthop, s.Types.st_iface) with
+          | Some nh, _ -> Ip.to_string nh
+          | None, Some i -> i
+          | None, None -> "Null0"
+        in
+        line "ip route %s%s %s preference %d tag %d" vrf
+          (Prefix.to_string s.Types.st_prefix)
+          target s.Types.st_preference s.Types.st_tag)
+      (List.rev cfg.Types.dc_statics);
+    (* SR policies *)
+    List.iter
+      (fun (sp : Types.sr_policy) ->
+        line "segment-routing policy %s color %d end-point %s" sp.Types.sp_name
+          sp.Types.sp_color
+          (Ip.to_string sp.Types.sp_endpoint);
+        if sp.Types.sp_segments = [] then
+          line " candidate-path preference %d" sp.Types.sp_preference
+        else
+          line " candidate-path preference %d explicit segment-list %s"
+            sp.Types.sp_preference
+            (String.concat " " sp.Types.sp_segments);
+        line "!")
+      (List.rev cfg.Types.dc_sr_policies);
+    (* ACLs *)
+    Types.Smap.iter
+      (fun name acl ->
+        List.iter
+          (fun (e : Types.acl_entry) ->
+            let proto =
+              match e.Types.ace_proto with
+              | Some 6 -> "tcp"
+              | Some 17 -> "udp"
+              | Some p -> string_of_int p
+              | None -> "any"
+            in
+            let pfx = function
+              | Some p -> Prefix.to_string p
+              | None -> "any"
+            in
+            let port =
+              match e.Types.ace_dport with
+              | Some (lo, hi) when lo = hi -> Printf.sprintf " eq %d" lo
+              | Some (lo, hi) -> Printf.sprintf " range %d %d" lo hi
+              | None -> ""
+            in
+            line "access-list %s seq %d %s %s %s %s%s" name e.Types.ace_seq
+              (action_str e.Types.ace_action)
+              proto
+              (pfx e.Types.ace_src)
+              (pfx e.Types.ace_dst)
+              port)
+          acl.Types.acl_entries)
+      cfg.Types.dc_acls;
+    (* PBR *)
+    List.iter
+      (fun (p : Types.pbr_rule) ->
+        line "pbr interface %s acl %s next-hop %s" p.Types.pbr_iface
+          p.Types.pbr_acl
+          (Ip.to_string p.Types.pbr_nexthop))
+      (List.rev cfg.Types.dc_pbr);
+    Buffer.contents b
+end
+
+module B = struct
+  let if_match = function
+    | Types.Match_prefix_list n -> Printf.sprintf "if-match ip-prefix %s" n
+    | Types.Match_community_list n ->
+        Printf.sprintf "if-match community-filter %s" n
+    | Types.Match_aspath_filter n ->
+        Printf.sprintf "if-match as-path-filter %s" n
+    | Types.Match_nexthop p ->
+        Printf.sprintf "if-match next-hop %s" (Prefix.to_string p)
+    | Types.Match_tag t -> Printf.sprintf "if-match tag %d" t
+    | Types.Match_protocol p ->
+        Printf.sprintf "if-match protocol %s" (proto_str p)
+    | Types.Match_family _ ->
+        (* vendor B has no family match; emitted as a comment-like no-op *)
+        "if-match protocol bgp"
+
+  let apply = function
+    | Types.Set_local_pref n -> Printf.sprintf "apply local-preference %d" n
+    | Types.Set_med n -> Printf.sprintf "apply cost %d" n
+    | Types.Set_weight n -> Printf.sprintf "apply preferred-value %d" n
+    | Types.Set_preference n -> Printf.sprintf "apply preference %d" n
+    | Types.Set_tag n -> Printf.sprintf "apply tag %d" n
+    | Types.Set_nexthop ip ->
+        Printf.sprintf "apply ip-address next-hop %s" (Ip.to_string ip)
+    | Types.Set_communities (Types.Comm_replace, cs) ->
+        Printf.sprintf "apply community %s" (comms_str cs)
+    | Types.Set_communities (Types.Comm_add, cs) ->
+        Printf.sprintf "apply community %s additive" (comms_str cs)
+    | Types.Set_communities (Types.Comm_remove, cs) ->
+        Printf.sprintf "apply community-delete %s" (comms_str cs)
+    | Types.Set_aspath_prepend (asn, n) ->
+        Printf.sprintf "apply as-path %d %d additive" asn n
+    | Types.Set_aspath_overwrite asns ->
+        Printf.sprintf "apply as-path %s overwrite"
+          (String.concat " " (List.map string_of_int asns))
+
+  let print (cfg : Types.t) : string =
+    let b = Buffer.create 4096 in
+    let line fmt = Printf.ksprintf (fun s -> buf_add b (s ^ "\n")) fmt in
+    line "sysname %s" cfg.Types.dc_device;
+    line "#";
+    List.iter
+      (fun (i : Types.iface_config) ->
+        line "interface %s" i.Types.if_name;
+        (match i.Types.if_addr with
+        | Some a ->
+            let kw = match Ip.family a with Ip.Ipv4 -> "ip" | Ip.Ipv6 -> "ipv6" in
+            line " %s address %s %d" kw (Ip.to_string a) i.Types.if_plen
+        | None -> ());
+        line " bandwidth %.0f" i.Types.if_bandwidth;
+        (match i.Types.if_acl_in with
+        | Some acl -> line " traffic-filter inbound acl %s" acl
+        | None -> ());
+        (match
+           List.find_opt
+             (fun ii -> String.equal ii.Types.ii_name i.Types.if_name)
+             cfg.Types.dc_isis.Types.isis_ifaces
+         with
+        | Some ii ->
+            line " isis enable 1";
+            line " isis cost %d" ii.Types.ii_cost;
+            if ii.Types.ii_te then line " isis traffic-eng"
+        | None -> ());
+        line "#")
+      (List.rev cfg.Types.dc_ifaces);
+    Types.Smap.iter
+      (fun name pl ->
+        let kw =
+          match pl.Types.pl_family with
+          | Ip.Ipv4 -> "ip-prefix"
+          | Ip.Ipv6 -> "ipv6-prefix"
+        in
+        List.iter
+          (fun (e : Types.prefix_entry) ->
+            let opts =
+              (match e.Types.pe_ge with
+              | Some g -> Printf.sprintf " greater-equal %d" g
+              | None -> "")
+              ^
+              match e.Types.pe_le with
+              | Some l -> Printf.sprintf " less-equal %d" l
+              | None -> ""
+            in
+            line "ip %s %s index %d %s %s %d%s" kw name e.Types.pe_seq
+              (action_str e.Types.pe_action)
+              (Ip.to_string (Prefix.ip e.Types.pe_prefix))
+              (Prefix.len e.Types.pe_prefix)
+              opts)
+          pl.Types.pl_entries)
+      cfg.Types.dc_prefix_lists;
+    Types.Smap.iter
+      (fun name cl ->
+        List.iter
+          (fun (e : Types.community_entry) ->
+            line "ip community-filter %s index %d %s %s" name e.Types.ce_seq
+              (action_str e.Types.ce_action)
+              (comms_str e.Types.ce_members))
+          cl.Types.cl_entries)
+      cfg.Types.dc_community_lists;
+    Types.Smap.iter
+      (fun name af ->
+        List.iter
+          (fun (e : Types.aspath_entry) ->
+            line "ip as-path-filter %s index %d %s %s" name e.Types.ae_seq
+              (action_str e.Types.ae_action)
+              e.Types.ae_regex)
+          af.Types.af_entries)
+      cfg.Types.dc_aspath_filters;
+    Types.Smap.iter
+      (fun name rp ->
+        List.iter
+          (fun (n : Types.policy_node) ->
+            (match n.Types.pn_action with
+            | Some a ->
+                line "route-policy %s %s node %d" name (action_str a)
+                  n.Types.pn_seq
+            | None -> line "route-policy %s node %d" name n.Types.pn_seq);
+            List.iter (fun m -> line " %s" (if_match m)) n.Types.pn_matches;
+            List.iter (fun s -> line " %s" (apply s)) n.Types.pn_sets;
+            if n.Types.pn_goto_next then line " goto next-node";
+            line "#")
+          rp.Types.rp_nodes)
+      cfg.Types.dc_policies;
+    List.iter
+      (fun (vd : Types.vrf_def) ->
+        line "ip vpn-instance %s" vd.Types.vd_name;
+        if vd.Types.vd_rd <> "" then
+          line " route-distinguisher %s" vd.Types.vd_rd;
+        List.iter
+          (fun rt -> line " vpn-target %s import-extcommunity" rt)
+          (List.rev vd.Types.vd_import_rts);
+        List.iter
+          (fun rt -> line " vpn-target %s export-extcommunity" rt)
+          (List.rev vd.Types.vd_export_rts);
+        (match vd.Types.vd_export_policy with
+        | Some rp -> line " export route-policy %s" rp
+        | None -> ());
+        line "#")
+      (List.rev cfg.Types.dc_bgp.Types.bgp_vrfs);
+    if cfg.Types.dc_isis.Types.isis_enabled then begin
+      line "isis 1";
+      if cfg.Types.dc_isis.Types.isis_net <> "" then
+        line " network-entity %s" cfg.Types.dc_isis.Types.isis_net;
+      (match cfg.Types.dc_isis.Types.isis_default_cost with
+      | Some c -> line " circuit-cost %d" c
+      | None -> ());
+      if cfg.Types.dc_isis.Types.isis_te then line " traffic-eng";
+      line "#"
+    end;
+    if cfg.Types.dc_isolated then line "isolate enable";
+    let bgp = cfg.Types.dc_bgp in
+    if bgp.Types.bgp_asn <> 0 then begin
+      line "bgp %d" bgp.Types.bgp_asn;
+      (match bgp.Types.bgp_router_id with
+      | Some ip -> line " router-id %s" (Ip.to_string ip)
+      | None -> ());
+      List.iter
+        (fun (p, vrf) ->
+          if String.equal vrf Route.default_vrf then
+            line " network %s %d" (Ip.to_string (Prefix.ip p)) (Prefix.len p)
+          else
+            line " network %s %d vpn-instance %s"
+              (Ip.to_string (Prefix.ip p))
+              (Prefix.len p) vrf)
+        (List.rev bgp.Types.bgp_networks);
+      List.iter
+        (fun (ag : Types.aggregate) ->
+          line " aggregate %s %d%s%s%s"
+            (Ip.to_string (Prefix.ip ag.Types.ag_prefix))
+            (Prefix.len ag.Types.ag_prefix)
+            (if ag.Types.ag_as_set then " as-set" else "")
+            (if ag.Types.ag_summary_only then " detail-suppressed" else "")
+            (if String.equal ag.Types.ag_vrf Route.default_vrf then ""
+             else " vpn-instance " ^ ag.Types.ag_vrf))
+        (List.rev bgp.Types.bgp_aggregates);
+      List.iter
+        (fun (p, rp) ->
+          match rp with
+          | Some rp -> line " import-route %s route-policy %s" (proto_str p) rp
+          | None -> line " import-route %s" (proto_str p))
+        (List.rev bgp.Types.bgp_redistribute);
+      List.iter
+        (fun (nb : Types.neighbor) ->
+          let ip = Ip.to_string nb.Types.nb_addr in
+          line " peer %s as-number %d" ip nb.Types.nb_remote_asn;
+          (match nb.Types.nb_import with
+          | Some rp -> line " peer %s route-policy %s import" ip rp
+          | None -> ());
+          (match nb.Types.nb_export with
+          | Some rp -> line " peer %s route-policy %s export" ip rp
+          | None -> ());
+          if nb.Types.nb_next_hop_self then line " peer %s next-hop-local" ip;
+          if nb.Types.nb_rr_client then line " peer %s reflect-client" ip;
+          if nb.Types.nb_add_paths > 0 then
+            line " peer %s additional-paths %d" ip nb.Types.nb_add_paths;
+          if not (String.equal nb.Types.nb_vrf Route.default_vrf) then
+            line " peer %s vpn-instance %s" ip nb.Types.nb_vrf)
+        (List.rev bgp.Types.bgp_neighbors);
+      line "#"
+    end;
+    List.iter
+      (fun (s : Types.static_route) ->
+        let vrf =
+          if String.equal s.Types.st_vrf Route.default_vrf then ""
+          else Printf.sprintf "vpn-instance %s " s.Types.st_vrf
+        in
+        let target =
+          match (s.Types.st_nexthop, s.Types.st_iface) with
+          | Some nh, _ -> Ip.to_string nh
+          | None, Some i -> i
+          | None, None -> "NULL0"
+        in
+        line "ip route-static %s%s %d %s preference %d tag %d" vrf
+          (Ip.to_string (Prefix.ip s.Types.st_prefix))
+          (Prefix.len s.Types.st_prefix)
+          target s.Types.st_preference s.Types.st_tag)
+      (List.rev cfg.Types.dc_statics);
+    List.iter
+      (fun (sp : Types.sr_policy) ->
+        line "sr-policy %s endpoint %s color %d" sp.Types.sp_name
+          (Ip.to_string sp.Types.sp_endpoint)
+          sp.Types.sp_color;
+        line " preference %d" sp.Types.sp_preference;
+        if sp.Types.sp_segments <> [] then
+          line " segment-list %s" (String.concat " " sp.Types.sp_segments);
+        line "#")
+      (List.rev cfg.Types.dc_sr_policies);
+    Types.Smap.iter
+      (fun name acl ->
+        line "acl name %s" name;
+        List.iter
+          (fun (e : Types.acl_entry) ->
+            let proto =
+              match e.Types.ace_proto with
+              | Some 6 -> " tcp"
+              | Some 17 -> " udp"
+              | Some p -> Printf.sprintf " %d" p
+              | None -> ""
+            in
+            let src =
+              match e.Types.ace_src with
+              | Some p -> " source " ^ Prefix.to_string p
+              | None -> ""
+            in
+            let dst =
+              match e.Types.ace_dst with
+              | Some p -> " destination " ^ Prefix.to_string p
+              | None -> ""
+            in
+            let port =
+              match e.Types.ace_dport with
+              | Some (lo, _) -> Printf.sprintf " destination-port eq %d" lo
+              | None -> ""
+            in
+            line " rule %d %s%s%s%s%s" e.Types.ace_seq
+              (action_str e.Types.ace_action)
+              proto src dst port)
+          acl.Types.acl_entries;
+        line "#")
+      cfg.Types.dc_acls;
+    List.iter
+      (fun (p : Types.pbr_rule) ->
+        line "traffic-policy interface %s acl %s redirect next-hop %s"
+          p.Types.pbr_iface p.Types.pbr_acl
+          (Ip.to_string p.Types.pbr_nexthop))
+      (List.rev cfg.Types.dc_pbr);
+    Buffer.contents b
+end
+
+(** Render a configuration in its own vendor's dialect. *)
+let print (cfg : Types.t) : string =
+  match cfg.Types.dc_vendor with
+  | "vendorA" -> A.print cfg
+  | "vendorB" -> B.print cfg
+  | v -> invalid_arg (Printf.sprintf "Printer.print: unknown vendor %s" v)
+
+(** Parse a configuration text in the given vendor's dialect. *)
+let parse ~vendor ?device (text : string) : Types.t * Lexutil.error list =
+  match vendor with
+  | "vendorA" -> Parser_a.parse ?device text
+  | "vendorB" -> Parser_b.parse ?device text
+  | v -> invalid_arg (Printf.sprintf "Printer.parse: unknown vendor %s" v)

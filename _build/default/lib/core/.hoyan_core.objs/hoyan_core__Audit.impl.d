@@ -1,0 +1,1 @@
+lib/core/audit.ml: Hoyan_config Hoyan_net Hoyan_sim Lazy List Prefix Printf Route String Topology

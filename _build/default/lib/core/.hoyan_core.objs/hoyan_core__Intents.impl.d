@@ -1,0 +1,1 @@
+lib/core/intents.ml: Flow Hashtbl Hoyan_net Hoyan_rcl Hoyan_sim Lazy List Option Prefix Printf Route String

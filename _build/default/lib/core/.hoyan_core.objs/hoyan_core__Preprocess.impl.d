@@ -1,0 +1,1 @@
+lib/core/preprocess.ml: As_path Flow Hashtbl Hoyan_config Hoyan_net Hoyan_sim Lazy List Map Option Prefix Route String

@@ -1,0 +1,1 @@
+lib/core/verify_request.ml: Buffer Hoyan_config Hoyan_dist Hoyan_net Hoyan_sim Intents Lazy List Prefix Preprocess Printf Route Unix

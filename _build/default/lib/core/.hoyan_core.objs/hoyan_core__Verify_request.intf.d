@@ -1,0 +1,1 @@
+lib/core/verify_request.mli: Hoyan_config Hoyan_net Hoyan_sim Intents Lazy Preprocess Route

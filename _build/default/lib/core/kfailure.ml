@@ -1,0 +1,163 @@
+(** k-failure verification (§6.2, "fault-tolerance checking").
+
+    Hoyan checks whether a property still holds when no more than [k]
+    routers/links have failed.  This reproduction enumerates failure
+    combinations up to [k] (optionally sampled when the combination space
+    is large), re-simulates each failed topology, and evaluates the
+    property, returning the failing scenarios as counterexamples. *)
+
+open Hoyan_net
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+module Cp = Hoyan_config.Change_plan
+
+type failure = Link_down of string * string | Device_down of string
+
+let failure_to_string = function
+  | Link_down (a, b) -> Printf.sprintf "link %s-%s down" a b
+  | Device_down d -> Printf.sprintf "device %s down" d
+
+(** The property to hold in every <=k-failure state. *)
+type property = {
+  p_name : string;
+  p_check :
+    model:Model.t ->
+    rib:Route.t list ->
+    traffic:Traffic_sim.result Lazy.t ->
+    string option (* None = holds; Some reason = violated *);
+}
+
+(** Reachability property: the prefix stays on all given devices. *)
+let prefix_survives ~prefix ~devices =
+  {
+    p_name =
+      Printf.sprintf "prefix %s survives on [%s]" (Prefix.to_string prefix)
+        (String.concat "," devices);
+    p_check =
+      (fun ~model:_ ~rib ~traffic:_ ->
+        let missing =
+          List.filter
+            (fun dev ->
+              not
+                (List.exists
+                   (fun (r : Route.t) ->
+                     String.equal r.Route.device dev
+                     && Prefix.equal r.Route.prefix prefix)
+                   rib))
+            devices
+        in
+        if missing = [] then None
+        else Some ("missing on " ^ String.concat "," missing));
+  }
+
+(** Load property: no link above the utilization bound. *)
+let no_overload ~max_util =
+  {
+    p_name = Printf.sprintf "no link above %.0f%%" (100. *. max_util);
+    p_check =
+      (fun ~model ~rib:_ ~traffic ->
+        let tr = Lazy.force traffic in
+        let over =
+          Traffic_sim.utilizations model tr
+          |> List.filter (fun (_, _, u) -> u > max_util)
+        in
+        if over = [] then None
+        else
+          Some
+            (Printf.sprintf "%d overloaded link(s), worst %s->%s"
+               (List.length over)
+               (let (a, _), _, _ = List.hd over in
+                a)
+               (let (_, b), _, _ = List.hd over in
+                b)));
+  }
+
+(* choose k elements out of a list (indices combinations) *)
+let rec combinations k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (combinations (k - 1) rest)
+        @ combinations k rest
+
+type scenario_result = {
+  sr_failures : failure list;
+  sr_violation : string option;
+}
+
+type result = {
+  kr_property : string;
+  kr_k : int;
+  kr_scenarios : int;
+  kr_violations : scenario_result list;
+}
+
+let candidate_failures ?(devices = true) ?(links = true) (model : Model.t) :
+    failure list =
+  let link_failures =
+    if not links then []
+    else
+      Topology.edges model.Model.topo
+      |> List.filter_map (fun (e : Topology.edge) ->
+             if String.compare e.Topology.src e.Topology.dst < 0 then
+               Some (Link_down (e.Topology.src, e.Topology.dst))
+             else None)
+      |> List.sort_uniq compare
+  in
+  let device_failures =
+    if not devices then []
+    else
+      Topology.device_names model.Model.topo
+      |> List.map (fun d -> Device_down d)
+  in
+  link_failures @ device_failures
+
+let apply_failures (model : Model.t) (fs : failure list) : Model.t =
+  let ops =
+    List.map
+      (function
+        | Link_down (a, b) -> Cp.Remove_link { ra = a; rb = b }
+        | Device_down d -> Cp.Remove_device d)
+      fs
+  in
+  fst (Model.apply_change_plan model (Cp.make "k-failure" ~topo_ops:ops))
+
+(** Check the property under all failure combinations of size 1..k.
+    [max_scenarios] caps the enumeration (sampled deterministically by
+    stride) to keep hyper-scale runs bounded. *)
+let check ?(max_scenarios = 500) ?(devices = false) ?(links = true)
+    (model : Model.t) ~(input_routes : Route.t list) ~(flows : Flow.t list)
+    ~(k : int) (prop : property) : result =
+  let singles = candidate_failures ~devices ~links model in
+  let all_scenarios =
+    List.concat_map (fun i -> combinations i singles) (List.init k (fun i -> i + 1))
+  in
+  let n = List.length all_scenarios in
+  let stride = max 1 (n / max_scenarios) in
+  let scenarios =
+    List.filteri (fun i _ -> i mod stride = 0) all_scenarios
+  in
+  let violations =
+    List.filter_map
+      (fun fs ->
+        let failed_model = apply_failures model fs in
+        let rib =
+          (Route_sim.run failed_model ~input_routes ()).Route_sim.rib
+        in
+        let traffic =
+          lazy (Traffic_sim.run failed_model ~rib ~flows ())
+        in
+        match prop.p_check ~model:failed_model ~rib ~traffic with
+        | None -> None
+        | Some reason -> Some { sr_failures = fs; sr_violation = Some reason })
+      scenarios
+  in
+  {
+    kr_property = prop.p_name;
+    kr_k = k;
+    kr_scenarios = List.length scenarios;
+    kr_violations = violations;
+  }

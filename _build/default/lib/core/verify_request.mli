@@ -1,0 +1,42 @@
+(** The change-verification pipeline (the blue boxes of the paper's
+    Figure 2): apply the change plan incrementally to the pre-computed
+    base model, simulate routes (and, lazily, traffic), verify the
+    formally specified intents, and report violations with concrete
+    counterexamples. *)
+
+open Hoyan_net
+
+type request = {
+  rq_name : string;
+  rq_plan : Hoyan_config.Change_plan.t;
+  rq_intents : Intents.t list;
+}
+
+type result = {
+  vr_request : string;
+  vr_ok : bool;  (** no violations and no plan-application warnings *)
+  vr_violations : Intents.violation list;
+  vr_plan_warnings : string list;
+      (** parse/delete errors from applying the plan — risk signals on
+          their own (Table 6 "incorrect commands") *)
+  vr_updated_model : Hoyan_sim.Model.t;
+  vr_base_rib : Route.t list;
+  vr_updated_rib : Route.t list;
+  vr_updated_traffic : Hoyan_sim.Traffic_sim.result Lazy.t;
+  vr_sim_seconds : float;
+}
+
+type sim_mode =
+  | Direct  (** in-process simulation *)
+  | Distributed of { servers : int; subtasks : int }
+      (** through the distributed framework (master/MQ/workers) *)
+
+(** Run one change-verification request against the pre-processed base.
+    Traffic simulation is forced only when a traffic-level intent is
+    present.  Prefixes in the plan's [cp_withdraw] are removed from the
+    inputs; [cp_new_routes] are added (new prefix announcement). *)
+val run : ?mode:sim_mode -> Preprocess.base -> request -> result
+
+(** Human-readable report (PASS/FAIL, warnings, violations with their
+    counterexamples). *)
+val report : result -> string

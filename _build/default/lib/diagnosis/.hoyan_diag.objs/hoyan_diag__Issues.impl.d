@@ -1,0 +1,1 @@
+lib/diagnosis/issues.ml: Option

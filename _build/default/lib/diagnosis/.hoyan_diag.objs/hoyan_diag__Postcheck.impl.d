@@ -1,0 +1,1 @@
+lib/diagnosis/postcheck.ml: Flow Hashtbl Hoyan_dist Hoyan_net Hoyan_sim Route Unix Validate

@@ -1,0 +1,1 @@
+lib/diagnosis/rootcause.ml: Float Flow Hoyan_monitor Hoyan_net Hoyan_sim Int List Printf Route String

@@ -1,0 +1,1 @@
+lib/diagnosis/validate.ml: Float Hashtbl Hoyan_monitor Hoyan_net List Option Prefix Route Topology

@@ -1,0 +1,1 @@
+lib/diagnosis/validate.mli: Hashtbl Hoyan_net Prefix Route Topology

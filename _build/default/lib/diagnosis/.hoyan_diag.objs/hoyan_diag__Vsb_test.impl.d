@@ -1,0 +1,1 @@
+lib/diagnosis/vsb_test.ml: Hoyan_config Hoyan_net Hoyan_sim Hoyan_workload List Prefix Rib Route

@@ -1,0 +1,51 @@
+(** Post-change validation (§6.2).
+
+    During the next-generation WAN rollout, operators use Hoyan's
+    simulation results as ground truth to validate the {e vendors'}
+    implementations: after a change executes, Hoyan simulates the updated
+    network and compares against the live network; any inconsistency
+    triggers a rollback.  Because the comparison gates the rollback
+    window, the simulation must complete within minutes — which is why
+    this path reuses the distributed framework.
+
+    The comparison itself is the accuracy validator (§5.1) pointed at the
+    post-change state. *)
+
+open Hoyan_net
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+
+type verdict = {
+  pc_consistent : bool; (* false => roll the change back *)
+  pc_report : Validate.report;
+  pc_sim_seconds : float;
+}
+
+(** Validate an executed change: simulate the updated model on the
+    post-change inputs and compare with what the monitoring systems now
+    see on the live network. *)
+let validate ?(distributed = false) ?(threshold = 0.10)
+    (updated_model : Model.t) ~(input_routes : Route.t list)
+    ~(flows : Flow.t list) ~(live_monitored_rib : Route.t list)
+    ~(live_monitored_loads : (string * string, float) Hashtbl.t) : verdict =
+  let t0 = Unix.gettimeofday () in
+  let rib =
+    if distributed then
+      let fw = Hoyan_dist.Framework.create updated_model in
+      (Hoyan_dist.Framework.run_route_phase ~subtasks:100 fw ~input_routes)
+        .Hoyan_dist.Framework.rp_rib
+    else (Route_sim.run updated_model ~input_routes ()).Route_sim.rib
+  in
+  let traffic = Traffic_sim.run updated_model ~rib ~flows () in
+  let report =
+    Validate.daily ~simulated_rib:rib ~monitored_rib:live_monitored_rib
+      ~topo:updated_model.Model.topo
+      ~simulated_loads:traffic.Traffic_sim.link_load
+      ~monitored_loads:live_monitored_loads ~threshold ()
+  in
+  {
+    pc_consistent = Validate.is_accurate report;
+    pc_report = report;
+    pc_sim_seconds = Unix.gettimeofday () -. t0;
+  }

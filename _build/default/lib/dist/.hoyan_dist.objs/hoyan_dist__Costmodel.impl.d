@@ -1,0 +1,1 @@
+lib/dist/costmodel.ml: Db

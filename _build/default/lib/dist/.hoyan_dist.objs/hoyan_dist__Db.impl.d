@@ -1,0 +1,1 @@
+lib/dist/db.ml: Hashtbl Hoyan_net Ip Printf

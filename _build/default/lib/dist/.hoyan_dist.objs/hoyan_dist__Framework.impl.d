@@ -1,0 +1,1 @@
+lib/dist/framework.ml: Costmodel Db Flow Hashtbl Hoyan_config Hoyan_net Hoyan_sim Ip List Map Mq Option Prefix Printf Random Route Schedule Split Storage String Unix

@@ -1,0 +1,1 @@
+lib/dist/framework.mli: Costmodel Db Flow Hashtbl Hoyan_net Hoyan_sim Mq Random Route Schedule Split Storage

@@ -1,0 +1,1 @@
+lib/dist/parallel.ml: Array Atomic Domain Hoyan_net Hoyan_sim List Split

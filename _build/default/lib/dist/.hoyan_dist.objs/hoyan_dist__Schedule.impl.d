@@ -1,0 +1,1 @@
+lib/dist/schedule.ml: Array Float List

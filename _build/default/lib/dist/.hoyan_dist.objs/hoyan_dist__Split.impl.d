@@ -1,0 +1,1 @@
+lib/dist/split.ml: Array Flow Hashtbl Hoyan_net Ip List Prefix Random Route

@@ -1,0 +1,1 @@
+lib/dist/split.mli: Flow Hoyan_net Ip Route

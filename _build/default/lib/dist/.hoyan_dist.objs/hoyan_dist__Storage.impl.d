@@ -1,0 +1,1 @@
+lib/dist/storage.ml: Flow Hashtbl Hoyan_net List Option Route

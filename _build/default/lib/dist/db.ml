@@ -1,0 +1,67 @@
+(** The subtask database (§3.2).
+
+    Working servers update each subtask's running status here; the master
+    monitors it and re-sends failed subtasks.  Route subtasks also record
+    the range of addresses covered by their input routes, which is what a
+    traffic subtask later consults to decide whether it depends on that
+    route subtask's RIB file. *)
+
+open Hoyan_net
+
+type status = Pending | Running | Done | Failed of string
+
+let status_to_string = function
+  | Pending -> "pending"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed m -> "failed: " ^ m
+
+type entry = {
+  mutable e_status : status;
+  mutable e_range : (Ip.t * Ip.t) option; (* route subtasks: covered range *)
+  mutable e_result_key : string option;
+  mutable e_attempts : int;
+  mutable e_duration_s : float; (* measured compute time of the last run *)
+  mutable e_io_bytes : int; (* bytes moved by the last run *)
+  mutable e_io_files : int;
+  mutable e_deps : string list; (* traffic subtasks: route results loaded *)
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+let register (t : t) id =
+  let e =
+    {
+      e_status = Pending;
+      e_range = None;
+      e_result_key = None;
+      e_attempts = 0;
+      e_duration_s = 0.;
+      e_io_bytes = 0;
+      e_io_files = 0;
+      e_deps = [];
+    }
+  in
+  Hashtbl.replace t id e;
+  e
+
+let find (t : t) id = Hashtbl.find_opt t id
+
+let find_exn (t : t) id =
+  match find t id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Db.find_exn: %s" id)
+
+let set_status (t : t) id status = (find_exn t id).e_status <- status
+
+let all (t : t) = Hashtbl.fold (fun id e acc -> (id, e) :: acc) t []
+
+let count_status (t : t) pred =
+  Hashtbl.fold (fun _ e n -> if pred e.e_status then n + 1 else n) t 0
+
+let all_done (t : t) =
+  Hashtbl.fold
+    (fun _ e ok -> ok && (match e.e_status with Done -> true | _ -> false))
+    t true

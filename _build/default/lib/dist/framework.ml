@@ -1,0 +1,425 @@
+(** The distributed simulation framework (Figure 3).
+
+    A simulation task is assigned to a master server, which splits the
+    inputs into disjoint subsets (subtasks), uploads each subtask's input
+    to the object store, and pushes a message per subtask into the MQ.
+    Working servers consume messages, load inputs, run the subtask with
+    the EC technique, update the subtask DB and write results back to the
+    store; the master monitors the DB and re-sends failed subtasks.
+
+    Subtasks are executed here on the calling thread, one after another,
+    with their compute time measured and their I/O accounted; the
+    multi-server end-to-end time is then obtained by replaying the
+    measured durations through {!Schedule} (see DESIGN.md §2 for why this
+    substitution preserves the paper's scalability behaviour).  A real
+    multicore execution path is provided by {!Parallel}. *)
+
+open Hoyan_net
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+module Smap = Map.Make (String)
+
+type t = {
+  storage : Storage.t;
+  mq : Mq.t;
+  db : Db.t;
+  model : Model.t;
+  snapshot : string;
+  fail_prob : float; (* injected worker failure probability *)
+  rng : Random.State.t;
+  max_attempts : int;
+}
+
+let create ?(fail_prob = 0.) ?(seed = 42) ?(snapshot = "base")
+    (model : Model.t) : t =
+  {
+    storage = Storage.create ();
+    mq = Mq.create ();
+    db = Db.create ();
+    model;
+    snapshot;
+    fail_prob;
+    rng = Random.State.make [| seed |];
+    max_attempts = 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Route simulation phase                                              *)
+(* ------------------------------------------------------------------ *)
+
+type route_phase = {
+  rp_subtasks : string list; (* subtask ids, in push order *)
+  rp_rib : Route.t list; (* merged global RIB (incl. local tables) *)
+  rp_durations : (string * float) list; (* measured compute seconds *)
+  rp_ec_inputs : int; (* ECs actually simulated *)
+  rp_total_inputs : int;
+}
+
+let range_of_rows (input_range : Ip.t * Ip.t) (rows : Route.t list) :
+    Ip.t * Ip.t =
+  (* widen the recorded input range with the result rows' prefixes, so
+     aggregate prefixes originated inside the subtask are covered too *)
+  List.fold_left
+    (fun (lo, hi) (r : Route.t) ->
+      let f = Prefix.first_addr r.Route.prefix
+      and l = Prefix.last_addr r.Route.prefix in
+      ( (if Ip.compare f lo < 0 then f else lo),
+        if Ip.compare l hi > 0 then l else hi ))
+    input_range rows
+
+(** Prefixes originated by network statements anywhere in the model:
+    input-independent, so they live in the shared base RIB file rather
+    than in every subtask's result (which would otherwise make every
+    subtask range cover the whole address space and defeat the ordering
+    heuristic). *)
+let network_prefixes (model : Model.t) : (Prefix.t, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Smap.iter
+    (fun _ (cfg : Hoyan_config.Types.t) ->
+      List.iter
+        (fun (p, _) -> Hashtbl.replace tbl p ())
+        cfg.Hoyan_config.Types.dc_bgp.Hoyan_config.Types.bgp_networks)
+    model.Model.configs;
+  tbl
+
+let base_rib_key = "route-base.rib"
+
+(** One worker step: consume a message and run the subtask.  Returns false
+    when the queue is empty. *)
+let route_worker_step (t : t) ~(use_ecs : bool)
+    ~(net_prefixes : (Prefix.t, unit) Hashtbl.t) : bool =
+  match Mq.pop t.mq with
+  | None -> false
+  | Some msg ->
+      let entry = Db.find_exn t.db msg.Mq.m_id in
+      entry.Db.e_status <- Db.Running;
+      entry.Db.e_attempts <- entry.Db.e_attempts + 1;
+      (* injected worker failure: the master will re-send *)
+      if
+        t.fail_prob > 0.
+        && Random.State.float t.rng 1.0 < t.fail_prob
+        && entry.Db.e_attempts < t.max_attempts
+      then begin
+        entry.Db.e_status <- Db.Failed "worker crashed";
+        (* master monitoring: resend *)
+        Mq.push t.mq { msg with Mq.m_attempt = msg.Mq.m_attempt + 1 };
+        true
+      end
+      else begin
+        match Storage.get t.storage ~key:msg.Mq.m_input_key with
+        | Some (Storage.O_routes inputs) ->
+            let t0 = Unix.gettimeofday () in
+            let res =
+              Route_sim.run ~use_ecs ~include_locals:false ~originate:false
+                t.model ~input_routes:inputs ()
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            let rows =
+              List.filter
+                (fun (r : Route.t) ->
+                  not (Hashtbl.mem net_prefixes r.Route.prefix))
+                res.Route_sim.rib
+            in
+            let result_key = msg.Mq.m_id ^ ".rib" in
+            Storage.put t.storage ~key:result_key (Storage.O_rib rows);
+            let input_range =
+              match entry.Db.e_range with
+              | Some r -> r
+              | None ->
+                  (Ip.zero Ip.Ipv4, Ip.zero Ip.Ipv4)
+            in
+            entry.Db.e_range <- Some (range_of_rows input_range rows);
+            entry.Db.e_result_key <- Some result_key;
+            entry.Db.e_duration_s <- dt;
+            entry.Db.e_io_bytes <-
+              List.length inputs * Storage.bytes_per_route;
+            entry.Db.e_io_files <- 1;
+            entry.Db.e_status <- Db.Done;
+            true
+        | _ ->
+            entry.Db.e_status <- Db.Failed "missing input object";
+            true
+      end
+
+(** Master + workers for the route phase (sequential execution with
+    measured durations). *)
+let run_route_phase ?(strategy = Split.Ordered) ?(subtasks = 100)
+    ?(use_ecs = true) (t : t) ~(input_routes : Route.t list) : route_phase =
+  (* master: prepare subtasks *)
+  let splits = Split.split_routes ~strategy ~subtasks input_routes in
+  let ids =
+    List.mapi
+      (fun i (routes, range) ->
+        let id = Printf.sprintf "route-%03d" i in
+        let input_key = id ^ ".in" in
+        Storage.put t.storage ~key:input_key (Storage.O_routes routes);
+        let entry = Db.register t.db id in
+        entry.Db.e_range <- Some range;
+        Mq.push t.mq
+          {
+            Mq.m_id = id;
+            m_kind = Mq.Route_subtask;
+            m_input_key = input_key;
+            m_snapshot = t.snapshot;
+            m_attempt = 1;
+          };
+        id)
+      splits
+  in
+  let net_prefixes = network_prefixes t.model in
+  (* workers drain the queue *)
+  while route_worker_step t ~use_ecs ~net_prefixes do
+    ()
+  done;
+  (* the shared base RIB: routes originated by network statements and
+     their propagation, independent of the input routes *)
+  let base_rows =
+    (Route_sim.run ~use_ecs ~include_locals:false t.model ~input_routes:[] ())
+      .Route_sim.rib
+  in
+  Storage.put t.storage ~key:base_rib_key (Storage.O_rib base_rows);
+  (* master: collect.  Locally originated rows (network statements and
+     their propagation) appear in every subtask's result because they do
+     not depend on the subtask's inputs; the master deduplicates when
+     merging. *)
+  let rib =
+    List.concat_map
+      (fun id ->
+        match (Db.find_exn t.db id).Db.e_result_key with
+        | Some key -> (
+            match Storage.get t.storage ~key with
+            | Some (Storage.O_rib rows) -> rows
+            | _ -> [])
+        | None -> [])
+      ids
+    |> List.rev_append base_rows
+    |> List.sort_uniq Route.compare
+  in
+  let locals =
+    Smap.fold
+      (fun _ rs acc -> List.rev_append rs acc)
+      t.model.Model.local_tables []
+  in
+  let durations =
+    List.map (fun id -> (id, (Db.find_exn t.db id).Db.e_duration_s)) ids
+  in
+  {
+    rp_subtasks = ids;
+    rp_rib = rib @ locals;
+    rp_durations = durations;
+    rp_ec_inputs = List.length input_routes;
+    rp_total_inputs = List.length input_routes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Traffic simulation phase                                            *)
+(* ------------------------------------------------------------------ *)
+
+type dep_mode =
+  | Deps_ordered (* load only overlapping route subtasks' RIB files *)
+  | Deps_all (* baseline: load every RIB file *)
+
+type traffic_phase = {
+  tp_subtasks : string list;
+  tp_link_load : (string * string, float) Hashtbl.t;
+  tp_flows : Storage.flow_summary list;
+  tp_durations : (string * float) list;
+  tp_loaded_fracs : (string * float) list;
+      (* fraction of RIB files each subtask loaded (Figure 5d) *)
+  tp_ec_count : int;
+}
+
+let traffic_worker_step (t : t) ~(route_ids : string list)
+    ~(dep_mode : dep_mode) ~(use_ecs : bool) : bool =
+  match Mq.pop t.mq with
+  | None -> false
+  | Some msg ->
+      let entry = Db.find_exn t.db msg.Mq.m_id in
+      entry.Db.e_status <- Db.Running;
+      entry.Db.e_attempts <- entry.Db.e_attempts + 1;
+      if
+        t.fail_prob > 0.
+        && Random.State.float t.rng 1.0 < t.fail_prob
+        && entry.Db.e_attempts < t.max_attempts
+      then begin
+        entry.Db.e_status <- Db.Failed "worker crashed";
+        Mq.push t.mq { msg with Mq.m_attempt = msg.Mq.m_attempt + 1 };
+        true
+      end
+      else begin
+        match Storage.get t.storage ~key:msg.Mq.m_input_key with
+        | Some (Storage.O_flows flows) ->
+            (* dependency resolution via the subtask DB ranges *)
+            let my_range = entry.Db.e_range in
+            let deps =
+              match dep_mode with
+              | Deps_all -> route_ids
+              | Deps_ordered ->
+                  List.filter
+                    (fun rid ->
+                      match ((Db.find_exn t.db rid).Db.e_range, my_range) with
+                      | Some rrange, Some frange ->
+                          Split.ranges_overlap frange rrange
+                      | _ -> true)
+                    route_ids
+            in
+            entry.Db.e_deps <- deps;
+            (* load dependent RIB files, plus the shared base RIB *)
+            let io_bytes = ref (List.length flows * Storage.bytes_per_flow) in
+            let base_rows =
+              match Storage.get t.storage ~key:base_rib_key with
+              | Some (Storage.O_rib rows) ->
+                  (match Storage.size_of t.storage ~key:base_rib_key with
+                  | Some sz -> io_bytes := !io_bytes + sz
+                  | None -> ());
+                  rows
+              | _ -> []
+            in
+            let rib =
+              base_rows
+              @ List.concat_map
+                  (fun rid ->
+                    match (Db.find_exn t.db rid).Db.e_result_key with
+                    | Some key -> (
+                        (match Storage.size_of t.storage ~key with
+                        | Some sz -> io_bytes := !io_bytes + sz
+                        | None -> ());
+                        match Storage.get t.storage ~key with
+                        | Some (Storage.O_rib rows) -> rows
+                        | _ -> [])
+                    | None -> [])
+                  deps
+            in
+            let locals =
+              Smap.fold
+                (fun _ rs acc -> List.rev_append rs acc)
+                t.model.Model.local_tables []
+            in
+            let t0 = Unix.gettimeofday () in
+            let res =
+              Traffic_sim.run ~use_ecs t.model ~rib:(rib @ locals) ~flows ()
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            let flow_summaries =
+              List.map
+                (fun (fr : Traffic_sim.flow_result) ->
+                  {
+                    Storage.fs_flow = fr.Traffic_sim.f_flow;
+                    fs_paths =
+                      List.map
+                        (fun (p : Traffic_sim.path) ->
+                          { Storage.fp_hops = p.Traffic_sim.hops;
+                            fp_fraction = p.Traffic_sim.fraction })
+                        fr.Traffic_sim.f_paths;
+                    fs_delivered = fr.Traffic_sim.f_delivered;
+                    fs_dropped = fr.Traffic_sim.f_dropped;
+                    fs_looped = fr.Traffic_sim.f_looped;
+                  })
+                res.Traffic_sim.flow_results
+            in
+            let loads =
+              Hashtbl.fold
+                (fun k v acc -> (k, v) :: acc)
+                res.Traffic_sim.link_load []
+            in
+            let result_key = msg.Mq.m_id ^ ".out" in
+            Storage.put t.storage ~key:result_key
+              (Storage.O_traffic { t_loads = loads; t_flows = flow_summaries });
+            entry.Db.e_result_key <- Some result_key;
+            entry.Db.e_duration_s <- dt;
+            entry.Db.e_io_bytes <- !io_bytes;
+            entry.Db.e_io_files <- 2 + List.length deps;
+            entry.Db.e_status <- Db.Done;
+            true
+        | _ ->
+            entry.Db.e_status <- Db.Failed "missing input object";
+            true
+      end
+
+let run_traffic_phase ?(strategy = Split.Ordered) ?(subtasks = 128)
+    ?(dep_mode = Deps_ordered) ?(use_ecs = true) (t : t)
+    ~(route_phase : route_phase) ~(flows : Flow.t list) : traffic_phase =
+  let route_ids = route_phase.rp_subtasks in
+  let splits = Split.split_flows ~strategy ~subtasks flows in
+  let ids =
+    List.mapi
+      (fun i (fs, range) ->
+        let id = Printf.sprintf "traffic-%03d" i in
+        let input_key = id ^ ".in" in
+        Storage.put t.storage ~key:input_key (Storage.O_flows fs);
+        let entry = Db.register t.db id in
+        entry.Db.e_range <- Some range;
+        Mq.push t.mq
+          {
+            Mq.m_id = id;
+            m_kind = Mq.Traffic_subtask;
+            m_input_key = input_key;
+            m_snapshot = t.snapshot;
+            m_attempt = 1;
+          };
+        id)
+      splits
+  in
+  while traffic_worker_step t ~route_ids ~dep_mode ~use_ecs do
+    ()
+  done;
+  (* master: aggregate loads across subtasks, collect flows *)
+  let link_load = Hashtbl.create 1024 in
+  let all_flows = ref [] in
+  let ec_total = ref 0 in
+  List.iter
+    (fun id ->
+      match (Db.find_exn t.db id).Db.e_result_key with
+      | Some key -> (
+          match Storage.get t.storage ~key with
+          | Some (Storage.O_traffic { t_loads; t_flows }) ->
+              List.iter
+                (fun (k, v) ->
+                  let cur =
+                    Option.value (Hashtbl.find_opt link_load k) ~default:0.
+                  in
+                  Hashtbl.replace link_load k (cur +. v))
+                t_loads;
+              all_flows := List.rev_append t_flows !all_flows;
+              incr ec_total
+          | _ -> ())
+      | None -> ())
+    ids;
+  let n_route = float_of_int (List.length route_ids) in
+  let loaded_fracs =
+    List.map
+      (fun id ->
+        ( id,
+          float_of_int (List.length (Db.find_exn t.db id).Db.e_deps) /. n_route
+        ))
+      ids
+  in
+  {
+    tp_subtasks = ids;
+    tp_link_load = link_load;
+    tp_flows = !all_flows;
+    tp_durations =
+      List.map (fun id -> (id, (Db.find_exn t.db id).Db.e_duration_s)) ids;
+    tp_loaded_fracs = loaded_fracs;
+    tp_ec_count = !ec_total;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end time via the schedule replay                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Effective per-subtask wall times (compute + modelled I/O) of a list of
+    subtask ids. *)
+let effective_times ?(cost = Costmodel.default) (t : t) ids =
+  List.map (fun id -> Costmodel.subtask_time cost (Db.find_exn t.db id)) ids
+
+(** End-to-end time on [servers] workers for the given subtasks, including
+    the master's preparation time. *)
+let phase_time ?(cost = Costmodel.default) ?(policy = Schedule.Fifo) (t : t)
+    ~servers ids =
+  let times = effective_times ~cost t ids in
+  let prep =
+    float_of_int (List.length ids) *. cost.Costmodel.master_prep_per_subtask_s
+  in
+  prep +. fst (Schedule.makespan ~policy ~servers times)

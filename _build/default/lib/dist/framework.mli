@@ -1,0 +1,94 @@
+(** The distributed simulation framework (paper Figure 3).
+
+    A master splits the inputs into subtasks, uploads each subtask's
+    input to the object store and pushes one message per subtask into the
+    MQ; workers consume messages, simulate, record status in the subtask
+    DB and write result files back.  Failed subtasks are re-sent.
+
+    Subtasks execute on the calling thread with their compute time
+    measured; multi-server end-to-end times come from replaying the
+    measured durations through {!Schedule} (see DESIGN.md §2).  A genuine
+    multicore path lives in {!Parallel}. *)
+
+open Hoyan_net
+
+type t = {
+  storage : Storage.t;
+  mq : Mq.t;
+  db : Db.t;
+  model : Hoyan_sim.Model.t;
+  snapshot : string;
+  fail_prob : float;
+  rng : Random.State.t;
+  max_attempts : int;
+}
+
+(** [create model] builds a framework instance.  [fail_prob] injects
+    worker crashes (each subtask attempt fails with this probability,
+    retried up to 3 times); [snapshot] names the network snapshot in the
+    subtask messages. *)
+val create :
+  ?fail_prob:float -> ?seed:int -> ?snapshot:string -> Hoyan_sim.Model.t -> t
+
+(** Key of the shared base RIB file (network-statement routes and their
+    propagation; independent of the subtask inputs). *)
+val base_rib_key : string
+
+type route_phase = {
+  rp_subtasks : string list;  (** subtask ids, in push order *)
+  rp_rib : Route.t list;  (** merged global RIB (incl. local tables) *)
+  rp_durations : (string * float) list;  (** measured compute seconds *)
+  rp_ec_inputs : int;
+  rp_total_inputs : int;
+}
+
+(** Master + workers for the route phase.  [strategy] picks the input
+    ordering (the paper's ordering heuristic or the random baseline);
+    [subtasks] is the split width (paper: 100). *)
+val run_route_phase :
+  ?strategy:Split.strategy ->
+  ?subtasks:int ->
+  ?use_ecs:bool ->
+  t ->
+  input_routes:Route.t list ->
+  route_phase
+
+type dep_mode =
+  | Deps_ordered  (** load only overlapping route subtasks' RIB files *)
+  | Deps_all  (** baseline: load every RIB file *)
+
+type traffic_phase = {
+  tp_subtasks : string list;
+  tp_link_load : (string * string, float) Hashtbl.t;
+  tp_flows : Storage.flow_summary list;
+  tp_durations : (string * float) list;
+  tp_loaded_fracs : (string * float) list;
+      (** fraction of RIB files each subtask loaded (Figure 5d) *)
+  tp_ec_count : int;
+}
+
+(** Master + workers for the traffic phase, consuming a completed route
+    phase's result files (dependencies resolved through the subtask DB's
+    recorded ranges; paper: 128 subtasks). *)
+val run_traffic_phase :
+  ?strategy:Split.strategy ->
+  ?subtasks:int ->
+  ?dep_mode:dep_mode ->
+  ?use_ecs:bool ->
+  t ->
+  route_phase:route_phase ->
+  flows:Flow.t list ->
+  traffic_phase
+
+(** Effective wall times (measured compute + modelled I/O) of subtasks. *)
+val effective_times : ?cost:Costmodel.t -> t -> string list -> float list
+
+(** End-to-end phase time on [servers] workers (MQ schedule replay plus
+    the master's preparation time). *)
+val phase_time :
+  ?cost:Costmodel.t ->
+  ?policy:Schedule.policy ->
+  t ->
+  servers:int ->
+  string list ->
+  float

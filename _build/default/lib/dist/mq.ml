@@ -1,0 +1,39 @@
+(** The message queue between the master and the working servers (§3.2).
+
+    The master pushes one message per subtask (its metadata plus a
+    reference to the subtask's input file on the object store); each
+    message is consumed by exactly one working server listening on the
+    queue.  Failed subtasks are re-queued by the master. *)
+
+type kind = Route_subtask | Traffic_subtask
+
+let kind_to_string = function
+  | Route_subtask -> "route"
+  | Traffic_subtask -> "traffic"
+
+type message = {
+  m_id : string; (* subtask id, also the DB key *)
+  m_kind : kind;
+  m_input_key : string; (* input file on the object store *)
+  m_snapshot : string; (* network snapshot reference *)
+  m_attempt : int;
+}
+
+type t = { q : message Queue.t; mutable pushed : int; mutable consumed : int }
+
+let create () = { q = Queue.create (); pushed = 0; consumed = 0 }
+
+let push (t : t) (m : message) =
+  Queue.push m t.q;
+  t.pushed <- t.pushed + 1
+
+let pop (t : t) : message option =
+  match Queue.take_opt t.q with
+  | Some m ->
+      t.consumed <- t.consumed + 1;
+      Some m
+  | None -> None
+
+let length (t : t) = Queue.length t.q
+
+let is_empty (t : t) = Queue.is_empty t.q

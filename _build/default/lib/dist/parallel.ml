@@ -1,0 +1,69 @@
+(** Real multicore execution of subtasks (OCaml 5 domains).
+
+    The deterministic scheduler ({!Schedule}) is what the benchmarks use
+    to obtain multi-server curves; this module additionally provides a
+    {e real} parallel executor so the framework can be exercised with
+    genuinely concurrent workers on one machine.  The compiled model is
+    read-only during simulation, so workers share it; the work list is
+    distributed via an atomic index. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(** Parallel map preserving order.  [f] must only read shared state. *)
+let map ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
+    'b list =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (f arr.(i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned =
+        List.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      List.iter Domain.join spawned;
+      Array.to_list results
+      |> List.map (function Some v -> v | None -> assert false)
+
+(** Run the route subtasks of a split in parallel and return the merged
+    global RIB (plus local tables).  Equivalent to
+    {!Framework.run_route_phase} but with real concurrency; used by the
+    distributed-vs-centralized equivalence tests and the parallel bench. *)
+let route_phase_rib ?(domains = default_domains ()) ?(use_ecs = true)
+    ?(strategy = Split.Ordered) ?(subtasks = 32)
+    (model : Hoyan_sim.Model.t) ~(input_routes : Hoyan_net.Route.t list) :
+    Hoyan_net.Route.t list =
+  let splits = Split.split_routes ~strategy ~subtasks input_routes in
+  let base_rows =
+    (Hoyan_sim.Route_sim.run ~use_ecs ~include_locals:false model
+       ~input_routes:[] ())
+      .Hoyan_sim.Route_sim.rib
+  in
+  let ribs =
+    base_rows
+    :: map ~domains
+         (fun (routes, _range) ->
+           (Hoyan_sim.Route_sim.run ~use_ecs ~include_locals:false
+              ~originate:false model ~input_routes:routes ())
+             .Hoyan_sim.Route_sim.rib)
+         splits
+  in
+  let locals =
+    Hoyan_sim.Model.Smap.fold
+      (fun _ rs acc -> List.rev_append rs acc)
+      model.Hoyan_sim.Model.local_tables []
+  in
+  (List.concat ribs |> List.sort_uniq Hoyan_net.Route.compare) @ locals

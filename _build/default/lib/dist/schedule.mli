@@ -1,0 +1,22 @@
+(** Deterministic multi-server schedule replay.
+
+    The distributed framework's end-to-end time on S workers is the
+    makespan of its subtasks under message-queue semantics (idle workers
+    pull the next message).  Replaying the {e measured} per-subtask
+    durations through this scheduler yields the Figure-5 curves without
+    S physical servers, and shows the diminishing returns the paper
+    attributes to subtask skew (Figure 5c). *)
+
+type policy =
+  | Fifo  (** message-queue order, as in production *)
+  | Lpt  (** longest-processing-time first (ablation) *)
+
+(** [makespan ~servers durations] replays the queue; returns the makespan
+    and each server's busy time. *)
+val makespan : ?policy:policy -> servers:int -> float list -> float * float array
+
+(** Makespan for each server count. *)
+val sweep : ?policy:policy -> counts:int list -> float list -> (int * float) list
+
+(** Empirical CDF points: sorted values with cumulative fractions. *)
+val cdf : float list -> (float * float) list

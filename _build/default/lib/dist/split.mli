@@ -1,0 +1,36 @@
+(** Input splitting and the ordering heuristic (paper §3.2).
+
+    Route inputs are ordered by the last address of the prefix and split
+    into contiguous subsets balanced by route count (same-prefix routes
+    stay together); flows are ordered by destination address.  Because
+    both sides follow the same order, a traffic subtask's destination
+    range overlaps only a few route subtasks' covered ranges — so its
+    worker loads only those RIB files.  [Random] is the paper's
+    comparison baseline (Figure 5d): random partitions depend on
+    essentially every RIB file. *)
+
+open Hoyan_net
+
+type strategy = Ordered | Random of int  (** seed *)
+
+(** Split input routes into at most [subtasks] subsets; each comes with
+    the address range its prefixes cover (recorded in the subtask DB for
+    the dependency test). *)
+val split_routes :
+  strategy:strategy ->
+  subtasks:int ->
+  Route.t list ->
+  (Route.t list * (Ip.t * Ip.t)) list
+
+(** Split input flows, each subset with its destination-address range. *)
+val split_flows :
+  strategy:strategy ->
+  subtasks:int ->
+  Flow.t list ->
+  (Flow.t list * (Ip.t * Ip.t)) list
+
+(** The dependency test: do the two closed ranges intersect?  Sound: a
+    flow can only match a route whose prefix covers its destination, and
+    such a prefix's [first,last] interval lies inside its subtask's
+    recorded range (property-tested in the suite). *)
+val ranges_overlap : Ip.t * Ip.t -> Ip.t * Ip.t -> bool

@@ -1,0 +1,83 @@
+(** The cloud object storage used by the distributed framework (§3.2).
+
+    Each subtask's input is uploaded as a separate file; workers load
+    their inputs (and, for traffic subtasks, the RIB result files of the
+    route subtasks they depend on) and write their results back.  In this
+    reproduction the store is in-memory but all transfers are accounted in
+    bytes so the cost model can convert them into simulated I/O time —
+    which is exactly what the ordering heuristic of §3.2 optimizes. *)
+
+open Hoyan_net
+
+(** A delivered flow path with the volume fraction taking it. *)
+type flow_path = { fp_hops : string list; fp_fraction : float }
+
+type flow_summary = {
+  fs_flow : Flow.t;
+  fs_paths : flow_path list;
+  fs_delivered : float;
+  fs_dropped : float;
+  fs_looped : float;
+}
+
+type obj =
+  | O_routes of Route.t list (* a route subtask's input *)
+  | O_flows of Flow.t list (* a traffic subtask's input *)
+  | O_rib of Route.t list (* a route subtask's result (RIB rows) *)
+  | O_traffic of {
+      t_loads : ((string * string) * float) list;
+      t_flows : flow_summary list;
+    }
+
+(* Approximate serialized sizes, for I/O accounting. *)
+let bytes_per_route = 150
+let bytes_per_flow = 60
+let bytes_per_load_entry = 40
+
+let obj_size = function
+  | O_routes rs | O_rib rs -> List.length rs * bytes_per_route
+  | O_flows fs -> List.length fs * bytes_per_flow
+  | O_traffic { t_loads; t_flows } ->
+      (List.length t_loads * bytes_per_load_entry)
+      + List.fold_left
+          (fun n (f : flow_summary) ->
+            n + bytes_per_flow + (List.length f.fs_paths * 32))
+          0 t_flows
+
+type stats = {
+  mutable bytes_written : int;
+  mutable bytes_read : int;
+  mutable files_written : int;
+  mutable files_read : int;
+}
+
+type t = { objects : (string, obj) Hashtbl.t; stats : stats }
+
+let create () =
+  {
+    objects = Hashtbl.create 256;
+    stats =
+      { bytes_written = 0; bytes_read = 0; files_written = 0; files_read = 0 };
+  }
+
+let put (t : t) ~key (o : obj) =
+  Hashtbl.replace t.objects key o;
+  t.stats.bytes_written <- t.stats.bytes_written + obj_size o;
+  t.stats.files_written <- t.stats.files_written + 1
+
+let get (t : t) ~key : obj option =
+  match Hashtbl.find_opt t.objects key with
+  | Some o ->
+      t.stats.bytes_read <- t.stats.bytes_read + obj_size o;
+      t.stats.files_read <- t.stats.files_read + 1;
+      Some o
+  | None -> None
+
+let size_of (t : t) ~key =
+  Option.map obj_size (Hashtbl.find_opt t.objects key)
+
+let mem (t : t) ~key = Hashtbl.mem t.objects key
+
+let keys (t : t) = Hashtbl.fold (fun k _ acc -> k :: acc) t.objects []
+
+let stats (t : t) = t.stats

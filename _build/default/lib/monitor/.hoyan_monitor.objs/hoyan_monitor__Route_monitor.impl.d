@@ -1,0 +1,1 @@
+lib/monitor/route_monitor.ml: Faults Hoyan_net List Prefix Route String

@@ -1,0 +1,1 @@
+lib/monitor/route_monitor.mli: Faults Hoyan_net Prefix Route

@@ -1,0 +1,1 @@
+lib/monitor/topo_monitor.ml: Faults Hoyan_net List Topology

@@ -1,0 +1,1 @@
+lib/monitor/traffic_monitor.ml: Faults Flow Hashtbl Hoyan_net List Random String

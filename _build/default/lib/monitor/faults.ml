@@ -1,0 +1,32 @@
+(** Injectable monitoring faults.
+
+    The accuracy-diagnosis experiments (§5, Table 4) inject these fault
+    classes into the monitoring pipeline and check that Hoyan's daily
+    cross-validation detects them.  Each constructor corresponds to a
+    Table-4 issue class observed in production. *)
+
+type t =
+  | Agent_down of string
+      (** Route-monitoring agent of a device failed: no routes collected
+          from it (Table 4 row 1, "route monitoring data"). *)
+  | Netflow_volume_bug of string * float
+      (** The device's NetFlow implementation reports volumes scaled by
+          the factor (row 2, "traffic monitoring data"). *)
+  | Flow_record_loss of string * float
+      (** Fraction of flow records from the device lost (row 2). *)
+  | Stale_link of string * string
+      (** The topology management system still reports a link that no
+          longer exists — or misses one, see {!Missing_link} (row 3). *)
+  | Missing_link of string * string
+      (** A live link absent from the reported topology (row 3). *)
+  | Snmp_counter_stuck of string * string
+      (** The SNMP load counter of the (src, dst) link reports zero
+          (row 1/2 style monitoring defect). *)
+
+let to_string = function
+  | Agent_down d -> Printf.sprintf "agent-down(%s)" d
+  | Netflow_volume_bug (d, f) -> Printf.sprintf "netflow-volume(%s,x%.2f)" d f
+  | Flow_record_loss (d, f) -> Printf.sprintf "flow-loss(%s,%.0f%%)" d (100. *. f)
+  | Stale_link (a, b) -> Printf.sprintf "stale-link(%s-%s)" a b
+  | Missing_link (a, b) -> Printf.sprintf "missing-link(%s-%s)" a b
+  | Snmp_counter_stuck (a, b) -> Printf.sprintf "snmp-stuck(%s->%s)" a b

@@ -1,0 +1,24 @@
+(** The topology monitoring system, with stale-data defects (Table 4
+    row 3: "topology data inconsistent with the live network due to
+    failures in the network"). *)
+
+open Hoyan_net
+
+type t = { faults : Faults.t list }
+
+let create ?(faults = []) () = { faults }
+
+(** The topology as the monitoring system reports it. *)
+let observe (t : t) (live : Topology.t) : Topology.t =
+  List.fold_left
+    (fun topo f ->
+      match f with
+      | Faults.Missing_link (a, b) -> Topology.remove_link topo ~a ~b
+      | Faults.Stale_link (a, b) ->
+          (* report a link that is gone on the live network *)
+          Topology.add_link topo ~a ~a_if:"stale0" ~b ~b_if:"stale0"
+            ~bandwidth:100e9
+      | Faults.Agent_down _ | Faults.Netflow_volume_bug _
+      | Faults.Flow_record_loss _ | Faults.Snmp_counter_stuck _ ->
+          topo)
+    live t.faults

@@ -1,0 +1,72 @@
+(** The traffic monitoring system (§2.1): NetFlow/sFlow flow records and
+    SNMP per-link load counters, with injectable defects. *)
+
+open Hoyan_net
+
+type flow_record = {
+  fr_flow : Flow.t;
+  fr_device : string; (* reporting device *)
+  fr_volume : float; (* measured bits per second (possibly wrong) *)
+}
+
+type t = { faults : Faults.t list; seed : int }
+
+let create ?(faults = []) ?(seed = 7) () = { faults; seed }
+
+let volume_factor (t : t) dev =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | Faults.Netflow_volume_bug (d, factor) when String.equal d dev ->
+          acc *. factor
+      | _ -> acc)
+    1.0 t.faults
+
+let loss_fraction (t : t) dev =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | Faults.Flow_record_loss (d, frac) when String.equal d dev ->
+          max acc frac
+      | _ -> acc)
+    0.0 t.faults
+
+(** NetFlow/sFlow records: each flow is reported by its ingress device
+    with its measured volume (subject to volume bugs and record loss). *)
+let observe_flows (t : t) (flows : Flow.t list) : flow_record list =
+  let st = Random.State.make [| t.seed |] in
+  List.filter_map
+    (fun (f : Flow.t) ->
+      let dev = f.Flow.ingress in
+      let lost = Random.State.float st 1.0 < loss_fraction t dev in
+      if lost then None
+      else
+        Some
+          {
+            fr_flow = f;
+            fr_device = dev;
+            fr_volume =
+              f.Flow.volume *. float_of_int f.Flow.population
+              *. volume_factor t dev;
+          })
+    flows
+
+(** SNMP link loads (bits per second per directed link), from the live
+    network's true loads. *)
+let observe_link_loads (t : t)
+    (true_loads : (string * string, float) Hashtbl.t) :
+    (string * string, float) Hashtbl.t =
+  let out = Hashtbl.create (Hashtbl.length true_loads) in
+  Hashtbl.iter
+    (fun (src, dst) load ->
+      let stuck =
+        List.exists
+          (function
+            | Faults.Snmp_counter_stuck (a, b) ->
+                String.equal a src && String.equal b dst
+            | _ -> false)
+          t.faults
+      in
+      Hashtbl.replace out (src, dst) (if stuck then 0. else load))
+    true_loads;
+  out

@@ -1,0 +1,1 @@
+lib/net/as_path.mli: Format

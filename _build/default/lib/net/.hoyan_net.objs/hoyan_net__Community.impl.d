@@ -1,0 +1,1 @@
+lib/net/community.ml: Format Int List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/net/int128.ml: Format Int64 Printf

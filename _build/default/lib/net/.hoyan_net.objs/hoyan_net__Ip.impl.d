@@ -1,0 +1,1 @@
+lib/net/ip.ml: Array Format Int Int128 Int64 List Printf String

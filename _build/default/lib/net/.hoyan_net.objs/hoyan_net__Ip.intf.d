@@ -1,0 +1,1 @@
+lib/net/ip.mli: Format Int128

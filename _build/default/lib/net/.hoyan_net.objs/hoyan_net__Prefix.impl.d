@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Format Int Int128 Ip Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/net/rib.ml: Hashtbl List Option Prefix Route String

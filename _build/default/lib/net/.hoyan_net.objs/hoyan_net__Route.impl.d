@@ -1,0 +1,1 @@
+lib/net/route.ml: As_path Community Format Int Ip List Option Prefix Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/net/route.mli: As_path Community Format Ip Prefix

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Fun Ip List Map Option Printf String

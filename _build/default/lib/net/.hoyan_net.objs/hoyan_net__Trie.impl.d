@@ -1,0 +1,1 @@
+lib/net/trie.ml: Int128 Ip List Option Prefix

@@ -1,0 +1,1 @@
+lib/net/trie.mli: Ip Prefix

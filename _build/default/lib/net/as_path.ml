@@ -1,0 +1,149 @@
+(** BGP AS paths.
+
+    An AS path is a list of segments; a segment is either an ordered
+    [Seq]uence of ASNs or an unordered [Set] (produced by route aggregation
+    with AS-set).  The path length used by the decision process counts a
+    whole set segment as one hop. *)
+
+type segment = Seq of int list | Set of int list
+
+type t = segment list
+
+let empty : t = []
+
+let of_asns asns : t = match asns with [] -> [] | _ -> [ Seq asns ]
+
+let is_empty = function
+  | [] -> true
+  | segs ->
+      List.for_all (function Seq [] -> true | Set [] -> true | _ -> false) segs
+
+(** Hop count for best-path selection: each ASN in a sequence counts 1,
+    each set segment counts 1 in total. *)
+let length (t : t) =
+  List.fold_left
+    (fun n seg ->
+      match seg with Seq l -> n + List.length l | Set _ -> n + 1)
+    0 t
+
+(** All ASNs appearing anywhere in the path. *)
+let asns (t : t) =
+  List.concat_map (function Seq l -> l | Set l -> l) t
+
+let contains_asn asn t = List.mem asn (asns t)
+
+(** Prepend an ASN (standard eBGP export behaviour). *)
+let prepend asn (t : t) : t =
+  match t with
+  | Seq l :: rest -> Seq (asn :: l) :: rest
+  | _ -> Seq [ asn ] :: t
+
+(** Prepend the same ASN [n] times (path prepending policy action). *)
+let prepend_n asn n t =
+  let rec go n t = if n <= 0 then t else go (n - 1) (prepend asn t) in
+  go n t
+
+let equal_segment a b =
+  match (a, b) with
+  | Seq x, Seq y -> List.equal Int.equal x y
+  | Set x, Set y ->
+      List.equal Int.equal
+        (List.sort_uniq Int.compare x)
+        (List.sort_uniq Int.compare y)
+  | Seq _, Set _ | Set _, Seq _ -> false
+
+let equal (a : t) (b : t) = List.equal equal_segment a b
+
+let compare_segment a b =
+  match (a, b) with
+  | Seq x, Seq y -> List.compare Int.compare x y
+  | Set x, Set y ->
+      List.compare Int.compare
+        (List.sort_uniq Int.compare x)
+        (List.sort_uniq Int.compare y)
+  | Seq _, Set _ -> -1
+  | Set _, Seq _ -> 1
+
+let compare (a : t) (b : t) = List.compare compare_segment a b
+
+(** Rendering used for policy regex matching: ASNs separated by single
+    spaces; set segments in braces, e.g. ["100 200 {300,400}"]. *)
+let to_string (t : t) =
+  t
+  |> List.map (function
+       | Seq l -> String.concat " " (List.map string_of_int l)
+       | Set l ->
+           "{" ^ String.concat "," (List.map string_of_int l) ^ "}")
+  |> List.concat_map (fun s -> if s = "" then [] else [ s ])
+  |> String.concat " "
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then Some empty
+  else
+    let toks = String.split_on_char ' ' s |> List.filter (fun x -> x <> "") in
+    let rec go acc seq = function
+      | [] ->
+          let acc = if seq = [] then acc else Seq (List.rev seq) :: acc in
+          Some (List.rev acc)
+      | tok :: rest ->
+          if String.length tok >= 2 && tok.[0] = '{' then
+            let inner = String.sub tok 1 (String.length tok - 2) in
+            let members =
+              String.split_on_char ',' inner |> List.filter_map int_of_string_opt
+            in
+            let acc = if seq = [] then acc else Seq (List.rev seq) :: acc in
+            go (Set members :: acc) [] rest
+          else (
+            match int_of_string_opt tok with
+            | Some asn -> go acc (asn :: seq) rest
+            | None -> None)
+    in
+    go [] [] toks
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(** Common-prefix of a list of paths as a flat ASN sequence.  Used by route
+    aggregation without AS-set: some vendors put the common AS-path prefix
+    of the aggregated routes on the aggregate (VSB "common AS path prefix",
+    Table 5), others emit an empty path. *)
+let common_prefix (paths : t list) : int list =
+  let flats = List.map asns paths in
+  match flats with
+  | [] -> []
+  | first :: rest ->
+      let rec common acc = function
+        | [] -> List.rev acc
+        | x :: xs ->
+            if
+              List.for_all
+                (fun l ->
+                  match List.nth_opt l (List.length acc) with
+                  | Some y -> y = x
+                  | None -> false)
+                rest
+            then common (x :: acc) xs
+            else List.rev acc
+      in
+      common [] first
+
+(** Aggregate with AS-set: the common prefix followed by a set of the
+    remaining ASNs, per standard BGP aggregation. *)
+let aggregate_with_set (paths : t list) : t =
+  let cp = common_prefix paths in
+  let rest =
+    List.concat_map
+      (fun p ->
+        let flat = asns p in
+        let rec drop n l =
+          if n = 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+        in
+        drop (List.length cp) flat)
+      paths
+    |> List.sort_uniq Int.compare
+  in
+  match (cp, rest) with
+  | [], [] -> []
+  | cp, [] -> [ Seq cp ]
+  | [], rest -> [ Set rest ]
+  | cp, rest -> [ Seq cp; Set rest ]

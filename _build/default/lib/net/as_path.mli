@@ -1,0 +1,49 @@
+(** BGP AS paths: lists of segments, where a segment is an ordered
+    [Seq]uence of ASNs or an unordered [Set] (from aggregation with
+    AS-set). *)
+
+type segment = Seq of int list | Set of int list
+
+type t = segment list
+
+val empty : t
+
+val of_asns : int list -> t
+
+val is_empty : t -> bool
+
+(** Hop count for best-path selection: ASNs in a sequence count 1 each,
+    a whole set segment counts 1. *)
+val length : t -> int
+
+(** Every ASN appearing anywhere in the path. *)
+val asns : t -> int list
+
+val contains_asn : int -> t -> bool
+
+(** Standard eBGP export prepend. *)
+val prepend : int -> t -> t
+
+(** Policy-driven prepending of the same ASN [n] times. *)
+val prepend_n : int -> int -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** The rendering policies regex-match against: space-separated ASNs,
+    set segments in braces (e.g. ["100 200 {300,400}"]). *)
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** Common flat prefix of the paths — what some vendors put on an
+    aggregate created without AS-set (Table 5, "common AS path
+    prefix"). *)
+val common_prefix : t list -> int list
+
+(** Standard aggregation with AS-set: the common prefix followed by a set
+    of the remaining ASNs. *)
+val aggregate_with_set : t list -> t

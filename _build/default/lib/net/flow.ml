@@ -1,0 +1,47 @@
+(** Flows: the unit of traffic simulation.
+
+    A flow is a 5-tuple plus its ingress device and traffic volume.  In
+    production Hoyan simulates O(10^9) flows; here a flow record may also
+    stand for a {e population} of identical-forwarding flows via the
+    [population] count, which is how the generators represent billions of
+    flows without materializing them (see DESIGN.md §2). *)
+
+type t = {
+  src : Ip.t;
+  dst : Ip.t;
+  sport : int;
+  dport : int;
+  ip_proto : int; (* 6 = TCP, 17 = UDP, ... *)
+  ingress : string; (* device where the flow enters the WAN *)
+  volume : float; (* bits per second *)
+  population : int; (* number of concrete flows this record stands for *)
+}
+
+let make ~src ~dst ~ingress ?(sport = 0) ?(dport = 0) ?(ip_proto = 6)
+    ?(volume = 0.) ?(population = 1) () =
+  { src; dst; sport; dport; ip_proto; ingress; volume; population }
+
+let equal a b =
+  Ip.equal a.src b.src && Ip.equal a.dst b.dst && a.sport = b.sport
+  && a.dport = b.dport && a.ip_proto = b.ip_proto
+  && String.equal a.ingress b.ingress
+  && Float.equal a.volume b.volume
+  && a.population = b.population
+
+let compare a b =
+  let c = Ip.compare a.dst b.dst in
+  if c <> 0 then c
+  else
+    let c = Ip.compare a.src b.src in
+    if c <> 0 then c
+    else
+      let c = String.compare a.ingress b.ingress in
+      if c <> 0 then c
+      else Stdlib.compare (a.sport, a.dport, a.ip_proto) (b.sport, b.dport, b.ip_proto)
+
+let to_string f =
+  Printf.sprintf "%s:%d->%s:%d p%d @%s vol=%.0f n=%d" (Ip.to_string f.src)
+    f.sport (Ip.to_string f.dst) f.dport f.ip_proto f.ingress f.volume
+    f.population
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

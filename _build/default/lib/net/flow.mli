@@ -1,0 +1,39 @@
+(** Flows: the unit of traffic simulation.
+
+    A flow is a 5-tuple plus its ingress device and traffic volume.  A
+    record may stand for a {e population} of identically forwarded flows
+    ([population]), which is how the generators represent the paper's
+    O(10^9) flows without materializing them. *)
+
+type t = {
+  src : Ip.t;
+  dst : Ip.t;
+  sport : int;
+  dport : int;
+  ip_proto : int;  (** 6 = TCP, 17 = UDP, ... *)
+  ingress : string;  (** device where the flow enters the WAN *)
+  volume : float;  (** bits per second (per represented flow) *)
+  population : int;  (** concrete flows this record stands for *)
+}
+
+val make :
+  src:Ip.t ->
+  dst:Ip.t ->
+  ingress:string ->
+  ?sport:int ->
+  ?dport:int ->
+  ?ip_proto:int ->
+  ?volume:float ->
+  ?population:int ->
+  unit ->
+  t
+
+val equal : t -> t -> bool
+
+(** Ordered primarily by destination address — the sort key of the
+    ordering heuristic's flow splitter (paper §3.2). *)
+val compare : t -> t -> int
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

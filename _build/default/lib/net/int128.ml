@@ -1,0 +1,102 @@
+(** Unsigned 128-bit integers, used to represent IPv6 addresses.
+
+    The representation is a pair of [int64] values interpreted as an
+    unsigned 128-bit quantity: [hi] holds bits 127..64 and [lo] holds bits
+    63..0.  All operations treat the value as unsigned. *)
+
+type t = { hi : int64; lo : int64 }
+
+let zero = { hi = 0L; lo = 0L }
+let one = { hi = 0L; lo = 1L }
+let max_value = { hi = -1L; lo = -1L }
+
+let make ~hi ~lo = { hi; lo }
+let hi t = t.hi
+let lo t = t.lo
+
+let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+
+let compare a b =
+  let c = Int64.unsigned_compare a.hi b.hi in
+  if c <> 0 then c else Int64.unsigned_compare a.lo b.lo
+
+let of_int n =
+  if n < 0 then invalid_arg "Int128.of_int: negative"
+  else { hi = 0L; lo = Int64.of_int n }
+
+(* Conversion to [int] when the value fits in a non-negative OCaml int. *)
+let to_int_opt t =
+  if Int64.equal t.hi 0L && Int64.compare t.lo 0L >= 0
+     && Int64.compare t.lo (Int64.of_int max_int) <= 0
+  then Some (Int64.to_int t.lo)
+  else None
+
+let logand a b = { hi = Int64.logand a.hi b.hi; lo = Int64.logand a.lo b.lo }
+let logor a b = { hi = Int64.logor a.hi b.hi; lo = Int64.logor a.lo b.lo }
+let logxor a b = { hi = Int64.logxor a.hi b.hi; lo = Int64.logxor a.lo b.lo }
+let lognot a = { hi = Int64.lognot a.hi; lo = Int64.lognot a.lo }
+
+let shift_left t n =
+  if n < 0 || n > 128 then invalid_arg "Int128.shift_left"
+  else if n = 0 then t
+  else if n >= 128 then zero
+  else if n >= 64 then { hi = Int64.shift_left t.lo (n - 64); lo = 0L }
+  else
+    {
+      hi =
+        Int64.logor (Int64.shift_left t.hi n)
+          (Int64.shift_right_logical t.lo (64 - n));
+      lo = Int64.shift_left t.lo n;
+    }
+
+let shift_right_logical t n =
+  if n < 0 || n > 128 then invalid_arg "Int128.shift_right_logical"
+  else if n = 0 then t
+  else if n >= 128 then zero
+  else if n >= 64 then { hi = 0L; lo = Int64.shift_right_logical t.hi (n - 64) }
+  else
+    {
+      hi = Int64.shift_right_logical t.hi n;
+      lo =
+        Int64.logor
+          (Int64.shift_right_logical t.lo n)
+          (Int64.shift_left t.hi (64 - n));
+    }
+
+let add a b =
+  let lo = Int64.add a.lo b.lo in
+  let carry = if Int64.unsigned_compare lo a.lo < 0 then 1L else 0L in
+  { hi = Int64.add (Int64.add a.hi b.hi) carry; lo }
+
+let sub a b =
+  let lo = Int64.sub a.lo b.lo in
+  let borrow = if Int64.unsigned_compare a.lo b.lo < 0 then 1L else 0L in
+  { hi = Int64.sub (Int64.sub a.hi b.hi) borrow; lo }
+
+let succ t = add t one
+let pred t = sub t one
+
+(** [test_bit t i] is the value of bit [i], where bit 0 is the least
+    significant bit and bit 127 the most significant. *)
+let test_bit t i =
+  if i < 0 || i > 127 then invalid_arg "Int128.test_bit"
+  else if i >= 64 then
+    Int64.logand (Int64.shift_right_logical t.hi (i - 64)) 1L = 1L
+  else Int64.logand (Int64.shift_right_logical t.lo i) 1L = 1L
+
+(** [set_bit t i] sets bit [i] (LSB = 0). *)
+let set_bit t i =
+  if i < 0 || i > 127 then invalid_arg "Int128.set_bit"
+  else if i >= 64 then
+    { t with hi = Int64.logor t.hi (Int64.shift_left 1L (i - 64)) }
+  else { t with lo = Int64.logor t.lo (Int64.shift_left 1L i) }
+
+(** Mask with the top [len] bits set (a /len network mask), [0 <= len <= 128]. *)
+let mask len =
+  if len < 0 || len > 128 then invalid_arg "Int128.mask"
+  else if len = 0 then zero
+  else shift_left max_value (128 - len)
+
+let to_hex t = Printf.sprintf "%016Lx%016Lx" t.hi t.lo
+
+let pp ppf t = Format.pp_print_string ppf (to_hex t)

@@ -1,0 +1,65 @@
+(** Unsigned 128-bit integers (IPv6 addresses).
+
+    Represented as two [int64] halves interpreted unsigned: [hi] holds
+    bits 127..64, [lo] bits 63..0. *)
+
+type t = { hi : int64; lo : int64 }
+
+val zero : t
+
+val one : t
+
+(** All bits set (2^128 - 1). *)
+val max_value : t
+
+val make : hi:int64 -> lo:int64 -> t
+
+val hi : t -> int64
+
+val lo : t -> int64
+
+val equal : t -> t -> bool
+
+(** Unsigned comparison. *)
+val compare : t -> t -> int
+
+(** @raise Invalid_argument on negative input. *)
+val of_int : int -> t
+
+(** [Some n] when the value fits a non-negative OCaml [int]. *)
+val to_int_opt : t -> int option
+
+val logand : t -> t -> t
+
+val logor : t -> t -> t
+
+val logxor : t -> t -> t
+
+val lognot : t -> t
+
+(** Shifts accept 0..128. @raise Invalid_argument otherwise. *)
+val shift_left : t -> int -> t
+
+val shift_right_logical : t -> int -> t
+
+(** Wrapping arithmetic (mod 2^128). *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val succ : t -> t
+
+val pred : t -> t
+
+(** [test_bit t i]: bit [i], LSB = 0.  @raise Invalid_argument outside
+    0..127. *)
+val test_bit : t -> int -> bool
+
+val set_bit : t -> int -> t
+
+(** [mask len]: the top [len] bits set (a /len network mask). *)
+val mask : int -> t
+
+val to_hex : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+(** Routes: the rows of Hoyan's (global) RIB abstraction.
+
+    A route is one path for one prefix on one device/VRF; ECMP shows up as
+    several routes for the same prefix whose [route_type] is [Best]/[Ecmp].
+    The [device] and [vrf] fields make a route directly usable as a row of
+    the global RIB that RCL (§4) specifies over. *)
+
+type origin = Igp | Egp | Incomplete
+
+let origin_to_string = function
+  | Igp -> "igp"
+  | Egp -> "egp"
+  | Incomplete -> "incomplete"
+
+let origin_rank = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+type proto = Bgp | Isis | Static | Direct | Aggregate | Sr_policy
+
+let proto_to_string = function
+  | Bgp -> "bgp"
+  | Isis -> "isis"
+  | Static -> "static"
+  | Direct -> "direct"
+  | Aggregate -> "aggregate"
+  | Sr_policy -> "sr"
+
+type source = Ebgp | Ibgp | Local | Redistributed
+
+let source_to_string = function
+  | Ebgp -> "ebgp"
+  | Ibgp -> "ibgp"
+  | Local -> "local"
+  | Redistributed -> "redistributed"
+
+type route_type = Best | Ecmp | Backup
+
+let route_type_to_string = function
+  | Best -> "BEST"
+  | Ecmp -> "ECMP"
+  | Backup -> "BACKUP"
+
+type t = {
+  device : string;
+  vrf : string;
+  prefix : Prefix.t;
+  proto : proto;
+  nexthop : Ip.t option; (* [None] for locally originated / connected *)
+  out_iface : string option;
+  local_pref : int;
+  med : int;
+  weight : int; (* vendor-local, not propagated by BGP *)
+  preference : int; (* admin distance; vendor-specific defaults *)
+  communities : Community.Set.t;
+  as_path : As_path.t;
+  origin : origin;
+  igp_cost : int; (* cost to reach the BGP next hop *)
+  peer : string option; (* neighbor device the route was learned from *)
+  source : source;
+  route_type : route_type;
+  tag : int;
+}
+
+let default_vrf = "global"
+
+let make ~device ~prefix ?(vrf = default_vrf) ?(proto = Bgp) ?nexthop
+    ?out_iface ?(local_pref = 100) ?(med = 0) ?(weight = 0) ?(preference = 255)
+    ?(communities = Community.Set.empty) ?(as_path = As_path.empty)
+    ?(origin = Igp) ?(igp_cost = 0) ?peer ?(source = Local)
+    ?(route_type = Best) ?(tag = 0) () =
+  {
+    device;
+    vrf;
+    prefix;
+    proto;
+    nexthop;
+    out_iface;
+    local_pref;
+    med;
+    weight;
+    preference;
+    communities;
+    as_path;
+    origin;
+    igp_cost;
+    peer;
+    source;
+    route_type;
+    tag;
+  }
+
+let equal (a : t) (b : t) =
+  String.equal a.device b.device
+  && String.equal a.vrf b.vrf
+  && Prefix.equal a.prefix b.prefix
+  && a.proto = b.proto
+  && Option.equal Ip.equal a.nexthop b.nexthop
+  && Option.equal String.equal a.out_iface b.out_iface
+  && a.local_pref = b.local_pref
+  && a.med = b.med && a.weight = b.weight
+  && a.preference = b.preference
+  && Community.Set.equal a.communities b.communities
+  && As_path.equal a.as_path b.as_path
+  && a.origin = b.origin
+  && a.igp_cost = b.igp_cost
+  && Option.equal String.equal a.peer b.peer
+  && a.source = b.source
+  && a.route_type = b.route_type
+  && a.tag = b.tag
+
+let compare (a : t) (b : t) =
+  let chain l = List.fold_left (fun c f -> if c <> 0 then c else f ()) 0 l in
+  chain
+    [
+      (fun () -> String.compare a.device b.device);
+      (fun () -> String.compare a.vrf b.vrf);
+      (fun () -> Prefix.compare a.prefix b.prefix);
+      (fun () -> Stdlib.compare a.proto b.proto);
+      (fun () -> Option.compare Ip.compare a.nexthop b.nexthop);
+      (fun () -> Option.compare String.compare a.out_iface b.out_iface);
+      (fun () -> Int.compare a.local_pref b.local_pref);
+      (fun () -> Int.compare a.med b.med);
+      (fun () -> Int.compare a.weight b.weight);
+      (fun () -> Int.compare a.preference b.preference);
+      (fun () -> Community.Set.compare a.communities b.communities);
+      (fun () -> As_path.compare a.as_path b.as_path);
+      (fun () -> Stdlib.compare a.origin b.origin);
+      (fun () -> Int.compare a.igp_cost b.igp_cost);
+      (fun () -> Option.compare String.compare a.peer b.peer);
+      (fun () -> Stdlib.compare a.source b.source);
+      (fun () -> Stdlib.compare a.route_type b.route_type);
+      (fun () -> Int.compare a.tag b.tag);
+    ]
+
+(** Equality of the BGP attributes that propagate between routers; this is
+    condition (3) of the input-route equivalence-class definition (§3.1). *)
+let equal_attrs (a : t) (b : t) =
+  a.local_pref = b.local_pref && a.med = b.med
+  && Community.Set.equal a.communities b.communities
+  && As_path.equal a.as_path b.as_path
+  && a.origin = b.origin
+  && Option.equal Ip.equal a.nexthop b.nexthop
+
+let nexthop_string r =
+  match r.nexthop with Some ip -> Ip.to_string ip | None -> "self"
+
+let to_string r =
+  Printf.sprintf "%s|%s|%s|%s|nh=%s|lp=%d|med=%d|comm=[%s]|as=[%s]|%s" r.device
+    r.vrf
+    (Prefix.to_string r.prefix)
+    (proto_to_string r.proto) (nexthop_string r) r.local_pref r.med
+    (Community.Set.to_string r.communities)
+    (As_path.to_string r.as_path)
+    (route_type_to_string r.route_type)
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,88 @@
+(** Routes: the rows of Hoyan's global RIB abstraction.
+
+    A route is one path for one prefix on one device/VRF; ECMP shows up
+    as several routes whose [route_type] is [Best]/[Ecmp].  The [device]
+    and [vrf] fields make a route directly usable as a row of the global
+    RIB that RCL (paper §4) specifies over. *)
+
+type origin = Igp | Egp | Incomplete
+
+val origin_to_string : origin -> string
+
+(** Decision-process rank: IGP < EGP < Incomplete. *)
+val origin_rank : origin -> int
+
+type proto = Bgp | Isis | Static | Direct | Aggregate | Sr_policy
+
+val proto_to_string : proto -> string
+
+type source = Ebgp | Ibgp | Local | Redistributed
+
+val source_to_string : source -> string
+
+type route_type = Best | Ecmp | Backup
+
+val route_type_to_string : route_type -> string
+
+type t = {
+  device : string;
+  vrf : string;
+  prefix : Prefix.t;
+  proto : proto;
+  nexthop : Ip.t option;  (** [None] = locally originated / connected *)
+  out_iface : string option;
+  local_pref : int;
+  med : int;
+  weight : int;  (** vendor-local; never propagated by BGP *)
+  preference : int;  (** admin distance; vendor-specific defaults *)
+  communities : Community.Set.t;
+  as_path : As_path.t;
+  origin : origin;
+  igp_cost : int;  (** cost to reach the BGP next hop *)
+  peer : string option;  (** neighbor device the route was learned from *)
+  source : source;
+  route_type : route_type;
+  tag : int;
+}
+
+val default_vrf : string
+
+val make :
+  device:string ->
+  prefix:Prefix.t ->
+  ?vrf:string ->
+  ?proto:proto ->
+  ?nexthop:Ip.t ->
+  ?out_iface:string ->
+  ?local_pref:int ->
+  ?med:int ->
+  ?weight:int ->
+  ?preference:int ->
+  ?communities:Community.Set.t ->
+  ?as_path:As_path.t ->
+  ?origin:origin ->
+  ?igp_cost:int ->
+  ?peer:string ->
+  ?source:source ->
+  ?route_type:route_type ->
+  ?tag:int ->
+  unit ->
+  t
+
+(** Structural equality over every field. *)
+val equal : t -> t -> bool
+
+(** A total order consistent with {!equal} (used for multiset RIB
+    comparison and deterministic deduplication). *)
+val compare : t -> t -> int
+
+(** Equality of the attributes that propagate between routers — condition
+    (3) of the paper's input-route equivalence classes. *)
+val equal_attrs : t -> t -> bool
+
+(** ["self"] when the route has no next hop. *)
+val nexthop_string : t -> string
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,202 @@
+(** Binary longest-prefix-match trie over IP prefixes.
+
+    Used to build FIBs for traffic simulation and to evaluate prefix-list
+    matches efficiently.  One trie handles one address family; {!Dual}
+    bundles a v4 and a v6 trie behind a family dispatch. *)
+
+type 'a node = {
+  value : 'a option;
+  zero : 'a node option; (* next bit = 0 *)
+  one : 'a node option; (* next bit = 1 *)
+}
+
+type 'a t = { family : Ip.family; root : 'a node }
+
+let empty_node = { value = None; zero = None; one = None }
+
+let empty family = { family; root = empty_node }
+
+let is_empty t =
+  t.root.value = None && t.root.zero = None && t.root.one = None
+
+(** [add t prefix v] binds [prefix] to [v], replacing any previous binding. *)
+let add t prefix v =
+  if Prefix.family prefix <> t.family then invalid_arg "Trie.add: family"
+  else
+    let ip = Prefix.ip prefix and len = Prefix.len prefix in
+    let rec go node depth =
+      if depth = len then { node with value = Some v }
+      else if Ip.bit ip depth then
+        let child = Option.value node.one ~default:empty_node in
+        { node with one = Some (go child (depth + 1)) }
+      else
+        let child = Option.value node.zero ~default:empty_node in
+        { node with zero = Some (go child (depth + 1)) }
+    in
+    { t with root = go t.root 0 }
+
+(** [update t prefix f] applies [f] to the current binding (or [None]). *)
+let update t prefix f =
+  if Prefix.family prefix <> t.family then invalid_arg "Trie.update: family"
+  else
+    let ip = Prefix.ip prefix and len = Prefix.len prefix in
+    let rec go node depth =
+      if depth = len then { node with value = f node.value }
+      else if Ip.bit ip depth then
+        let child = Option.value node.one ~default:empty_node in
+        { node with one = Some (go child (depth + 1)) }
+      else
+        let child = Option.value node.zero ~default:empty_node in
+        { node with zero = Some (go child (depth + 1)) }
+    in
+    { t with root = go t.root 0 }
+
+(** Remove a binding (the trie is not pruned; fine for our usage). *)
+let remove t prefix = update t prefix (fun _ -> None)
+
+let find_exact t prefix =
+  if Prefix.family prefix <> t.family then None
+  else
+    let ip = Prefix.ip prefix and len = Prefix.len prefix in
+    let rec go node depth =
+      if depth = len then node.value
+      else
+        let next = if Ip.bit ip depth then node.one else node.zero in
+        match next with None -> None | Some child -> go child (depth + 1)
+    in
+    go t.root 0
+
+(** Longest-prefix match of an address.  Returns the matched prefix and
+    its binding. *)
+let longest_match t addr =
+  if Ip.family addr <> t.family then None
+  else
+    let max_depth = Ip.family_bits t.family in
+    let rec go node depth best =
+      let best =
+        match node.value with
+        | Some v -> Some (depth, v)
+        | None -> best
+      in
+      if depth >= max_depth then best
+      else
+        let next = if Ip.bit addr depth then node.one else node.zero in
+        match next with
+        | None -> best
+        | Some child -> go child (depth + 1) best
+    in
+    match go t.root 0 None with
+    | None -> None
+    | Some (depth, v) ->
+        (* Reconstruct the matched prefix from the address. *)
+        Some (Prefix.make addr depth, v)
+
+(** All matches of an address, most specific first. *)
+let all_matches t addr =
+  if Ip.family addr <> t.family then []
+  else
+    let max_depth = Ip.family_bits t.family in
+    let rec go node depth acc =
+      let acc =
+        match node.value with
+        | Some v -> (Prefix.make addr depth, v) :: acc
+        | None -> acc
+      in
+      if depth >= max_depth then acc
+      else
+        let next = if Ip.bit addr depth then node.one else node.zero in
+        match next with None -> acc | Some child -> go child (depth + 1) acc
+    in
+    go t.root 0 []
+
+(** Fold over all bindings with their prefixes. *)
+let fold f t init =
+  (* Track the path bits to rebuild each prefix. *)
+  let fam = t.family in
+  let nbits = Ip.family_bits fam in
+  let path_to_prefix rev_bits depth =
+    let ip =
+      match fam with
+      | Ip.Ipv4 ->
+          let rec build n i = function
+            | [] -> n
+            | b :: rest ->
+                build (if b then n lor (1 lsl (31 - i)) else n) (i - 1) rest
+          in
+          (* rev_bits has the deepest bit first; positions depth-1 .. 0 *)
+          Ip.V4 (build 0 (depth - 1) rev_bits)
+      | Ip.Ipv6 ->
+          let rec build n i = function
+            | [] -> n
+            | b :: rest ->
+                build
+                  (if b then Int128.set_bit n (nbits - 1 - i) else n)
+                  (i - 1) rest
+          in
+          Ip.V6 (build Int128.zero (depth - 1) rev_bits)
+    in
+    Prefix.make ip depth
+  in
+  let rec go node rev_bits depth acc =
+    let acc =
+      match node.value with
+      | Some v -> f (path_to_prefix rev_bits depth) v acc
+      | None -> acc
+    in
+    let acc =
+      match node.zero with
+      | Some child -> go child (false :: rev_bits) (depth + 1) acc
+      | None -> acc
+    in
+    match node.one with
+    | Some child -> go child (true :: rev_bits) (depth + 1) acc
+    | None -> acc
+  in
+  go t.root [] 0 init
+
+let to_list t = fold (fun p v acc -> (p, v) :: acc) t [] |> List.rev
+
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+
+module Dual = struct
+  (** A pair of tries covering both families. *)
+  type nonrec 'a t = { v4 : 'a t; v6 : 'a t }
+
+  let empty = { v4 = empty Ip.Ipv4; v6 = empty Ip.Ipv6 }
+
+  let add t prefix v =
+    match Prefix.family prefix with
+    | Ip.Ipv4 -> { t with v4 = add t.v4 prefix v }
+    | Ip.Ipv6 -> { t with v6 = add t.v6 prefix v }
+
+  let update t prefix f =
+    match Prefix.family prefix with
+    | Ip.Ipv4 -> { t with v4 = update t.v4 prefix f }
+    | Ip.Ipv6 -> { t with v6 = update t.v6 prefix f }
+
+  let remove t prefix =
+    match Prefix.family prefix with
+    | Ip.Ipv4 -> { t with v4 = remove t.v4 prefix }
+    | Ip.Ipv6 -> { t with v6 = remove t.v6 prefix }
+
+  let find_exact t prefix =
+    match Prefix.family prefix with
+    | Ip.Ipv4 -> find_exact t.v4 prefix
+    | Ip.Ipv6 -> find_exact t.v6 prefix
+
+  let longest_match t addr =
+    match Ip.family addr with
+    | Ip.Ipv4 -> longest_match t.v4 addr
+    | Ip.Ipv6 -> longest_match t.v6 addr
+
+  let all_matches t addr =
+    match Ip.family addr with
+    | Ip.Ipv4 -> all_matches t.v4 addr
+    | Ip.Ipv6 -> all_matches t.v6 addr
+
+  let fold f t init = fold f t.v6 (fold f t.v4 init)
+
+  let to_list t = to_list t.v4 @ to_list t.v6
+
+  let cardinal t = cardinal t.v4 + cardinal t.v6
+end

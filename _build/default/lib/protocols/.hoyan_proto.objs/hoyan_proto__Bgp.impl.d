@@ -1,0 +1,1 @@
+lib/protocols/bgp.ml: As_path Community Hashtbl Hoyan_config Hoyan_net Int Ip List Map Option Prefix Printf Route String

@@ -1,0 +1,1 @@
+lib/protocols/isis.ml: Array Hoyan_config Hoyan_net List Map Option Set String Topology

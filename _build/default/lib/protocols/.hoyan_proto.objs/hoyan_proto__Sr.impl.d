@@ -1,0 +1,1 @@
+lib/protocols/sr.ml: Hoyan_config Hoyan_net Int Ip Isis List Option String

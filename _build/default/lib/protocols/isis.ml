@@ -1,0 +1,146 @@
+(** IS-IS link-state routing: all-pairs shortest paths with ECMP.
+
+    Edge costs come from each device's per-interface [isis cost]
+    configuration (default 10).  The result is the IGP view that BGP uses
+    for next-hop resolution and the igp-cost tie-break step, and that
+    traffic simulation uses to expand hop-by-hop forwarding.
+
+    When the IS-IS TE extension (RFC 5305) is enabled on a device and an
+    interface carries [isis traffic-eng], the interface advertises a TE
+    metric; we model TE by allowing a distinct TE cost table used by SR
+    policy path computation.  (The paper notes IS-IS TE was unsupported
+    until 03/2023 and caused traffic-simulation inaccuracy — the diagnosis
+    experiments re-create that by disabling TE awareness.) *)
+
+open Hoyan_net
+module Types = Hoyan_config.Types
+module Smap = Map.Make (String)
+
+type t = {
+  order : string array; (* device index <-> name *)
+  index : int Smap.t;
+  dist : int array array; (* dist.(src).(dst); max_int = unreachable *)
+  first_hops : string list array array; (* ECMP first hops src -> dst *)
+}
+
+let default_cost = 10
+
+(** Cost of the directed edge, from the source device's interface config.
+    An interface without an explicit cost inherits the device-level
+    default cost only on vendors that inherit options into sub-views (the
+    "inheriting views" VSB of Table 5). *)
+let edge_cost ~(configs : Types.t Smap.t) ~(te : bool) (e : Topology.edge) =
+  match Smap.find_opt e.Topology.src configs with
+  | None -> default_cost
+  | Some cfg -> (
+      let fallback () =
+        match
+          ( cfg.Types.dc_isis.Types.isis_default_cost,
+            Hoyan_config.Vsb.of_vendor cfg.Types.dc_vendor )
+        with
+        | Some d, Some vsb when vsb.Hoyan_config.Vsb.inherit_subviews -> d
+        | _ -> default_cost
+      in
+      match
+        List.find_opt
+          (fun (ii : Types.isis_iface) ->
+            String.equal ii.Types.ii_name e.Topology.src_if)
+          cfg.Types.dc_isis.Types.isis_ifaces
+      with
+      | Some ii ->
+          (* With TE awareness, a te-enabled interface uses its configured
+             cost; without it (the pre-2023 modelling gap) te interfaces
+             fall back to the default metric. *)
+          if ii.Types.ii_te && not te then fallback () else ii.Types.ii_cost
+      | None -> fallback ())
+
+(** Compute the IGP view.  [te_aware] controls whether IS-IS TE interface
+    costs are honoured (see the module doc). *)
+let compute ?(te_aware = true) (topo : Topology.t) (configs : Types.t Smap.t) :
+    t =
+  let names = Topology.device_names topo |> Array.of_list in
+  let n = Array.length names in
+  let index =
+    Array.to_list names
+    |> List.mapi (fun i name -> (name, i))
+    |> List.to_seq |> Smap.of_seq
+  in
+  (* adjacency with costs *)
+  let adj = Array.make n [] in
+  List.iter
+    (fun (e : Topology.edge) ->
+      match (Smap.find_opt e.Topology.src index, Smap.find_opt e.Topology.dst index) with
+      | Some s, Some d ->
+          let c = edge_cost ~configs ~te:te_aware e in
+          adj.(s) <- (d, c) :: adj.(s)
+      | _ -> ())
+    (Topology.edges topo);
+  let dist = Array.make_matrix n n max_int in
+  let first_hops = Array.init n (fun _ -> Array.make n []) in
+  (* Dijkstra from each source; track ECMP first hops. *)
+  let module Pq = Set.Make (struct
+    type t = int * int (* dist, node *)
+
+    let compare = compare
+  end) in
+  for src = 0 to n - 1 do
+    let d = dist.(src) in
+    let fh = first_hops.(src) in
+    d.(src) <- 0;
+    let pq = ref (Pq.singleton (0, src)) in
+    while not (Pq.is_empty !pq) do
+      let (du, u) = Pq.min_elt !pq in
+      pq := Pq.remove (du, u) !pq;
+      if du <= d.(u) then
+        List.iter
+          (fun (v, c) ->
+            let alt = du + c in
+            if alt < d.(v) then begin
+              d.(v) <- alt;
+              (* first hop: if u is the source, the first hop is v itself;
+                 otherwise inherit u's first hops *)
+              fh.(v) <- (if u = src then [ names.(v) ] else fh.(u));
+              pq := Pq.add (alt, v) !pq
+            end
+            else if alt = d.(v) && alt < max_int then begin
+              let inherited = if u = src then [ names.(v) ] else fh.(u) in
+              let merged =
+                List.sort_uniq String.compare (inherited @ fh.(v))
+              in
+              fh.(v) <- merged
+            end)
+          adj.(u)
+    done
+  done;
+  { order = names; index; dist; first_hops }
+
+let cost (t : t) ~src ~dst : int option =
+  match (Smap.find_opt src t.index, Smap.find_opt dst t.index) with
+  | Some s, Some d ->
+      let c = t.dist.(s).(d) in
+      if c = max_int then None else Some c
+  | _ -> None
+
+(** ECMP first hops (device names) on shortest paths from [src] to [dst]. *)
+let first_hops (t : t) ~src ~dst : string list =
+  match (Smap.find_opt src t.index, Smap.find_opt dst t.index) with
+  | Some s, Some d -> t.first_hops.(s).(d)
+  | _ -> []
+
+let reachable (t : t) ~src ~dst = Option.is_some (cost t ~src ~dst)
+
+let devices (t : t) = Array.to_list t.order
+
+(** One ECMP-respecting shortest path (lexicographically first hops), for
+    forwarding-graph displays. *)
+let some_path (t : t) ~src ~dst : string list option =
+  if not (reachable t ~src ~dst) then None
+  else
+    let rec walk cur acc =
+      if String.equal cur dst then Some (List.rev (dst :: acc))
+      else
+        match first_hops t ~src:cur ~dst with
+        | [] -> None
+        | hop :: _ -> walk hop (cur :: acc)
+    in
+    walk src []

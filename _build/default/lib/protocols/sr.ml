@@ -1,0 +1,97 @@
+(** Segment routing (SRv6) policies.
+
+    An SR policy at a head-end device steers traffic towards an endpoint
+    (identified by its loopback address) along either the IGP shortest
+    path or an explicit segment list.  Two behaviours matter for the
+    paper's experiments:
+
+    - forwarding: flows whose BGP next hop is an SR-policy endpoint follow
+      the tunnel path instead of hop-by-hop IGP forwarding;
+    - route selection: some vendors treat the IGP cost of SR-reachable
+      next hops as 0 in the BGP decision process (the "IGP cost for SR"
+      VSB, root cause of the Figure-9 case). *)
+
+open Hoyan_net
+module Types = Hoyan_config.Types
+
+type tunnel = {
+  tn_head : string; (* head-end device *)
+  tn_endpoint : Ip.t; (* tail-end loopback *)
+  tn_tail : string; (* tail-end device *)
+  tn_color : int;
+  tn_preference : int;
+  tn_path : string list; (* full device path, head .. tail *)
+}
+
+(** Expand an explicit segment list (waypoint devices) into a full hop
+    path using IGP shortest paths between consecutive waypoints. *)
+let expand_segments (igp : Isis.t) ~(head : string) (waypoints : string list) :
+    string list option =
+  let rec go cur acc = function
+    | [] -> Some (List.rev acc)
+    | wp :: rest -> (
+        match Isis.some_path igp ~src:cur ~dst:wp with
+        | Some path -> (
+            match path with
+            | [] -> None
+            | _ :: hops -> go wp (List.rev_append hops acc) rest)
+        | None -> None)
+  in
+  go head [ head ] waypoints
+
+(** Resolve the SR policies of one device into tunnels.  [endpoint_of]
+    maps a loopback address to its device. *)
+let resolve (igp : Isis.t) ~(device : string)
+    ~(endpoint_of : Ip.t -> string option) (cfg : Types.t) : tunnel list =
+  List.filter_map
+    (fun (sp : Types.sr_policy) ->
+      match endpoint_of sp.Types.sp_endpoint with
+      | None -> None
+      | Some tail ->
+          let path =
+            if sp.Types.sp_segments = [] then
+              Isis.some_path igp ~src:device ~dst:tail
+            else
+              match expand_segments igp ~head:device sp.Types.sp_segments with
+              | Some p ->
+                  (* the last waypoint must be (or reach) the tail *)
+                  if p <> [] && String.equal (List.nth p (List.length p - 1)) tail
+                  then Some p
+                  else (
+                    match Isis.some_path igp ~src:device ~dst:tail with
+                    | Some _ -> (
+                        (* append the tail leg *)
+                        match
+                          Isis.some_path igp
+                            ~src:(List.nth p (List.length p - 1))
+                            ~dst:tail
+                        with
+                        | Some (_ :: tail_hops) -> Some (p @ tail_hops)
+                        | _ -> None)
+                    | None -> None)
+              | None -> None
+          in
+          Option.map
+            (fun path ->
+              {
+                tn_head = device;
+                tn_endpoint = sp.Types.sp_endpoint;
+                tn_tail = tail;
+                tn_color = sp.Types.sp_color;
+                tn_preference = sp.Types.sp_preference;
+                tn_path = path;
+              })
+            path)
+    cfg.Types.dc_sr_policies
+
+(** Does a tunnel of [tunnels] terminate at next-hop address [nh]? *)
+let reaches (tunnels : tunnel list) (nh : Ip.t) : bool =
+  List.exists (fun t -> Ip.equal t.tn_endpoint nh) tunnels
+
+(** The best (highest-preference) tunnel towards [nh], if any. *)
+let tunnel_to (tunnels : tunnel list) (nh : Ip.t) : tunnel option =
+  List.filter (fun t -> Ip.equal t.tn_endpoint nh) tunnels
+  |> List.sort (fun a b -> Int.compare b.tn_preference a.tn_preference)
+  |> function
+  | [] -> None
+  | t :: _ -> Some t

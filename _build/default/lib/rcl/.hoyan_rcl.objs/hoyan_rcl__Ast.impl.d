@@ -1,0 +1,1 @@
+lib/rcl/ast.ml: Value

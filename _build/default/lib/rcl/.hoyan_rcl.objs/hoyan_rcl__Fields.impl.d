@@ -1,0 +1,1 @@
+lib/rcl/fields.ml: As_path Community Hoyan_net Ip List Option Prefix Printf Route Value

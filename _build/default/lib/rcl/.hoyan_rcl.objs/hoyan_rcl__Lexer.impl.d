@@ -1,0 +1,1 @@
+lib/rcl/lexer.ml: Buffer List Printf String

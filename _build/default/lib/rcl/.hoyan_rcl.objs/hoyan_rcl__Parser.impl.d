@@ -1,0 +1,1 @@
+lib/rcl/parser.ml: Array Ast Fields Hoyan_net Lexer List Printf String Value

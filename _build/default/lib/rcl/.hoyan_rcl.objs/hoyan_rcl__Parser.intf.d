@@ -1,0 +1,1 @@
+lib/rcl/parser.mli: Ast

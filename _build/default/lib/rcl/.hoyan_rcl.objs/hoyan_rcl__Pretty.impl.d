@@ -1,0 +1,1 @@
+lib/rcl/pretty.ml: Ast List Printf String Value

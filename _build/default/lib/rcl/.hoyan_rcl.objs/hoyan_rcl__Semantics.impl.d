@@ -1,0 +1,1 @@
+lib/rcl/semantics.ml: Ast Fields Hashtbl Hoyan_net Hoyan_regex List Printf Rib Route Value

@@ -1,0 +1,1 @@
+lib/rcl/semantics.mli: Ast Hoyan_net Route Value

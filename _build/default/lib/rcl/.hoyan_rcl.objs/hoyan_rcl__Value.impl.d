@@ -1,0 +1,1 @@
+lib/rcl/value.ml: Float Format List String

@@ -1,0 +1,1 @@
+lib/rcl/verify.ml: Ast Hoyan_net List Parser Printf Rib Route Semantics String Value

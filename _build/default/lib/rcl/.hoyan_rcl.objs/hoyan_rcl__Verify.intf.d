@@ -1,0 +1,1 @@
+lib/rcl/verify.mli: Ast Hoyan_net Route

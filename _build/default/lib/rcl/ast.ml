@@ -1,0 +1,96 @@
+(** Abstract syntax of RCL (Figure 7). *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let cmp_op = function
+  | Eq -> `Eq
+  | Ne -> `Ne
+  | Lt -> `Lt
+  | Le -> `Le
+  | Gt -> `Gt
+  | Ge -> `Ge
+
+(** Route predicates [p]. *)
+type pred =
+  | P_cmp of string * cmp * Value.t (* field ⊙ val *)
+  | P_contains of string * Value.t (* field contains val *)
+  | P_in of string * Value.t list (* field in {val...} *)
+  | P_matches of string * string (* field matches regex *)
+  | P_and of pred * pred
+  | P_or of pred * pred
+  | P_imply of pred * pred
+  | P_not of pred
+
+(** RIB transformations [r]. *)
+type transform =
+  | T_pre
+  | T_post
+  | T_filter of transform * pred (* r || p *)
+
+(** Aggregate functions [f]. *)
+type agg = Count | Dist_cnt of string | Dist_vals of string
+
+type arith_op = Add | Sub | Mul | Div
+
+let arith_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+
+let arith_op_tag = function Add -> `Add | Sub -> `Sub | Mul -> `Mul | Div -> `Div
+
+(** RIB evaluations [e]. *)
+type eval =
+  | E_val of Value.t (* literal value or set *)
+  | E_agg of transform * agg (* r |> f *)
+  | E_arith of eval * arith_op * eval
+
+(** Intents [g]. *)
+type intent =
+  | G_rib_cmp of transform * bool * transform (* r1 = r2 (true) / != (false) *)
+  | G_eval_cmp of eval * cmp * eval
+  | G_guard of pred * intent (* p => g *)
+  | G_forall of string * intent (* forall field : g *)
+  | G_forall_in of string * Value.t list * intent
+  | G_and of intent * intent
+  | G_or of intent * intent
+  | G_imply of intent * intent
+      (* not in Figure 7's core grammar but used by the paper's
+         "conditional change" use case (§4.3); sugar for not/or *)
+  | G_not of intent
+
+(** Specification size metric (§4.4): the number of internal (non-leaf)
+    nodes of the syntax tree. *)
+let rec pred_size = function
+  | P_cmp _ | P_contains _ | P_in _ | P_matches _ -> 1
+  | P_and (a, b) | P_or (a, b) | P_imply (a, b) -> 1 + pred_size a + pred_size b
+  | P_not p -> 1 + pred_size p
+
+let rec transform_size = function
+  | T_pre | T_post -> 0
+  | T_filter (r, p) -> 1 + transform_size r + pred_size p
+
+let agg_size = function Count -> 1 | Dist_cnt _ -> 1 | Dist_vals _ -> 1
+
+let rec eval_size = function
+  | E_val _ -> 0
+  | E_agg (r, f) -> 1 + transform_size r + agg_size f
+  | E_arith (a, _, b) -> 1 + eval_size a + eval_size b
+
+let rec size = function
+  | G_rib_cmp (r1, _, r2) -> 1 + transform_size r1 + transform_size r2
+  | G_eval_cmp (e1, _, e2) -> 1 + eval_size e1 + eval_size e2
+  | G_guard (p, g) -> 1 + pred_size p + size g
+  | G_forall (_, g) -> 1 + size g
+  | G_forall_in (_, _, g) -> 1 + size g
+  | G_and (a, b) | G_or (a, b) | G_imply (a, b) -> 1 + size a + size b
+  | G_not g -> 1 + size g

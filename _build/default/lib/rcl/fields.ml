@@ -1,0 +1,44 @@
+(** Field accessors of the global RIB abstraction.
+
+    RCL specifications reference route fields by name (Figure 6 shows the
+    table columns).  Every field evaluates to a {!Value.t}; string-typed
+    fields use the same canonical renderings as the parser, so literals in
+    specifications compare correctly against field values. *)
+
+open Hoyan_net
+
+let known_fields =
+  [
+    "device"; "vrf"; "prefix"; "protocol"; "nexthop"; "localPref"; "med";
+    "weight"; "preference"; "communities"; "aspath"; "origin"; "igpCost";
+    "routeType"; "peer"; "tag"; "family";
+  ]
+
+let is_field name = List.mem name known_fields
+
+(** [get field route] — raises [Invalid_argument] on unknown fields (the
+    parser rejects them earlier). *)
+let get (field : string) (r : Route.t) : Value.t =
+  match field with
+  | "device" -> Value.str r.Route.device
+  | "vrf" -> Value.str r.Route.vrf
+  | "prefix" -> Value.str (Prefix.to_string r.Route.prefix)
+  | "protocol" -> Value.str (Route.proto_to_string r.Route.proto)
+  | "nexthop" -> Value.str (Route.nexthop_string r)
+  | "localPref" -> Value.of_int r.Route.local_pref
+  | "med" -> Value.of_int r.Route.med
+  | "weight" -> Value.of_int r.Route.weight
+  | "preference" -> Value.of_int r.Route.preference
+  | "communities" ->
+      Value.set_of_list
+        (List.map
+           (fun c -> Value.str (Community.to_string c))
+           (Community.Set.to_list r.Route.communities))
+  | "aspath" -> Value.str (As_path.to_string r.Route.as_path)
+  | "origin" -> Value.str (Route.origin_to_string r.Route.origin)
+  | "igpCost" -> Value.of_int r.Route.igp_cost
+  | "routeType" -> Value.str (Route.route_type_to_string r.Route.route_type)
+  | "peer" -> Value.str (Option.value r.Route.peer ~default:"none")
+  | "tag" -> Value.of_int r.Route.tag
+  | "family" -> Value.str (Ip.family_to_string (Prefix.family r.Route.prefix))
+  | f -> invalid_arg (Printf.sprintf "Fields.get: unknown field %s" f)

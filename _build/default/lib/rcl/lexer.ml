@@ -1,0 +1,176 @@
+(** Lexer for RCL's concrete syntax.
+
+    ASCII spellings are accepted for every paper symbol: [=>] for ⇒,
+    [|>] for ▷, [!=] for ≠, [<=]/[>=] for ≤/≥, [||] for the filter bar,
+    [*] for ×.  The UTF-8 symbols themselves are accepted too, so
+    specifications can be written exactly as they appear in the paper.
+
+    Atoms cover identifiers, numbers, IP addresses, prefixes
+    ([10.0.0.0/24]) and communities ([100:1]); [:] and [/] only continue
+    an atom when they glue address-like characters, so [forall prefix :]
+    and [e1 / e2] lex as expected. *)
+
+type token =
+  | ATOM of string
+  | STRING of string (* "..." *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW (* => *)
+  | PIPE (* |> *)
+  | FILTER (* || *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+
+let token_to_string = function
+  | ATOM s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | COLON -> ":"
+  | EQ -> "="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ARROW -> "=>"
+  | PIPE -> "|>"
+  | FILTER -> "||"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+
+exception Lex_error of string
+
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let is_atom_start c = is_alnum c || c = '_'
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let peek i = if i < n then Some src.[i] else None in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '"' then begin
+        (* quoted string (for regexes) *)
+        let rec find j =
+          if j >= n then raise (Lex_error "unterminated string")
+          else if src.[j] = '"' then j
+          else find (j + 1)
+        in
+        let close = find (i + 1) in
+        emit (STRING (String.sub src (i + 1) (close - i - 1)));
+        go (close + 1)
+      end
+      else if c = '(' then (emit LPAREN; go (i + 1))
+      else if c = ')' then (emit RPAREN; go (i + 1))
+      else if c = '{' then (emit LBRACE; go (i + 1))
+      else if c = '}' then (emit RBRACE; go (i + 1))
+      else if c = ',' then (emit COMMA; go (i + 1))
+      else if c = '+' then (emit PLUS; go (i + 1))
+      else if c = '*' then (emit STAR; go (i + 1))
+      else if c = '=' && peek (i + 1) = Some '>' then (emit ARROW; go (i + 2))
+      else if c = '=' then (emit EQ; go (i + 1))
+      else if c = '!' && peek (i + 1) = Some '=' then (emit NE; go (i + 2))
+      else if c = '<' && peek (i + 1) = Some '=' then (emit LE; go (i + 2))
+      else if c = '<' then (emit LT; go (i + 1))
+      else if c = '>' && peek (i + 1) = Some '=' then (emit GE; go (i + 2))
+      else if c = '>' then (emit GT; go (i + 1))
+      else if c = '|' && peek (i + 1) = Some '|' then (emit FILTER; go (i + 2))
+      else if c = '|' && peek (i + 1) = Some '>' then (emit PIPE; go (i + 2))
+      else if c = ':' then (emit COLON; go (i + 1))
+      else if c = '/' then (emit SLASH; go (i + 1))
+      else if c = '-' then begin
+        (* '-' is subtraction when standalone, else it starts an atom
+           (e.g. device names like wan-core-1 never start with '-') *)
+        emit MINUS;
+        go (i + 1)
+      end
+      else if c = '\xe2' && i + 2 < n then begin
+        (* UTF-8 symbols from the paper *)
+        let tri = String.sub src i 3 in
+        (match tri with
+        | "\xe2\x87\x92" -> emit ARROW (* ⇒ *)
+        | "\xe2\x96\xb7" -> emit PIPE (* ▷ *)
+        | "\xe2\x89\xa0" -> emit NE (* ≠ *)
+        | "\xe2\x89\xa4" -> emit LE (* ≤ *)
+        | "\xe2\x89\xa5" -> emit GE (* ≥ *)
+        | _ -> raise (Lex_error (Printf.sprintf "unknown symbol at %d" i)));
+        go (i + 3)
+      end
+      else if c = '\xc3' && peek (i + 1) = Some '\x97' then begin
+        emit STAR (* × *);
+        go (i + 2)
+      end
+      else if is_atom_start c then begin
+        (* scan an atom; ':' and '/' continue only in address-like
+           positions *)
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then j
+          else
+            let c = src.[j] in
+            if is_alnum c || c = '.' || c = '_' then begin
+              Buffer.add_char buf c;
+              scan (j + 1)
+            end
+            else if c = '-' && (match peek (j + 1) with
+                               | Some d -> is_alnum d
+                               | None -> false)
+            then begin
+              Buffer.add_char buf c;
+              scan (j + 1)
+            end
+            else if
+              c = ':'
+              && (match peek (j + 1) with
+                 | Some d -> is_alnum d || d = ':' || d = '/'
+                 | None -> false)
+            then begin
+              Buffer.add_char buf c;
+              scan (j + 1)
+            end
+            else if
+              c = '/'
+              && (match peek (j + 1) with
+                 | Some d -> d >= '0' && d <= '9'
+                 | None -> false)
+              && Buffer.length buf > 0
+              && (let last = Buffer.nth buf (Buffer.length buf - 1) in
+                  is_alnum last || last = '.' || last = ':')
+            then begin
+              Buffer.add_char buf c;
+              scan (j + 1)
+            end
+            else j
+        in
+        let j = scan i in
+        emit (ATOM (Buffer.contents buf));
+        go j
+      end
+      else raise (Lex_error (Printf.sprintf "unexpected character %C at %d" c i))
+  in
+  go 0;
+  List.rev !tokens

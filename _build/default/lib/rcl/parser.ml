@@ -1,0 +1,391 @@
+(** Recursive-descent parser for RCL.
+
+    Grammar (see Figure 7; ASCII spellings per {!Lexer}):
+
+    {v
+    intent   := iterm (("or" | "imply") iterm)*
+    iterm    := ifactor ("and" ifactor)*
+    ifactor  := "not" ifactor
+              | "forall" FIELD [ "in" "{" vals "}" ] ":" intent
+              | pred "=>" intent                      (backtracks)
+              | transform ("="|"!=") transform        (backtracks)
+              | eval CMP eval
+              | "(" intent ")"                        (backtracks)
+    pred     := pterm (("or" | "imply") pterm)*
+    pterm    := pfactor ("and" pfactor)*
+    pfactor  := "not" pfactor | "(" pred ")" | FIELD atom-predicate
+    transform:= ("PRE" | "POST" | "(" transform ")") ("||" pred)*
+    eval     := eterm (("+"|"-") eterm)*
+    eterm    := efactor (("*"|"/") efactor)*
+    efactor  := value | "{" vals "}" | transform "|>" agg | "(" eval ")"
+    agg      := "count" "(" ")" | "distCnt" "(" FIELD ")"
+              | "distVals" "(" FIELD ")"
+    v}
+
+    Ambiguity between predicates, transformations and evaluations at the
+    start of an intent factor is resolved by ordered backtracking. *)
+
+exception Parse_error of string
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let fail st msg =
+  let ctx =
+    if st.pos < Array.length st.tokens then
+      Lexer.token_to_string st.tokens.(st.pos)
+    else "<eof>"
+  in
+  raise (Parse_error (Printf.sprintf "%s (at %s, token %d)" msg ctx st.pos))
+
+let peek st = if st.pos < Array.length st.tokens then Some st.tokens.(st.pos) else None
+
+let advance st = st.pos <- st.pos + 1
+
+let eat st tok =
+  match peek st with
+  | Some t when t = tok -> advance st
+  | _ -> fail st (Printf.sprintf "expected %s" (Lexer.token_to_string tok))
+
+let try_parse st (f : state -> 'a) : 'a option =
+  let saved = st.pos in
+  match f st with
+  | v -> Some v
+  | exception Parse_error _ ->
+      st.pos <- saved;
+      None
+
+(* --- atoms and values ---------------------------------------------------- *)
+
+let keywords =
+  [ "PRE"; "POST"; "forall"; "in"; "and"; "or"; "not"; "imply"; "contains";
+    "has"; "matches"; "count"; "distCnt"; "distVals" ]
+
+(** Canonical value of an atom: numbers become [Num]; IPs, prefixes and
+    communities are canonicalized so they compare equal to field
+    renderings; everything else is a plain string. *)
+let value_of_atom (s : string) : Value.t =
+  match float_of_string_opt s with
+  | Some f when not (String.contains s ':') -> Value.Num f
+  | _ -> (
+      match Hoyan_net.Prefix.of_string s with
+      | Some p -> Value.Str (Hoyan_net.Prefix.to_string p)
+      | None -> (
+          match Hoyan_net.Ip.of_string s with
+          | Some ip -> Value.Str (Hoyan_net.Ip.to_string ip)
+          | None -> (
+              match Hoyan_net.Community.of_string s with
+              | Some c -> Value.Str (Hoyan_net.Community.to_string c)
+              | None -> Value.Str s)))
+
+let parse_value st : Value.t =
+  match peek st with
+  | Some (Lexer.ATOM a) when not (List.mem a keywords) ->
+      advance st;
+      value_of_atom a
+  | Some (Lexer.STRING s) ->
+      advance st;
+      Value.Str s
+  | _ -> fail st "expected a value"
+
+let parse_field st : string =
+  match peek st with
+  | Some (Lexer.ATOM a) when Fields.is_field a ->
+      advance st;
+      a
+  | Some (Lexer.ATOM a) -> fail st (Printf.sprintf "unknown field %s" a)
+  | _ -> fail st "expected a field name"
+
+let parse_value_set st : Value.t list =
+  eat st Lexer.LBRACE;
+  let rec go acc =
+    match peek st with
+    | Some Lexer.RBRACE ->
+        advance st;
+        List.rev acc
+    | _ -> (
+        let v = parse_value st in
+        match peek st with
+        | Some Lexer.COMMA ->
+            advance st;
+            go (v :: acc)
+        | Some Lexer.RBRACE ->
+            advance st;
+            List.rev (v :: acc)
+        | _ -> fail st "expected , or } in value set")
+  in
+  go []
+
+let parse_cmp st : Ast.cmp =
+  match peek st with
+  | Some Lexer.EQ -> advance st; Ast.Eq
+  | Some Lexer.NE -> advance st; Ast.Ne
+  | Some Lexer.LT -> advance st; Ast.Lt
+  | Some Lexer.LE -> advance st; Ast.Le
+  | Some Lexer.GT -> advance st; Ast.Gt
+  | Some Lexer.GE -> advance st; Ast.Ge
+  | _ -> fail st "expected a comparison operator"
+
+(* --- predicates ----------------------------------------------------------- *)
+
+let rec parse_pred st : Ast.pred =
+  let left = parse_pred_term st in
+  match peek st with
+  | Some (Lexer.ATOM "or") ->
+      advance st;
+      Ast.P_or (left, parse_pred st)
+  | Some (Lexer.ATOM "imply") ->
+      advance st;
+      Ast.P_imply (left, parse_pred st)
+  | _ -> left
+
+and parse_pred_term st : Ast.pred =
+  let left = parse_pred_factor st in
+  match peek st with
+  | Some (Lexer.ATOM "and") ->
+      advance st;
+      Ast.P_and (left, parse_pred_term st)
+  | _ -> left
+
+and parse_pred_factor st : Ast.pred =
+  match peek st with
+  | Some (Lexer.ATOM "not") ->
+      advance st;
+      Ast.P_not (parse_pred_factor st)
+  | Some Lexer.LPAREN ->
+      advance st;
+      let p = parse_pred st in
+      eat st Lexer.RPAREN;
+      p
+  | _ -> (
+      let field = parse_field st in
+      match peek st with
+      | Some (Lexer.ATOM ("contains" | "has")) ->
+          (* "has" appears in the paper's §4.3 use cases as a synonym *)
+          advance st;
+          Ast.P_contains (field, parse_value st)
+      | Some (Lexer.ATOM "matches") ->
+          advance st;
+          (match peek st with
+          | Some (Lexer.STRING re) ->
+              advance st;
+              Ast.P_matches (field, re)
+          | _ -> fail st "matches expects a quoted regex")
+      | Some (Lexer.ATOM "in") ->
+          advance st;
+          Ast.P_in (field, parse_value_set st)
+      | _ ->
+          let op = parse_cmp st in
+          Ast.P_cmp (field, op, parse_value st))
+
+(* --- transformations -------------------------------------------------------- *)
+
+let rec parse_transform st : Ast.transform =
+  let base =
+    match peek st with
+    | Some (Lexer.ATOM "PRE") ->
+        advance st;
+        Ast.T_pre
+    | Some (Lexer.ATOM "POST") ->
+        advance st;
+        Ast.T_post
+    | Some Lexer.LPAREN ->
+        advance st;
+        let r = parse_transform st in
+        eat st Lexer.RPAREN;
+        r
+    | _ -> fail st "expected PRE, POST or (transform)"
+  in
+  parse_filters st base
+
+and parse_filters st base =
+  match peek st with
+  | Some Lexer.FILTER ->
+      advance st;
+      (* the filter predicate may be parenthesized or a bare predicate *)
+      let p =
+        match peek st with
+        | Some Lexer.LPAREN ->
+            advance st;
+            let p = parse_pred st in
+            eat st Lexer.RPAREN;
+            p
+        | _ -> parse_pred_factor st
+      in
+      parse_filters st (Ast.T_filter (base, p))
+  | _ -> base
+
+(* --- evaluations ------------------------------------------------------------- *)
+
+let parse_agg st : Ast.agg =
+  match peek st with
+  | Some (Lexer.ATOM "count") ->
+      advance st;
+      eat st Lexer.LPAREN;
+      eat st Lexer.RPAREN;
+      Ast.Count
+  | Some (Lexer.ATOM "distCnt") ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let f = parse_field st in
+      eat st Lexer.RPAREN;
+      Ast.Dist_cnt f
+  | Some (Lexer.ATOM "distVals") ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let f = parse_field st in
+      eat st Lexer.RPAREN;
+      Ast.Dist_vals f
+  | _ -> fail st "expected count(), distCnt(field) or distVals(field)"
+
+let rec parse_eval st : Ast.eval =
+  let left = parse_eval_term st in
+  match peek st with
+  | Some Lexer.PLUS ->
+      advance st;
+      Ast.E_arith (left, Ast.Add, parse_eval st)
+  | Some Lexer.MINUS ->
+      advance st;
+      Ast.E_arith (left, Ast.Sub, parse_eval st)
+  | _ -> left
+
+and parse_eval_term st : Ast.eval =
+  let left = parse_eval_factor st in
+  match peek st with
+  | Some Lexer.STAR ->
+      advance st;
+      Ast.E_arith (left, Ast.Mul, parse_eval_term st)
+  | Some Lexer.SLASH ->
+      advance st;
+      Ast.E_arith (left, Ast.Div, parse_eval_term st)
+  | _ -> left
+
+and parse_eval_factor st : Ast.eval =
+  (* transformation |> aggregate *)
+  match
+    try_parse st (fun st ->
+        let r = parse_transform st in
+        eat st Lexer.PIPE;
+        let f = parse_agg st in
+        Ast.E_agg (r, f))
+  with
+  | Some e -> e
+  | None -> (
+      match peek st with
+      | Some Lexer.LBRACE -> Ast.E_val (Value.set_of_list (parse_value_set st))
+      | Some Lexer.LPAREN ->
+          advance st;
+          let e = parse_eval st in
+          eat st Lexer.RPAREN;
+          e
+      | _ -> Ast.E_val (parse_value st))
+
+(* --- intents -------------------------------------------------------------------- *)
+
+let rec parse_intent st : Ast.intent =
+  let left = parse_intent_term st in
+  match peek st with
+  | Some (Lexer.ATOM "or") ->
+      advance st;
+      Ast.G_or (left, parse_intent st)
+  | Some (Lexer.ATOM "imply") ->
+      advance st;
+      Ast.G_imply (left, parse_intent st)
+  | _ -> left
+
+and parse_intent_term st : Ast.intent =
+  let left = parse_intent_factor st in
+  match peek st with
+  | Some (Lexer.ATOM "and") ->
+      advance st;
+      Ast.G_and (left, parse_intent_term st)
+  | _ -> left
+
+and parse_intent_factor st : Ast.intent =
+  match peek st with
+  | Some (Lexer.ATOM "not") ->
+      advance st;
+      Ast.G_not (parse_intent_factor st)
+  | Some (Lexer.ATOM "forall") -> (
+      advance st;
+      let field = parse_field st in
+      match peek st with
+      | Some (Lexer.ATOM "in") ->
+          advance st;
+          let vals = parse_value_set st in
+          eat st Lexer.COLON;
+          Ast.G_forall_in (field, vals, parse_intent st)
+      | Some Lexer.COLON ->
+          advance st;
+          Ast.G_forall (field, parse_intent st)
+      | _ -> fail st "expected 'in {...} :' or ':' after forall field")
+  | _ -> (
+      (* 1. guarded intent: pred => intent *)
+      match
+        try_parse st (fun st ->
+            let p = parse_pred st in
+            eat st Lexer.ARROW;
+            let g = parse_intent st in
+            Ast.G_guard (p, g))
+      with
+      | Some g -> g
+      | None -> (
+          (* 2. RIB comparison: transform (=|!=) transform *)
+          match
+            try_parse st (fun st ->
+                let r1 = parse_transform st in
+                let eq =
+                  match peek st with
+                  | Some Lexer.EQ -> advance st; true
+                  | Some Lexer.NE -> advance st; false
+                  | _ -> fail st "expected = or != between RIBs"
+                in
+                let r2 = parse_transform st in
+                (* make sure we are not mid-way through an evaluation
+                   comparison like "PRE |> f = POST |> f": the transform
+                   comparison must consume up to a boundary *)
+                (match peek st with
+                | Some Lexer.PIPE -> fail st "evaluation, not rib comparison"
+                | _ -> ());
+                Ast.G_rib_cmp (r1, eq, r2))
+          with
+          | Some g -> g
+          | None -> (
+              (* 3. evaluation comparison *)
+              match
+                try_parse st (fun st ->
+                    let e1 = parse_eval st in
+                    let op = parse_cmp st in
+                    let e2 = parse_eval st in
+                    Ast.G_eval_cmp (e1, op, e2))
+              with
+              | Some g -> g
+              | None -> (
+                  (* 4. parenthesized intent *)
+                  match peek st with
+                  | Some Lexer.LPAREN ->
+                      advance st;
+                      let g = parse_intent st in
+                      eat st Lexer.RPAREN;
+                      g
+                  | _ -> fail st "expected an intent"))))
+
+(* --- entry points ------------------------------------------------------------------ *)
+
+let parse (src : string) : (Ast.intent, string) result =
+  match Lexer.tokenize src with
+  | exception Lexer.Lex_error msg -> Error ("lex error: " ^ msg)
+  | tokens -> (
+      let st = { tokens = Array.of_list tokens; pos = 0 } in
+      match parse_intent st with
+      | g ->
+          if st.pos = Array.length st.tokens then Ok g
+          else
+            Error
+              (Printf.sprintf "trailing tokens starting with %s"
+                 (Lexer.token_to_string st.tokens.(st.pos)))
+      | exception Parse_error msg -> Error msg)
+
+let parse_exn src =
+  match parse src with
+  | Ok g -> g
+  | Error msg -> invalid_arg (Printf.sprintf "Rcl.Parser.parse_exn: %s" msg)

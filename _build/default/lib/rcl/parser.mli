@@ -1,0 +1,15 @@
+(** Recursive-descent parser for RCL's concrete syntax.
+
+    ASCII spellings are accepted alongside the paper's symbols:
+    [=>] for ⇒, [|>] for ▷, [!=] for ≠, [<=]/[>=] for ≤/≥, [||] for the
+    filter bar.  See {!Lexer} for tokenization rules (communities,
+    prefixes and IPv6 addresses lex as single atoms). *)
+
+exception Parse_error of string
+
+(** Parse a complete intent; [Error] carries a message with the offending
+    token position. *)
+val parse : string -> (Ast.intent, string) result
+
+(** @raise Invalid_argument on parse errors. *)
+val parse_exn : string -> Ast.intent

@@ -1,0 +1,48 @@
+(** Pretty-printer for RCL ASTs (round-trips through {!Parser}). *)
+
+let value = Value.to_string
+
+let value_set vs = "{" ^ String.concat ", " (List.map value vs) ^ "}"
+
+let rec pred = function
+  | Ast.P_cmp (f, op, v) ->
+      Printf.sprintf "%s %s %s" f (Ast.cmp_to_string op) (value v)
+  | Ast.P_contains (f, v) -> Printf.sprintf "%s contains %s" f (value v)
+  | Ast.P_in (f, vs) -> Printf.sprintf "%s in %s" f (value_set vs)
+  | Ast.P_matches (f, re) -> Printf.sprintf "%s matches %S" f re
+  | Ast.P_and (a, b) -> Printf.sprintf "(%s and %s)" (pred a) (pred b)
+  | Ast.P_or (a, b) -> Printf.sprintf "(%s or %s)" (pred a) (pred b)
+  | Ast.P_imply (a, b) -> Printf.sprintf "(%s imply %s)" (pred a) (pred b)
+  | Ast.P_not a -> Printf.sprintf "not (%s)" (pred a)
+
+let rec transform = function
+  | Ast.T_pre -> "PRE"
+  | Ast.T_post -> "POST"
+  | Ast.T_filter (r, p) -> Printf.sprintf "%s||(%s)" (transform r) (pred p)
+
+let agg = function
+  | Ast.Count -> "count()"
+  | Ast.Dist_cnt f -> Printf.sprintf "distCnt(%s)" f
+  | Ast.Dist_vals f -> Printf.sprintf "distVals(%s)" f
+
+let rec eval = function
+  | Ast.E_val v -> value v
+  | Ast.E_agg (r, f) -> Printf.sprintf "%s |> %s" (transform r) (agg f)
+  | Ast.E_arith (a, op, b) ->
+      Printf.sprintf "(%s %s %s)" (eval a) (Ast.arith_to_string op) (eval b)
+
+let rec intent = function
+  | Ast.G_rib_cmp (r1, eq, r2) ->
+      Printf.sprintf "%s %s %s" (transform r1)
+        (if eq then "=" else "!=")
+        (transform r2)
+  | Ast.G_eval_cmp (e1, op, e2) ->
+      Printf.sprintf "%s %s %s" (eval e1) (Ast.cmp_to_string op) (eval e2)
+  | Ast.G_guard (p, g) -> Printf.sprintf "%s => %s" (pred p) (intent g)
+  | Ast.G_forall (f, g) -> Printf.sprintf "forall %s : %s" f (intent g)
+  | Ast.G_forall_in (f, vs, g) ->
+      Printf.sprintf "forall %s in %s : %s" f (value_set vs) (intent g)
+  | Ast.G_and (a, b) -> Printf.sprintf "(%s and %s)" (intent a) (intent b)
+  | Ast.G_or (a, b) -> Printf.sprintf "(%s or %s)" (intent a) (intent b)
+  | Ast.G_imply (a, b) -> Printf.sprintf "(%s imply %s)" (intent a) (intent b)
+  | Ast.G_not a -> Printf.sprintf "not (%s)" (intent a)

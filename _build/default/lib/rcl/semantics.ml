@@ -1,0 +1,153 @@
+(** Evaluation rules of RCL (Figure 11 / Appendix A.2).
+
+    An intent maps the pair (base RIB M, updated RIB N) to a Boolean.
+    RIBs are global-RIB route lists; RIB equality is multiset equality. *)
+
+open Hoyan_net
+
+type rib = Route.t list
+
+(* --- route predicates --------------------------------------------------- *)
+
+let rec eval_pred (p : Ast.pred) (r : Route.t) : bool =
+  match p with
+  | Ast.P_cmp (field, op, v) -> (
+      let fv = Fields.get field r in
+      match Value.cmp (Ast.cmp_op op) fv v with
+      | Some b -> b
+      | None -> false)
+  | Ast.P_contains (field, v) -> (
+      match Fields.get field r with
+      | Value.Set members -> List.exists (Value.equal v) members
+      | fv -> Value.equal fv v)
+  | Ast.P_in (field, vals) ->
+      let fv = Fields.get field r in
+      List.exists (Value.equal fv) vals
+  | Ast.P_matches (field, regex) -> (
+      match Fields.get field r with
+      | Value.Str s -> Hoyan_regex.Regex.matches_str regex s
+      | Value.Num n -> Hoyan_regex.Regex.matches_str regex (Value.to_string (Value.Num n))
+      | Value.Set _ -> false)
+  | Ast.P_and (a, b) -> eval_pred a r && eval_pred b r
+  | Ast.P_or (a, b) -> eval_pred a r || eval_pred b r
+  | Ast.P_imply (a, b) -> (not (eval_pred a r)) || eval_pred b r
+  | Ast.P_not a -> not (eval_pred a r)
+
+let filter (p : Ast.pred) (rib : rib) : rib = List.filter (eval_pred p) rib
+
+(* --- transformations ----------------------------------------------------- *)
+
+let rec eval_transform (t : Ast.transform) ~(pre : rib) ~(post : rib) : rib =
+  match t with
+  | Ast.T_pre -> pre
+  | Ast.T_post -> post
+  | Ast.T_filter (r, p) -> filter p (eval_transform r ~pre ~post)
+
+(* --- aggregates ----------------------------------------------------------- *)
+
+let eval_agg (f : Ast.agg) (rib : rib) : Value.t =
+  match f with
+  | Ast.Count -> Value.of_int (List.length rib)
+  | Ast.Dist_cnt field ->
+      let vals = List.map (Fields.get field) rib in
+      Value.of_int
+        (List.length (List.sort_uniq Value.compare_value vals))
+  | Ast.Dist_vals field ->
+      Value.set_of_list (List.map (Fields.get field) rib)
+
+(* --- evaluations ------------------------------------------------------------ *)
+
+exception Eval_error of string
+
+let rec eval_eval (e : Ast.eval) ~(pre : rib) ~(post : rib) : Value.t =
+  match e with
+  | Ast.E_val v -> v
+  | Ast.E_agg (r, f) -> eval_agg f (eval_transform r ~pre ~post)
+  | Ast.E_arith (a, op, b) -> (
+      let va = eval_eval a ~pre ~post and vb = eval_eval b ~pre ~post in
+      match Value.arith (Ast.arith_op_tag op) va vb with
+      | Some v -> v
+      | None ->
+          raise
+            (Eval_error
+               (Printf.sprintf "cannot compute %s %s %s" (Value.to_string va)
+                  (Ast.arith_to_string op) (Value.to_string vb))))
+
+(* --- RIB multiset equality ----------------------------------------------- *)
+
+let rib_equal (a : rib) (b : rib) = Rib.Global.equal a b
+
+(* --- intents -------------------------------------------------------------- *)
+
+(** Distinct values of a field across both RIBs (for [forall field : g]). *)
+let group_values (field : string) ~(pre : rib) ~(post : rib) : Value.t list =
+  List.map (Fields.get field) pre @ List.map (Fields.get field) post
+  |> List.sort_uniq Value.compare_value
+
+let filter_field_eq field v rib =
+  List.filter (fun r -> Value.equal (Fields.get field r) v) rib
+
+(** Bucket both RIBs by a field's value in one pass: the [forall]
+    evaluation is O(|M|+|N|) instead of filtering per group value, which
+    matters at production RIB sizes (Figure 8 measures verification over
+    the full WAN). *)
+let group_by (field : string) ~(pre : rib) ~(post : rib) :
+    (Value.t * (rib * rib)) list =
+  let tbl : (Value.t, Route.t list ref * Route.t list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let order = ref [] in
+  let bucket v =
+    match Hashtbl.find_opt tbl v with
+    | Some b -> b
+    | None ->
+        let b = (ref [], ref []) in
+        Hashtbl.add tbl v b;
+        order := v :: !order;
+        b
+  in
+  List.iter
+    (fun r ->
+      let p, _ = bucket (Fields.get field r) in
+      p := r :: !p)
+    pre;
+  List.iter
+    (fun r ->
+      let _, q = bucket (Fields.get field r) in
+      q := r :: !q)
+    post;
+  List.rev_map
+    (fun v ->
+      let p, q = Hashtbl.find tbl v in
+      (v, (List.rev !p, List.rev !q)))
+    !order
+
+let rec eval_intent (g : Ast.intent) ~(pre : rib) ~(post : rib) : bool =
+  match g with
+  | Ast.G_rib_cmp (r1, eq, r2) ->
+      let a = eval_transform r1 ~pre ~post
+      and b = eval_transform r2 ~pre ~post in
+      if eq then rib_equal a b else not (rib_equal a b)
+  | Ast.G_eval_cmp (e1, op, e2) -> (
+      let v1 = eval_eval e1 ~pre ~post and v2 = eval_eval e2 ~pre ~post in
+      match Value.cmp (Ast.cmp_op op) v1 v2 with
+      | Some b -> b
+      | None -> false)
+  | Ast.G_guard (p, g) ->
+      eval_intent g ~pre:(filter p pre) ~post:(filter p post)
+  | Ast.G_forall (field, g) ->
+      List.for_all
+        (fun (_, (p, q)) -> eval_intent g ~pre:p ~post:q)
+        (group_by field ~pre ~post)
+  | Ast.G_forall_in (field, vals, g) ->
+      List.for_all
+        (fun v ->
+          eval_intent g
+            ~pre:(filter_field_eq field v pre)
+            ~post:(filter_field_eq field v post))
+        vals
+  | Ast.G_and (a, b) -> eval_intent a ~pre ~post && eval_intent b ~pre ~post
+  | Ast.G_or (a, b) -> eval_intent a ~pre ~post || eval_intent b ~pre ~post
+  | Ast.G_imply (a, b) ->
+      (not (eval_intent a ~pre ~post)) || eval_intent b ~pre ~post
+  | Ast.G_not a -> not (eval_intent a ~pre ~post)

@@ -1,0 +1,42 @@
+(** Evaluation rules of RCL (paper Figure 11 / Appendix A.2).
+
+    An intent maps the pair (base RIB [pre], updated RIB [post]) to a
+    Boolean; RIBs are global-RIB route lists and RIB equality is multiset
+    equality. *)
+
+open Hoyan_net
+
+type rib = Route.t list
+
+(** Route-predicate evaluation on one row. *)
+val eval_pred : Ast.pred -> Route.t -> bool
+
+(** [filter p rib] keeps the rows satisfying [p] (the paper's
+    {b filter}_p). *)
+val filter : Ast.pred -> rib -> rib
+
+val eval_transform : Ast.transform -> pre:rib -> post:rib -> rib
+
+val eval_agg : Ast.agg -> rib -> Value.t
+
+exception Eval_error of string
+
+(** @raise Eval_error on ill-typed arithmetic (e.g. dividing sets). *)
+val eval_eval : Ast.eval -> pre:rib -> post:rib -> Value.t
+
+(** Multiset equality of two RIBs. *)
+val rib_equal : rib -> rib -> bool
+
+(** Distinct values of a field across both RIBs ([forall field : g]). *)
+val group_values : string -> pre:rib -> post:rib -> Value.t list
+
+val filter_field_eq : string -> Value.t -> rib -> rib
+
+(** Bucket both RIBs by a field's value in one pass — O(|pre|+|post|)
+    rather than one filter per group, which matters at production RIB
+    sizes (Figure 8). *)
+val group_by :
+  string -> pre:rib -> post:rib -> (Value.t * (rib * rib)) list
+
+(** Top-level intent evaluation. *)
+val eval_intent : Ast.intent -> pre:rib -> post:rib -> bool

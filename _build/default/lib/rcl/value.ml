@@ -1,0 +1,64 @@
+(** Runtime values of RCL evaluations (Table 7): numbers, strings, and
+    sets of these. *)
+
+type t =
+  | Num of float
+  | Str of string
+  | Set of t list (* sorted, unique *)
+
+let rec compare_value a b =
+  match (a, b) with
+  | Num x, Num y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Set x, Set y -> List.compare compare_value x y
+  | Num _, _ -> -1
+  | _, Num _ -> 1
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+
+let equal a b = compare_value a b = 0
+
+let set_of_list l = Set (List.sort_uniq compare_value l)
+
+let num n = Num n
+let of_int n = Num (float_of_int n)
+let str s = Str s
+
+let rec to_string = function
+  | Num n ->
+      if Float.is_integer n && Float.abs n < 1e15 then
+        string_of_int (int_of_float n)
+      else string_of_float n
+  | Str s -> s
+  | Set l -> "{" ^ String.concat ", " (List.map to_string l) ^ "}"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(** Numeric comparison operators; [None] when the types do not admit the
+    comparison (e.g. ordering two sets). *)
+let cmp op a b =
+  let ord c =
+    match op with
+    | `Eq -> c = 0
+    | `Ne -> c <> 0
+    | `Lt -> c < 0
+    | `Le -> c <= 0
+    | `Gt -> c > 0
+    | `Ge -> c >= 0
+  in
+  match (a, b, op) with
+  | Num x, Num y, _ -> Some (ord (Float.compare x y))
+  | Str x, Str y, _ -> Some (ord (String.compare x y))
+  | Set _, Set _, (`Eq | `Ne) -> Some (ord (compare_value a b))
+  | _, _, (`Eq | `Ne) -> Some (ord (compare_value a b))
+  | _ -> None
+
+let arith op a b =
+  match (a, b) with
+  | Num x, Num y -> (
+      match op with
+      | `Add -> Some (Num (x +. y))
+      | `Sub -> Some (Num (x -. y))
+      | `Mul -> Some (Num (x *. y))
+      | `Div -> if y = 0. then None else Some (Num (x /. y)))
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Array List Printf String

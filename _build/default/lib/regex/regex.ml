@@ -1,0 +1,335 @@
+(** A small regular-expression engine (Thompson NFA construction, no
+    backtracking) used for AS-path matching in route policies and for the
+    RCL [matches] predicate.
+
+    Supported syntax: literals, [.], [*], [+], [?], alternation [|],
+    grouping [( )], character classes [[abc]], [[a-z]], negated classes
+    [[^...]], escapes [\\c], anchors [^] and [$] (matching is full-string
+    for {!matches}, so anchors are accepted and ignored at the ends, but
+    {!search} honours them).
+
+    The paper reports (§5.3) that Hoyan's {e early} implementation of
+    AS-path regular expression matching was flawed and caused wrong route
+    policy matching; {!Legacy} reproduces a matcher with that class of bug
+    so the accuracy-diagnosis experiments can re-detect it by differential
+    testing against this engine. *)
+
+type cls = Any | Chars of (char * char) list * bool (* ranges, negated *)
+
+type ast =
+  | Empty
+  | Char of cls
+  | Seq of ast * ast
+  | Alt of ast * ast
+  | Star of ast
+  | Plus of ast
+  | Opt of ast
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse (s : string) : ast =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d in %S" msg !pos s)) in
+  let parse_class () =
+    (* assumes '[' consumed *)
+    let negated =
+      match peek () with
+      | Some '^' ->
+          advance ();
+          true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated character class"
+      | Some ']' -> advance ()
+      | Some c ->
+          advance ();
+          let c = if c = '\\' then (
+            match peek () with
+            | Some e ->
+                advance ();
+                e
+            | None -> fail "dangling escape in class")
+          else c
+          in
+          (match peek () with
+          | Some '-' when !pos + 1 < n && s.[!pos + 1] <> ']' ->
+              advance ();
+              let hi =
+                match peek () with
+                | Some h ->
+                    advance ();
+                    h
+                | None -> fail "unterminated range"
+              in
+              ranges := (c, hi) :: !ranges
+          | _ -> ranges := (c, c) :: !ranges);
+          loop ()
+    in
+    loop ();
+    Chars (List.rev !ranges, negated)
+  in
+  (* Grammar: alt := seq ('|' seq)* ; seq := rep* ; rep := atom [*+?]* *)
+  let rec parse_alt () =
+    let left = parse_seq () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        Alt (left, parse_alt ())
+    | _ -> left
+  and parse_seq () =
+    let rec loop acc =
+      match peek () with
+      | None | Some '|' | Some ')' -> acc
+      | _ ->
+          let atom = parse_rep () in
+          loop (if acc = Empty then atom else Seq (acc, atom))
+    in
+    loop Empty
+  and parse_rep () =
+    let atom = parse_atom () in
+    let rec post a =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          post (Star a)
+      | Some '+' ->
+          advance ();
+          post (Plus a)
+      | Some '?' ->
+          advance ();
+          post (Opt a)
+      | _ -> a
+    in
+    post atom
+  and parse_atom () =
+    match peek () with
+    | None -> fail "expected atom"
+    | Some '(' ->
+        advance ();
+        let inner = parse_alt () in
+        (match peek () with
+        | Some ')' ->
+            advance ();
+            inner
+        | _ -> fail "unbalanced parenthesis")
+    | Some '.' ->
+        advance ();
+        Char Any
+    | Some '[' ->
+        advance ();
+        Char (parse_class ())
+    | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some c ->
+            advance ();
+            Char (Chars ([ (c, c) ], false))
+        | None -> fail "dangling escape")
+    | Some ('^' | '$') ->
+        (* Anchors: full-string matching makes them no-ops at the ends;
+           we accept them anywhere and treat them as empty. *)
+        advance ();
+        Empty
+    | Some ('*' | '+' | '?') -> fail "dangling repetition operator"
+    | Some c ->
+        advance ();
+        Char (Chars ([ (c, c) ], false))
+  in
+  let ast = parse_alt () in
+  if !pos <> n then fail "trailing characters" else ast
+
+(* ------------------------------------------------------------------ *)
+(* NFA construction (Thompson)                                         *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable trans : (cls * int) list; mutable eps : int list }
+
+type t = { states : state array; start : int; accept : int }
+
+let cls_match cls c =
+  match cls with
+  | Any -> true
+  | Chars (ranges, negated) ->
+      let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
+      if negated then not inside else inside
+
+let compile_ast (ast : ast) : t =
+  let states = ref [] in
+  let count = ref 0 in
+  let new_state () =
+    let s = { trans = []; eps = [] } in
+    states := s :: !states;
+    let id = !count in
+    incr count;
+    (id, s)
+  in
+  (* returns (entry, exit) state ids *)
+  let rec build = function
+    | Empty ->
+        let i, si = new_state () in
+        let o, _ = new_state () in
+        si.eps <- o :: si.eps;
+        (i, o)
+    | Char cls ->
+        let i, si = new_state () in
+        let o, _ = new_state () in
+        si.trans <- (cls, o) :: si.trans;
+        (i, o)
+    | Seq (a, b) ->
+        let ia, oa = build a in
+        let ib, ob = build b in
+        let sa = List.nth !states (!count - 1 - oa) in
+        sa.eps <- ib :: sa.eps;
+        (ia, ob)
+    | Alt (a, b) ->
+        let i, si = new_state () in
+        let o, _ = new_state () in
+        let ia, oa = build a in
+        let ib, ob = build b in
+        si.eps <- ia :: ib :: si.eps;
+        let sa = List.nth !states (!count - 1 - oa) in
+        sa.eps <- o :: sa.eps;
+        let sb = List.nth !states (!count - 1 - ob) in
+        sb.eps <- o :: sb.eps;
+        (i, o)
+    | Star a ->
+        let i, si = new_state () in
+        let o, _ = new_state () in
+        let ia, oa = build a in
+        si.eps <- ia :: o :: si.eps;
+        let sa = List.nth !states (!count - 1 - oa) in
+        sa.eps <- ia :: o :: sa.eps;
+        (i, o)
+    | Plus a ->
+        let ia, oa = build a in
+        let o, _ = new_state () in
+        let sa = List.nth !states (!count - 1 - oa) in
+        sa.eps <- ia :: o :: sa.eps;
+        (ia, o)
+    | Opt a ->
+        let i, si = new_state () in
+        let o, _ = new_state () in
+        let ia, oa = build a in
+        si.eps <- ia :: o :: si.eps;
+        let sa = List.nth !states (!count - 1 - oa) in
+        sa.eps <- o :: sa.eps;
+        (i, o)
+  in
+  let start, accept = build ast in
+  let arr = Array.of_list (List.rev !states) in
+  { states = arr; start; accept }
+
+let compile (pattern : string) : t = compile_ast (parse pattern)
+
+let compile_opt (pattern : string) : t option =
+  match compile pattern with t -> Some t | exception Parse_error _ -> None
+
+(* Epsilon closure of a set of states. *)
+let closure (t : t) (set : bool array) =
+  let rec visit id =
+    if not set.(id) then begin
+      set.(id) <- true;
+      List.iter visit t.states.(id).eps
+    end
+  in
+  let seeds = ref [] in
+  Array.iteri (fun i b -> if b then seeds := i :: !seeds) set;
+  Array.fill set 0 (Array.length set) false;
+  List.iter visit !seeds
+
+(** Full-string match: the whole [input] must match the pattern, matching
+    the paper's [re_match] semantics (Table 7). *)
+let matches (t : t) (input : string) : bool =
+  let n_states = Array.length t.states in
+  let cur = Array.make n_states false in
+  cur.(t.start) <- true;
+  closure t cur;
+  let next = Array.make n_states false in
+  String.iter
+    (fun c ->
+      Array.fill next 0 n_states false;
+      Array.iteri
+        (fun id active ->
+          if active then
+            List.iter
+              (fun (cls, dst) -> if cls_match cls c then next.(dst) <- true)
+              t.states.(id).trans)
+        cur;
+      closure t next;
+      Array.blit next 0 cur 0 n_states)
+    input;
+  cur.(t.accept)
+
+(** Substring search: does any substring of [input] match?  Equivalent to
+    matching against [".*(pattern).*"]. *)
+let search (t : t) (input : string) : bool =
+  let n = String.length input in
+  let rec try_from i =
+    if i > n then false
+    else
+      let n_states = Array.length t.states in
+      let cur = Array.make n_states false in
+      cur.(t.start) <- true;
+      closure t cur;
+      if cur.(t.accept) then true
+      else
+        let rec step j cur =
+          if j >= n then false
+          else begin
+            let next = Array.make n_states false in
+            Array.iteri
+              (fun id active ->
+                if active then
+                  List.iter
+                    (fun (cls, dst) ->
+                      if cls_match cls input.[j] then next.(dst) <- true)
+                    t.states.(id).trans)
+              cur;
+            closure t next;
+            if next.(t.accept) then true else step (j + 1) next
+          end
+        in
+        if step i cur then true else try_from (i + 1)
+  in
+  try_from 0
+
+let matches_str pattern input =
+  match compile_opt pattern with
+  | Some t -> matches t input
+  | None -> false
+
+module Legacy = struct
+  (** The flawed legacy matcher (see §5.3: "Hoyan's early implementation of
+      regular expression matching for AS path was flawed, leading to wrong
+      route policy matching").
+
+      Bug reproduced: the legacy engine implements [x*] as {e at most one}
+      occurrence of [x] (i.e. it behaves like [x?]).  Patterns such as
+      [".* 123 .*"] therefore fail to match AS paths where 123 is more than
+      one hop from either end — exactly the class of silent
+      policy-mismatch the accuracy framework caught by comparing simulated
+      and monitored RIBs. *)
+
+  let rec strip_star = function
+    | Star a -> Opt (strip_star a)
+    | Plus a -> strip_star a (* also wrong: x+ behaves like x *)
+    | Seq (a, b) -> Seq (strip_star a, strip_star b)
+    | Alt (a, b) -> Alt (strip_star a, strip_star b)
+    | Opt a -> Opt (strip_star a)
+    | (Empty | Char _) as leaf -> leaf
+
+  let matches_str pattern input =
+    match parse pattern with
+    | ast -> matches (compile_ast (strip_star ast)) input
+    | exception Parse_error _ -> false
+end

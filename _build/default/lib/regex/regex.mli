@@ -1,0 +1,35 @@
+(** A small regular-expression engine (Thompson NFA, no backtracking)
+    used for AS-path matching in route policies and for RCL's [matches].
+
+    Supported syntax: literals, [.], [*], [+], [?], alternation [|],
+    grouping, character classes (incl. ranges and negation), escapes.
+    {!matches} is full-string matching — the paper's [re_match] semantics
+    (Table 7); {!search} finds a matching substring. *)
+
+exception Parse_error of string
+
+type t
+
+(** @raise Parse_error on malformed patterns. *)
+val compile : string -> t
+
+val compile_opt : string -> t option
+
+(** Full-string match. *)
+val matches : t -> string -> bool
+
+(** Substring search (equivalent to matching [".*(p).*"]). *)
+val search : t -> string -> bool
+
+(** [matches_str pattern input] compiles and matches; malformed patterns
+    never match. *)
+val matches_str : string -> string -> bool
+
+(** The flawed legacy matcher (§5.3 of the paper: Hoyan's early AS-path
+    regex implementation caused wrong route policy matching).  The
+    reproduced bug treats [x*] as [x?] (and [x+] as [x]), so patterns
+    like [".* 123 .*"] miss occurrences more than one token deep.  Used
+    by the accuracy-diagnosis experiments via differential testing. *)
+module Legacy : sig
+  val matches_str : string -> string -> bool
+end

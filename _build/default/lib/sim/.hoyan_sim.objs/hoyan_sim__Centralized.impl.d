@@ -1,0 +1,1 @@
+lib/sim/centralized.ml: Array Hashtbl Hoyan_net Hoyan_proto List Model Prefix Route Route_sim Unix

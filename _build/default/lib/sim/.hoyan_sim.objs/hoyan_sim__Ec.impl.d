@@ -1,0 +1,1 @@
+lib/sim/ec.ml: As_path Buffer Community Hashtbl Hoyan_config Hoyan_net List Map Prefix Printf Route String

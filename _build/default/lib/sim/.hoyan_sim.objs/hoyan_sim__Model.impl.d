@@ -1,0 +1,1 @@
+lib/sim/model.ml: Hashtbl Hoyan_config Hoyan_net Hoyan_proto Hoyan_regex Ip List Map Option Prefix Printf Route String Topology

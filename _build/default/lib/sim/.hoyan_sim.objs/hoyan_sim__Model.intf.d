@@ -1,0 +1,1 @@
+lib/sim/model.mli: Hashtbl Hoyan_config Hoyan_net Hoyan_proto Ip Map Route String Topology

@@ -1,0 +1,1 @@
+lib/sim/route_sim.ml: Ec Hashtbl Hoyan_net Hoyan_proto List Map Model Option Prefix Route String

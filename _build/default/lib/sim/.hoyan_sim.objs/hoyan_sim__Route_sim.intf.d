@@ -1,0 +1,1 @@
+lib/sim/route_sim.mli: Hoyan_net Hoyan_proto Model Route

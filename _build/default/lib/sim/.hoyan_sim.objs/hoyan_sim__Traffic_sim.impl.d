@@ -1,0 +1,1 @@
+lib/sim/traffic_sim.ml: Buffer Flow Hashtbl Hoyan_config Hoyan_net Hoyan_proto Ip List Map Model Option Prefix Route String Topology Trie

@@ -1,0 +1,1 @@
+lib/sim/traffic_sim.mli: Flow Hashtbl Hoyan_net Ip Model Prefix Route Trie

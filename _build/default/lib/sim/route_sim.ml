@@ -1,0 +1,103 @@
+(** Route simulation: input routes -> all routers' RIBs.
+
+    Wraps the BGP fixpoint engine with the equivalence-class compression
+    of §3.1: one representative per EC is simulated and the resulting RIB
+    rows are replicated for the other members (same rows, member's
+    prefix).  Aggregate-prefix rows are never expanded (EC condition (2)
+    guarantees all members trigger the same aggregates, so the aggregate
+    rows are shared) — they are emitted once. *)
+
+open Hoyan_net
+module Smap = Map.Make (String)
+module Bgp = Hoyan_proto.Bgp
+
+type result = {
+  rib : Route.t list; (* the global RIB: BGP + local-table routes *)
+  bgp_stats : Bgp.stats;
+  input_count : int;
+  ec_count : int;
+  compression : float;
+}
+
+(** Rows produced for the representative's prefix, re-keyed to a member
+    prefix of the same class. *)
+let expand_rows (rows : Route.t list) (member : Prefix.t) : Route.t list =
+  List.map (fun (r : Route.t) -> { r with Route.prefix = member }) rows
+
+(** Run the route simulation.
+
+    [use_ecs=false] disables EC compression (ablation).  [new_routes] are
+    additional input routes from the change plan (e.g. a new prefix
+    announcement); they are simulated alongside the pre-computed inputs. *)
+let run ?(use_ecs = true) ?(include_locals = true) ?(originate = true)
+    (model : Model.t) ~(input_routes : Route.t list) ?(new_routes = []) () :
+    result =
+  let all_inputs = input_routes @ new_routes in
+  let input_count = List.length all_inputs in
+  if not use_ecs then begin
+    let rib, stats =
+      Bgp.run ~originate model.Model.net
+        { Bgp.in_routes = all_inputs; in_local_tables = model.Model.local_tables }
+    in
+    let locals =
+      if not include_locals then []
+      else
+        Smap.fold
+          (fun _ rs acc -> List.rev_append rs acc)
+          model.Model.local_tables []
+    in
+    {
+      rib = rib @ locals;
+      bgp_stats = stats;
+      input_count;
+      ec_count = input_count;
+      compression = 1.0;
+    }
+  end
+  else begin
+    let sig_ctx = Ec.signature_ctx model.Model.configs in
+    let groups = Ec.group_routes sig_ctx all_inputs in
+    let reps = Ec.simulated_routes groups in
+    let rib, stats =
+      Bgp.run ~originate model.Model.net
+        { Bgp.in_routes = reps; in_local_tables = model.Model.local_tables }
+    in
+    (* index resulting rows by prefix for expansion *)
+    let rows_by_prefix = Hashtbl.create 1024 in
+    List.iter
+      (fun (r : Route.t) ->
+        let existing =
+          Option.value (Hashtbl.find_opt rows_by_prefix r.Route.prefix)
+            ~default:[]
+        in
+        Hashtbl.replace rows_by_prefix r.Route.prefix (r :: existing))
+      rib;
+    let expanded =
+      List.concat_map
+        (fun (g : Ec.group) ->
+          let rep_rows =
+            Option.value (Hashtbl.find_opt rows_by_prefix g.Ec.rep_prefix)
+              ~default:[]
+          in
+          List.concat_map
+            (fun member ->
+              if Prefix.equal member g.Ec.rep_prefix then []
+              else expand_rows rep_rows member)
+            g.Ec.member_prefixes)
+        groups
+    in
+    let locals =
+      if not include_locals then []
+      else
+        Smap.fold
+          (fun _ rs acc -> List.rev_append rs acc)
+          model.Model.local_tables []
+    in
+    {
+      rib = rib @ expanded @ locals;
+      bgp_stats = stats;
+      input_count;
+      ec_count = List.length groups;
+      compression = Ec.compression groups;
+    }
+  end

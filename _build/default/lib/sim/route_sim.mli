@@ -1,0 +1,36 @@
+(** Route simulation: input routes -> all routers' RIBs (paper §3.1).
+
+    Wraps the BGP fixpoint engine with equivalence-class compression: one
+    representative prefix is simulated per class and the resulting rows
+    are replicated for the other members. *)
+
+open Hoyan_net
+
+type result = {
+  rib : Route.t list;  (** the global RIB (BGP rows + local tables) *)
+  bgp_stats : Hoyan_proto.Bgp.stats;
+  input_count : int;  (** input routes submitted *)
+  ec_count : int;  (** equivalence classes (simulation units) *)
+  compression : float;  (** input routes / simulated routes *)
+}
+
+(** Run the route simulation for a model on the given input routes.
+
+    - [use_ecs=false] disables EC compression (ablation; results must be
+      identical, which the test suite checks).
+    - [include_locals=false] omits connected/static/IS-IS rows from the
+      result (distributed subtask workers use this; the rows live in the
+      shared base RIB file instead).
+    - [originate=false] also skips network statements and redistribution
+      (again for subtask workers).
+    - [new_routes] are additional inputs from the change plan, e.g. a new
+      prefix announcement. *)
+val run :
+  ?use_ecs:bool ->
+  ?include_locals:bool ->
+  ?originate:bool ->
+  Model.t ->
+  input_routes:Route.t list ->
+  ?new_routes:Route.t list ->
+  unit ->
+  result

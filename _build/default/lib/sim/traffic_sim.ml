@@ -1,0 +1,485 @@
+(** Traffic simulation: input flows -> forwarding paths and link loads.
+
+    After route simulation produces the RIBs, Hoyan simulates the
+    forwarding of all input flows by following each router's FIB (§3.1),
+    producing per-flow forwarding paths and per-link traffic loads.  Flow
+    equivalence classes (same longest-prefix match on all RIBs, plus the
+    same ACL/PBR behaviour) reduce the number of simulated flows by about
+    two orders of magnitude in production.
+
+    ECMP is modelled by splitting a flow's volume equally across equal-
+    cost branches (both BGP multipath and IGP ECMP); SR-policy tunnels
+    override hop-by-hop forwarding for next hops that are tunnel
+    endpoints; PBR rules bound to the ingress interface override the FIB;
+    interface ACLs drop matching traffic. *)
+
+open Hoyan_net
+module Types = Hoyan_config.Types
+module Isis = Hoyan_proto.Isis
+module Sr = Hoyan_proto.Sr
+module Smap = Map.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* FIB construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type fib = (string, Route.t list Trie.Dual.t) Hashtbl.t
+
+(** Build per-device FIBs (default VRF) from a global RIB: per prefix the
+    lowest-preference protocol wins, and its Best/Ecmp routes are
+    installed. *)
+let build_fibs (rib : Route.t list) : fib =
+  (* group per device, prefix *)
+  let tbl : (string * Prefix.t, Route.t list) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun (r : Route.t) ->
+      if String.equal r.Route.vrf Route.default_vrf then begin
+        let key = (r.Route.device, r.Route.prefix) in
+        let existing = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+        Hashtbl.replace tbl key (r :: existing)
+      end)
+    rib;
+  let fibs : fib = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (dev, prefix) routes ->
+      (* protocol selection happens among the *selected* (Best/Ecmp)
+         routes only: BGP has already picked its best path(s), and the
+         admin preference then arbitrates between protocols *)
+      let selected =
+        List.filter
+          (fun (r : Route.t) ->
+            match r.Route.route_type with
+            | Route.Best | Route.Ecmp -> true
+            | Route.Backup -> false)
+          routes
+      in
+      let min_pref =
+        List.fold_left (fun m (r : Route.t) -> min m r.Route.preference)
+          max_int selected
+      in
+      let installed =
+        List.filter
+          (fun (r : Route.t) -> r.Route.preference = min_pref)
+          selected
+      in
+      if installed <> [] then begin
+        let trie =
+          Option.value (Hashtbl.find_opt fibs dev) ~default:Trie.Dual.empty
+        in
+        Hashtbl.replace fibs dev (Trie.Dual.add trie prefix installed)
+      end)
+    tbl;
+  fibs
+
+let fib_lookup (fibs : fib) dev (addr : Ip.t) :
+    (Prefix.t * Route.t list) option =
+  match Hashtbl.find_opt fibs dev with
+  | None -> None
+  | Some trie -> Trie.Dual.longest_match trie addr
+
+(* ------------------------------------------------------------------ *)
+(* Flow walking                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type path = { hops : string list; fraction : float }
+
+type walk_result = {
+  w_paths : path list; (* delivered paths (capped) *)
+  w_edges : ((string * string) * float) list; (* traversed edge fractions *)
+  w_delivered : float;
+  w_dropped : float;
+  w_looped : float;
+}
+
+let max_depth = 64
+let max_paths = 128
+
+type walker = {
+  wk_model : Model.t;
+  wk_fibs : fib;
+  mutable wk_paths : path list;
+  mutable wk_npaths : int;
+  wk_edges : (string * string, float) Hashtbl.t;
+  mutable wk_delivered : float;
+  mutable wk_dropped : float;
+  mutable wk_looped : float;
+}
+
+let record_edge wk src dst frac =
+  let key = (src, dst) in
+  let cur = Option.value (Hashtbl.find_opt wk.wk_edges key) ~default:0. in
+  Hashtbl.replace wk.wk_edges key (cur +. frac)
+
+let record_path wk hops frac =
+  wk.wk_delivered <- wk.wk_delivered +. frac;
+  if wk.wk_npaths < max_paths then begin
+    wk.wk_paths <- { hops = List.rev hops; fraction = frac } :: wk.wk_paths;
+    wk.wk_npaths <- wk.wk_npaths + 1
+  end
+
+(** The in-interface at [next] when arriving from [cur]. *)
+let in_iface_at (model : Model.t) ~cur ~next =
+  match Topology.edge_between model.Model.topo cur next with
+  | Some e -> Some e.Topology.dst_if
+  | None -> None
+
+let acl_matches_flow cfg acl_name (f : Flow.t) =
+  match Types.find_acl cfg acl_name with
+  | None -> None
+  | Some acl ->
+      Types.acl_eval acl ~src:f.Flow.src ~dst:f.Flow.dst ~proto:f.Flow.ip_proto
+        ~dport:f.Flow.dport
+
+(** Follow an SR tunnel's explicit path, recording edges; returns the tail
+    device (or None when the path is broken in the current topology). *)
+let follow_tunnel wk (tunnel : Sr.tunnel) frac : string option =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if Option.is_some (Topology.edge_between wk.wk_model.Model.topo a b)
+        then begin
+          record_edge wk a b frac;
+          go rest
+        end
+        else None
+    | [ last ] -> Some last
+    | [] -> None
+  in
+  go tunnel.Sr.tn_path
+
+let rec walk wk (f : Flow.t) ~dev ~in_iface ~frac ~visited ~hops ~depth =
+  if frac < 1e-9 then ()
+  else if depth > max_depth || List.mem dev visited then
+    wk.wk_looped <- wk.wk_looped +. frac
+  else
+    let model = wk.wk_model in
+    let cfg = Smap.find_opt dev model.Model.configs in
+    (* 1. ingress ACL *)
+    let dropped_by_acl =
+      match (cfg, in_iface) with
+      | Some cfg, Some ifname -> (
+          match Types.iface cfg ifname with
+          | Some i -> (
+              match i.Types.if_acl_in with
+              | Some acl -> (
+                  match acl_matches_flow cfg acl f with
+                  | Some Types.Deny -> true
+                  | Some Types.Permit | None -> false)
+              | None -> false)
+          | None -> false)
+      | _ -> false
+    in
+    if dropped_by_acl then wk.wk_dropped <- wk.wk_dropped +. frac
+    else
+      (* 2. PBR override on the ingress interface *)
+      let pbr_nh =
+        match (cfg, in_iface) with
+        | Some cfg, Some ifname ->
+            List.find_map
+              (fun (p : Types.pbr_rule) ->
+                if
+                  String.equal p.Types.pbr_iface ifname
+                  && (match acl_matches_flow cfg p.Types.pbr_acl f with
+                     | Some Types.Permit -> true
+                     | Some Types.Deny | None -> false)
+                then Some p.Types.pbr_nexthop
+                else None)
+              cfg.Types.dc_pbr
+        | _ -> None
+      in
+      let nexthops =
+        match pbr_nh with
+        | Some nh -> `Forward [ Some nh ]
+        | None -> (
+            match fib_lookup wk.wk_fibs dev f.Flow.dst with
+            | None -> `NoRoute
+            | Some (_, routes) ->
+                let delivered =
+                  List.exists
+                    (fun (r : Route.t) -> r.Route.proto = Route.Direct)
+                    routes
+                in
+                if delivered then `Delivered
+                else `Forward (List.map (fun r -> r.Route.nexthop) routes))
+      in
+      match nexthops with
+      | `NoRoute -> wk.wk_dropped <- wk.wk_dropped +. frac
+      | `Delivered -> record_path wk (dev :: hops) frac
+      | `Forward nhs ->
+          let n = List.length nhs in
+          let sub_frac = frac /. float_of_int n in
+          List.iter
+            (fun nh ->
+              match nh with
+              | None ->
+                  (* locally originated route selected: treat as delivered
+                     at this device (e.g. an aggregate originator) *)
+                  record_path wk (dev :: hops) sub_frac
+              | Some nh -> (
+                  (* SR tunnel override *)
+                  let tunnels =
+                    Option.value (Smap.find_opt dev model.Model.tunnels)
+                      ~default:[]
+                  in
+                  match Sr.tunnel_to tunnels nh with
+                  | Some tunnel -> (
+                      match follow_tunnel wk tunnel sub_frac with
+                      | Some tail ->
+                          let tunnel_hops =
+                            List.rev (List.tl tunnel.Sr.tn_path)
+                          in
+                          walk wk f ~dev:tail ~in_iface:None ~frac:sub_frac
+                            ~visited:(dev :: visited)
+                            ~hops:(tunnel_hops @ hops)
+                            ~depth:(depth + 1)
+                      | None -> wk.wk_dropped <- wk.wk_dropped +. sub_frac)
+                  | None -> (
+                      (* who owns the next hop? *)
+                      match Model.owner model nh with
+                      | Some owner_dev when String.equal owner_dev dev ->
+                          record_path wk (dev :: hops) sub_frac
+                      | Some owner_dev ->
+                          (* recursive next hop: the packet is carried to
+                             the next-hop router over the IGP (an SRv6 /
+                             tunnel underlay on the paper's WAN — transit
+                             routers forward on the outer address and do
+                             NOT re-look-up the inner destination, which
+                             is what prevents default-vs-specific
+                             deflection loops); the next IP lookup happens
+                             at the next-hop router.  [trail] is the
+                             reversed device path including the current
+                             position. *)
+                          let rec igp_walk cur frac trail depth =
+                            if frac < 1e-9 then ()
+                            else if depth > max_depth then
+                              wk.wk_looped <- wk.wk_looped +. frac
+                            else if String.equal cur owner_dev then
+                              let in_iface =
+                                match trail with
+                                | _ :: prev :: _ ->
+                                    in_iface_at model ~cur:prev ~next:cur
+                                | _ -> None
+                              in
+                              walk wk f ~dev:cur ~in_iface ~frac
+                                ~visited:(dev :: visited)
+                                ~hops:(List.tl trail) ~depth:(depth + 1)
+                            else
+                              match
+                                Isis.first_hops model.Model.igp ~src:cur
+                                  ~dst:owner_dev
+                              with
+                              | [] -> wk.wk_dropped <- wk.wk_dropped +. frac
+                              | nexts ->
+                                  let m = List.length nexts in
+                                  let leg = frac /. float_of_int m in
+                                  List.iter
+                                    (fun next ->
+                                      record_edge wk cur next leg;
+                                      igp_walk next leg (next :: trail)
+                                        (depth + 1))
+                                    nexts
+                          in
+                          igp_walk dev sub_frac (dev :: hops) depth
+                      | None ->
+                          (* unmodeled next hop: if it sits on one of our
+                             connected subnets (e.g. an external peering
+                             /31), the flow exits the network here;
+                             otherwise it is unroutable *)
+                          let exits =
+                            match cfg with
+                            | Some cfg ->
+                                List.exists
+                                  (fun (i : Types.iface_config) ->
+                                    match Types.iface_subnet i with
+                                    | Some subnet -> Prefix.mem nh subnet
+                                    | None -> false)
+                                  cfg.Types.dc_ifaces
+                            | None -> false
+                          in
+                          if exits then record_path wk (dev :: hops) sub_frac
+                          else wk.wk_dropped <- wk.wk_dropped +. sub_frac)))
+            nhs
+
+(** Walk one flow from its ingress device. *)
+let walk_flow (model : Model.t) (fibs : fib) (f : Flow.t) : walk_result =
+  let wk =
+    {
+      wk_model = model;
+      wk_fibs = fibs;
+      wk_paths = [];
+      wk_npaths = 0;
+      wk_edges = Hashtbl.create 16;
+      wk_delivered = 0.;
+      wk_dropped = 0.;
+      wk_looped = 0.;
+    }
+  in
+  walk wk f ~dev:f.Flow.ingress ~in_iface:None ~frac:1.0 ~visited:[] ~hops:[]
+    ~depth:0;
+  {
+    w_paths = List.rev wk.wk_paths;
+    w_edges = Hashtbl.fold (fun k v acc -> (k, v) :: acc) wk.wk_edges [];
+    w_delivered = wk.wk_delivered;
+    w_dropped = wk.wk_dropped;
+    w_looped = wk.wk_looped;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Flow equivalence classes                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** EC key of a flow: ingress device, the LPM result on every device's
+    FIB for the destination, and the flow's ACL/PBR match signature. *)
+let flow_ec_key (model : Model.t) (fibs : fib) (f : Flow.t) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b f.Flow.ingress;
+  Buffer.add_char b '|';
+  Hashtbl.iter
+    (fun dev trie ->
+      match Trie.Dual.longest_match trie f.Flow.dst with
+      | Some (p, _) ->
+          Buffer.add_string b dev;
+          Buffer.add_char b '=';
+          Buffer.add_string b (Prefix.to_string p);
+          Buffer.add_char b ';'
+      | None -> ())
+    fibs;
+  (* ACL / PBR signature *)
+  Smap.iter
+    (fun dev cfg ->
+      let eval name =
+        match acl_matches_flow cfg name f with
+        | Some Types.Permit -> 'P'
+        | Some Types.Deny -> 'D'
+        | None -> '-'
+      in
+      List.iter
+        (fun (p : Types.pbr_rule) ->
+          Buffer.add_string b dev;
+          Buffer.add_char b (eval p.Types.pbr_acl))
+        cfg.Types.dc_pbr;
+      List.iter
+        (fun (i : Types.iface_config) ->
+          match i.Types.if_acl_in with
+          | Some acl -> Buffer.add_char b (eval acl)
+          | None -> ())
+        cfg.Types.dc_ifaces)
+    model.Model.configs;
+  Buffer.contents b
+
+(* Hashtbl.iter order is unspecified but deterministic for a given table
+   construction; keys only need to be consistent within one run. *)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level run                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type flow_result = {
+  f_flow : Flow.t;
+  f_paths : path list;
+  f_delivered : float;
+  f_dropped : float;
+  f_looped : float;
+}
+
+type result = {
+  flow_results : flow_result list;
+  link_load : (string * string, float) Hashtbl.t; (* bits per second *)
+  flow_count : int; (* total flow population *)
+  ec_count : int;
+  compression : float;
+}
+
+let run ?(use_ecs = true) (model : Model.t) ~(rib : Route.t list)
+    ~(flows : Flow.t list) () : result =
+  let fibs = build_fibs rib in
+  let link_load : (string * string, float) Hashtbl.t = Hashtbl.create 1024 in
+  let add_load edges volume =
+    List.iter
+      (fun (key, frac) ->
+        let cur = Option.value (Hashtbl.find_opt link_load key) ~default:0. in
+        Hashtbl.replace link_load key (cur +. (frac *. volume)))
+      edges
+  in
+  let total_population =
+    List.fold_left (fun n (f : Flow.t) -> n + f.Flow.population) 0 flows
+  in
+  if not use_ecs then begin
+    let flow_results =
+      List.map
+        (fun (f : Flow.t) ->
+          let w = walk_flow model fibs f in
+          add_load w.w_edges (f.Flow.volume *. float_of_int f.Flow.population);
+          {
+            f_flow = f;
+            f_paths = w.w_paths;
+            f_delivered = w.w_delivered;
+            f_dropped = w.w_dropped;
+            f_looped = w.w_looped;
+          })
+        flows
+    in
+    {
+      flow_results;
+      link_load;
+      flow_count = total_population;
+      ec_count = List.length flows;
+      compression = 1.0;
+    }
+  end
+  else begin
+    (* group flows into ECs *)
+    let groups : (string, Flow.t list) Hashtbl.t = Hashtbl.create 1024 in
+    let order = ref [] in
+    List.iter
+      (fun f ->
+        let k = flow_ec_key model fibs f in
+        match Hashtbl.find_opt groups k with
+        | Some fs -> Hashtbl.replace groups k (f :: fs)
+        | None ->
+            Hashtbl.add groups k [ f ];
+            order := k :: !order)
+      flows;
+    let flow_results =
+      List.concat_map
+        (fun k ->
+          let members = List.rev (Hashtbl.find groups k) in
+          let rep = List.hd members in
+          let w = walk_flow model fibs rep in
+          List.map
+            (fun (f : Flow.t) ->
+              add_load w.w_edges
+                (f.Flow.volume *. float_of_int f.Flow.population);
+              {
+                f_flow = f;
+                f_paths = w.w_paths;
+                f_delivered = w.w_delivered;
+                f_dropped = w.w_dropped;
+                f_looped = w.w_looped;
+              })
+            members)
+        (List.rev !order)
+    in
+    let ec_count = Hashtbl.length groups in
+    {
+      flow_results;
+      link_load;
+      flow_count = total_population;
+      ec_count;
+      compression =
+        (if ec_count = 0 then 1.0
+         else float_of_int (List.length flows) /. float_of_int ec_count);
+    }
+  end
+
+(** Utilization of each directed link: load / bandwidth. *)
+let utilizations (model : Model.t) (res : result) :
+    ((string * string) * float * float) list =
+  Hashtbl.fold
+    (fun (src, dst) load acc ->
+      let bw =
+        match Topology.edge_between model.Model.topo src dst with
+        | Some e -> e.Topology.bandwidth
+        | None -> infinity
+      in
+      ((src, dst), load, load /. bw) :: acc)
+    res.link_load []

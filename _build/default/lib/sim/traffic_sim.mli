@@ -1,0 +1,69 @@
+(** Traffic simulation: input flows -> forwarding paths and link loads
+    (paper §3.1).
+
+    Forwarding follows each router's FIB hop by hop; ECMP splits a flow's
+    volume equally across equal-cost branches (BGP multipath and IGP
+    ECMP); SR-policy tunnels override hop-by-hop forwarding towards their
+    endpoints; PBR rules bound to the ingress interface override the FIB;
+    interface ACLs drop matching traffic.  Flow equivalence classes
+    (same LPM on every FIB, same ACL/PBR behaviour) reduce the number of
+    walks. *)
+
+open Hoyan_net
+
+(** Per-device FIBs (default VRF), as longest-prefix-match tries. *)
+type fib = (string, Route.t list Trie.Dual.t) Hashtbl.t
+
+(** Build FIBs from a global RIB: per prefix, the selected (Best/Ecmp)
+    routes of the lowest-admin-preference protocol are installed. *)
+val build_fibs : Route.t list -> fib
+
+val fib_lookup : fib -> string -> Ip.t -> (Prefix.t * Route.t list) option
+
+type path = { hops : string list; fraction : float }
+
+type walk_result = {
+  w_paths : path list;  (** delivered paths (capped at 128) *)
+  w_edges : ((string * string) * float) list;  (** traversed edge fractions *)
+  w_delivered : float;
+  w_dropped : float;
+  w_looped : float;
+}
+
+(** Walk one flow from its ingress device (used directly by the
+    root-cause analysis workflow, §5.2). *)
+val walk_flow : Model.t -> fib -> Flow.t -> walk_result
+
+(** The flow's equivalence-class key: ingress, the destination's LPM
+    result on every FIB, and the ACL/PBR match signature. *)
+val flow_ec_key : Model.t -> fib -> Flow.t -> string
+
+type flow_result = {
+  f_flow : Flow.t;
+  f_paths : path list;
+  f_delivered : float;
+  f_dropped : float;
+  f_looped : float;
+}
+
+type result = {
+  flow_results : flow_result list;
+  link_load : (string * string, float) Hashtbl.t;  (** bits per second *)
+  flow_count : int;  (** total represented flow population *)
+  ec_count : int;
+  compression : float;  (** flow records / equivalence classes *)
+}
+
+(** Simulate all flows against a global RIB.  [use_ecs=false] walks every
+    record individually (ablation; loads must agree). *)
+val run :
+  ?use_ecs:bool ->
+  Model.t ->
+  rib:Route.t list ->
+  flows:Flow.t list ->
+  unit ->
+  result
+
+(** Per-directed-link (link, load, utilization) triples. *)
+val utilizations :
+  Model.t -> result -> ((string * string) * float * float) list

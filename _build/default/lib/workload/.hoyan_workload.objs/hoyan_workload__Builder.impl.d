@@ -1,0 +1,1 @@
+lib/workload/builder.ml: As_path Community Hashtbl Hoyan_config Hoyan_net Hoyan_sim Ip List Map Option Prefix Printf Route String Topology

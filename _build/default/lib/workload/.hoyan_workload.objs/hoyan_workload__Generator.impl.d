@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array As_path Builder Community Flow Fun Hashtbl Hoyan_config Hoyan_net Hoyan_sim Ip List Map Prefix Printf Random Route String Topology

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Flow Hoyan_net Hoyan_sim Route

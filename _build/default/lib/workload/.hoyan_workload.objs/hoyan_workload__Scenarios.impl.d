@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Builder Flow Hoyan_config Hoyan_core Hoyan_net Hoyan_sim Ip List Prefix Printf Route

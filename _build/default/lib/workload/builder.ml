@@ -1,0 +1,283 @@
+(** Programmatic construction of small networks.
+
+    Used by unit/integration tests, the examples, and the scripted
+    case-study scenarios (Figures 9 and 10).  Configurations built here
+    are rendered to vendor dialect text and re-parsed when they enter the
+    simulation through {!Generator}, so nothing here bypasses the parsing
+    path used in production. *)
+
+open Hoyan_net
+module Types = Hoyan_config.Types
+module Model = Hoyan_sim.Model
+module Smap = Map.Make (String)
+
+type t = {
+  mutable b_topo : Topology.t;
+  mutable b_configs : Types.t Smap.t;
+  mutable b_iface_count : (string, int) Hashtbl.t option;
+}
+
+let create () =
+  { b_topo = Topology.empty; b_configs = Smap.empty; b_iface_count = None }
+
+let iface_counts t =
+  match t.b_iface_count with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 64 in
+      t.b_iface_count <- Some h;
+      h
+
+let fresh_iface t dev =
+  let h = iface_counts t in
+  let n = Option.value (Hashtbl.find_opt h dev) ~default:0 in
+  Hashtbl.replace h dev (n + 1);
+  Printf.sprintf "Eth%d" n
+
+(** Add a device with an empty config; [router_id] doubles as its loopback
+    address. *)
+let add_device t ~name ~vendor ~asn ~router_id ?(region = "r1")
+    ?(role = Topology.Wan_core) () =
+  let dev =
+    { Topology.name; vendor; asn; router_id; region; role }
+  in
+  t.b_topo <- Topology.add_device t.b_topo dev;
+  let cfg = Types.empty ~device:name ~vendor in
+  let cfg =
+    { cfg with
+      Types.dc_bgp =
+        { cfg.Types.dc_bgp with
+          Types.bgp_asn = asn;
+          bgp_router_id = Some router_id } }
+  in
+  t.b_configs <- Smap.add name cfg t.b_configs
+
+let config t name =
+  match Smap.find_opt name t.b_configs with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Builder.config: %s" name)
+
+let update_config t name f = t.b_configs <- Smap.add name (f (config t name)) t.b_configs
+
+(** Connect two devices with a /31 subnet (or /127 for IPv6) and add the
+    interfaces with the given IS-IS cost on both sides.  Returns the two
+    interface addresses (a_addr, b_addr). *)
+let link t ~a ~b ~subnet ?(cost = 10) ?(bandwidth = 100e9)
+    ?(no_isis_cost = false) ?(te = false) () =
+  let fam = Prefix.family subnet in
+  let plen = Ip.family_bits fam - 1 in
+  let a_addr = Prefix.first_addr subnet in
+  let b_addr = Ip.succ a_addr in
+  let a_if = fresh_iface t a and b_if = fresh_iface t b in
+  t.b_topo <-
+    Topology.add_link t.b_topo ~a ~a_if ~b ~b_if ~bandwidth;
+  t.b_topo <-
+    Topology.add_iface t.b_topo
+      { Topology.dev = a; ifname = a_if; addr = Some a_addr };
+  t.b_topo <-
+    Topology.add_iface t.b_topo
+      { Topology.dev = b; ifname = b_if; addr = Some b_addr };
+  let add_iface_cfg dev ifname addr =
+    update_config t dev (fun cfg ->
+        let iface =
+          {
+            Types.if_name = ifname;
+            if_addr = Some addr;
+            if_plen = plen;
+            if_bandwidth = bandwidth;
+            if_acl_in = None;
+          }
+        in
+        let isis_ifaces =
+          if no_isis_cost then cfg.Types.dc_isis.Types.isis_ifaces
+          else
+            { Types.ii_name = ifname; ii_cost = cost; ii_te = te }
+            :: cfg.Types.dc_isis.Types.isis_ifaces
+        in
+        { cfg with
+          Types.dc_ifaces = iface :: cfg.Types.dc_ifaces;
+          dc_isis =
+            { cfg.Types.dc_isis with
+              Types.isis_enabled = true;
+              isis_ifaces } })
+  in
+  add_iface_cfg a a_if a_addr;
+  add_iface_cfg b b_if b_addr;
+  (a_addr, b_addr)
+
+(** Make [a] and [b] BGP neighbors over their link addresses (they must
+    already be linked via {!link}, or pass explicit addresses). *)
+let bgp_session t ~a ~b ~(a_addr : Ip.t) ~(b_addr : Ip.t) ?a_import ?a_export
+    ?b_import ?b_export ?(a_rr_client = false) ?(b_rr_client = false)
+    ?(next_hop_self = false) ?(a_next_hop_self = false)
+    ?(b_next_hop_self = false) ?(add_paths = 0) ?(vrf = Route.default_vrf) () =
+  let add_nb dev peer_addr remote_asn import export rr_client nhs =
+    update_config t dev (fun cfg ->
+        let nb =
+          {
+            Types.nb_addr = peer_addr;
+            nb_remote_asn = remote_asn;
+            nb_import = import;
+            nb_export = export;
+            nb_rr_client = rr_client;
+            nb_next_hop_self = next_hop_self || nhs;
+            nb_add_paths = add_paths;
+            nb_vrf = vrf;
+          }
+        in
+        { cfg with
+          Types.dc_bgp =
+            { cfg.Types.dc_bgp with
+              Types.bgp_neighbors = nb :: cfg.Types.dc_bgp.Types.bgp_neighbors }
+        })
+  in
+  let asn_of dev = (Topology.device_exn t.b_topo dev).Topology.asn in
+  add_nb a b_addr (asn_of b) a_import a_export a_rr_client a_next_hop_self;
+  add_nb b a_addr (asn_of a) b_import b_export b_rr_client b_next_hop_self
+
+(** iBGP session over loopbacks (router ids), e.g. RR <-> client. *)
+let ibgp_loopback_session t ~a ~b ?a_import ?a_export ?b_import ?b_export
+    ?(a_rr_client = false) ?(b_rr_client = false) ?(next_hop_self = false)
+    ?(a_next_hop_self = false) ?(b_next_hop_self = false) ?(add_paths = 0) () =
+  let rid dev = (Topology.device_exn t.b_topo dev).Topology.router_id in
+  bgp_session t ~a ~b ~a_addr:(rid a) ~b_addr:(rid b) ?a_import ?a_export
+    ?b_import ?b_export ~a_rr_client ~b_rr_client ~next_hop_self
+    ~a_next_hop_self ~b_next_hop_self ~add_paths ()
+
+(** Attach a route policy to a device. *)
+let add_policy t dev (rp : Types.route_policy) =
+  update_config t dev (fun cfg ->
+      { cfg with
+        Types.dc_policies =
+          Types.Smap.add rp.Types.rp_name rp cfg.Types.dc_policies })
+
+let add_prefix_list t dev (pl : Types.prefix_list) =
+  update_config t dev (fun cfg ->
+      { cfg with
+        Types.dc_prefix_lists =
+          Types.Smap.add pl.Types.pl_name pl cfg.Types.dc_prefix_lists })
+
+let add_community_list t dev (cl : Types.community_list) =
+  update_config t dev (fun cfg ->
+      { cfg with
+        Types.dc_community_lists =
+          Types.Smap.add cl.Types.cl_name cl cfg.Types.dc_community_lists })
+
+let add_static t dev (s : Types.static_route) =
+  update_config t dev (fun cfg ->
+      { cfg with Types.dc_statics = s :: cfg.Types.dc_statics })
+
+let add_network t dev ?(vrf = Route.default_vrf) prefix =
+  update_config t dev (fun cfg ->
+      { cfg with
+        Types.dc_bgp =
+          { cfg.Types.dc_bgp with
+            Types.bgp_networks =
+              (prefix, vrf) :: cfg.Types.dc_bgp.Types.bgp_networks } })
+
+let add_sr_policy t dev (sp : Types.sr_policy) =
+  update_config t dev (fun cfg ->
+      { cfg with Types.dc_sr_policies = sp :: cfg.Types.dc_sr_policies })
+
+(** Compile the builder state into a simulation model. *)
+let build ?te_aware ?regex t =
+  Model.build ?te_aware ?regex t.b_topo t.b_configs
+
+let topo t = t.b_topo
+let configs t = t.b_configs
+
+(* Convenience constructors --------------------------------------------- *)
+
+let ip = Ip.of_string_exn
+let pfx = Prefix.of_string_exn
+let comm = Community.of_string_exn
+
+(** An input route as collected by the route monitoring system. *)
+let input_route ~device ~prefix ?(vrf = Route.default_vrf) ?nexthop
+    ?(as_path = []) ?(communities = []) ?(local_pref = 100) ?(med = 0) () =
+  Route.make ~device ~prefix:(pfx prefix) ~vrf
+    ?nexthop:(Option.map ip nexthop)
+    ~as_path:(As_path.of_asns as_path)
+    ~communities:(Community.Set.of_list (List.map comm communities))
+    ~local_pref ~med ~proto:Route.Bgp ~source:Route.Ebgp ~origin:Route.Igp ()
+
+(** Simple policy node. *)
+let node ?(action = Some Types.Permit) ?(matches = []) ?(sets = [])
+    ?(goto_next = false) seq =
+  {
+    Types.pn_seq = seq;
+    pn_action = action;
+    pn_matches = matches;
+    pn_sets = sets;
+    pn_goto_next = goto_next;
+  }
+
+let policy name nodes = { Types.rp_name = name; rp_nodes = nodes }
+
+let prefix_list ?(family = Ip.Ipv4) name entries =
+  {
+    Types.pl_name = name;
+    pl_family = family;
+    pl_entries =
+      List.mapi
+        (fun i (action, p, ge, le) ->
+          {
+            Types.pe_seq = (i + 1) * 5;
+            pe_action = action;
+            pe_prefix = pfx p;
+            pe_ge = ge;
+            pe_le = le;
+          })
+        entries;
+  }
+
+
+let set_isis_default_cost t dev cost =
+  update_config t dev (fun cfg ->
+      { cfg with
+        Types.dc_isis =
+          { cfg.Types.dc_isis with
+            Types.isis_enabled = true;
+            isis_default_cost = Some cost } })
+
+let set_isolated t dev =
+  update_config t dev (fun cfg -> { cfg with Types.dc_isolated = true })
+
+let add_vrf t dev (vd : Types.vrf_def) =
+  update_config t dev (fun cfg ->
+      { cfg with
+        Types.dc_bgp =
+          { cfg.Types.dc_bgp with
+            Types.bgp_vrfs = vd :: cfg.Types.dc_bgp.Types.bgp_vrfs } })
+
+let add_redistribute t dev ?policy proto =
+  update_config t dev (fun cfg ->
+      { cfg with
+        Types.dc_bgp =
+          { cfg.Types.dc_bgp with
+            Types.bgp_redistribute =
+              (proto, policy) :: cfg.Types.dc_bgp.Types.bgp_redistribute } })
+
+let add_aggregate t dev ?(as_set = false) ?(summary_only = false)
+    ?(vrf = Route.default_vrf) prefix =
+  update_config t dev (fun cfg ->
+      { cfg with
+        Types.dc_bgp =
+          { cfg.Types.dc_bgp with
+            Types.bgp_aggregates =
+              { Types.ag_prefix = prefix; ag_as_set = as_set;
+                ag_summary_only = summary_only; ag_vrf = vrf }
+              :: cfg.Types.dc_bgp.Types.bgp_aggregates } })
+
+(** Override the vendor string of a device (config + topology), used by
+    the VSB differential-testing harness to install flipped profiles. *)
+let set_vendor t dev vendor =
+  update_config t dev (fun cfg -> { cfg with Types.dc_vendor = vendor });
+  match Topology.device t.b_topo dev with
+  | Some d ->
+      t.b_topo <- Topology.add_device t.b_topo { d with Topology.vendor }
+  | None -> ()
+
+(** Remove the physical link between two devices, keeping the interface
+    configuration on both sides (a provisioned-but-down port). *)
+let remove_link t ~a ~b = t.b_topo <- Topology.remove_link t.b_topo ~a ~b

@@ -1,0 +1,693 @@
+(** Synthetic WAN / WAN+DCN generator.
+
+    Substitutes for Alibaba's production network (DESIGN.md §2): a
+    multi-region backbone in one AS (per-region route reflectors, core
+    rings, border routers with external peering subnets), optionally with
+    attached data-center routers in their own ASes (the WAN+DCN setting),
+    plus generators for input routes, input flows, with the properties the
+    paper's evaluation depends on:
+
+    - mixed vendors (both dialects; configs are rendered to text and
+      re-parsed, so the full parsing path is exercised);
+    - heterogeneous route propagation: ISP-learned prefixes are confined
+      near their region by community-based filtering at the RRs while
+      DC-originated prefixes propagate network-wide — the source of the
+      skewed subtask durations of Figure 5(c);
+    - flows whose destinations cover the input prefixes, with population
+      counts standing for the paper's O(10^9) concrete flows. *)
+
+open Hoyan_net
+module Types = Hoyan_config.Types
+module Printer = Hoyan_config.Printer
+module Model = Hoyan_sim.Model
+module Smap = Map.Make (String)
+
+type params = {
+  g_regions : int;
+  g_cores_per_region : int;
+  g_borders_per_region : int;
+  g_rrs_per_region : int;
+  g_dcs_per_region : int; (* DC core routers per region (WAN+DCN) *)
+  g_prefixes : int; (* distinct input prefixes *)
+  g_routes_per_prefix : int; (* average multi-homing degree *)
+  g_flows : int; (* flow records *)
+  g_flow_population : int; (* concrete flows represented per record *)
+  g_vendor_b_fraction : float;
+  g_isp_prefix_fraction : float; (* short-propagation prefixes *)
+  g_v6_fraction : float;
+      (* fraction of prefixes (and their flows) that are IPv6 — the
+         next-generation WAN is IPv6/SRv6-based (§2.1) *)
+  g_sr_policies : int; (* SRv6 policies per region between borders *)
+  g_seed : int;
+}
+
+(** A small WAN for tests and examples (~30 devices). *)
+let small =
+  {
+    g_regions = 3;
+    g_cores_per_region = 4;
+    g_borders_per_region = 2;
+    g_rrs_per_region = 1;
+    g_dcs_per_region = 0;
+    g_prefixes = 200;
+    g_routes_per_prefix = 2;
+    g_flows = 300;
+    g_flow_population = 1000;
+    g_vendor_b_fraction = 0.4;
+    g_isp_prefix_fraction = 0.6;
+    g_v6_fraction = 0.25;
+    g_sr_policies = 1;
+    g_seed = 1;
+  }
+
+(** The scaled-down "WAN" of the benches (hundreds of devices, tens of
+    thousands of input routes). *)
+let wan =
+  {
+    small with
+    g_regions = 6;
+    g_cores_per_region = 10;
+    g_borders_per_region = 4;
+    g_rrs_per_region = 2;
+    g_prefixes = 3000;
+    g_routes_per_prefix = 3;
+    g_flows = 4000;
+    g_flow_population = 250_000;
+    g_seed = 2;
+  }
+
+(** WAN plus the DC core layer: an order of magnitude more devices. *)
+let wan_dcn =
+  { wan with g_dcs_per_region = 150; g_prefixes = 4500; g_seed = 3 }
+
+type t = {
+  params : params;
+  model : Model.t;
+  input_routes : Route.t list;
+  flows : Flow.t list;
+  borders : string list; (* border router names (injection points) *)
+  dc_routers : string list;
+  regions : string list;
+  parse_errors : int; (* from re-parsing the emitted configs *)
+}
+
+let wan_asn = 64512
+
+let region_name i = Printf.sprintf "r%02d" i
+
+(* Deterministic PRNG throughout. *)
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Topology construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let vendor_of st (p : params) =
+  if Random.State.float st 1.0 < p.g_vendor_b_fraction then "vendorB"
+  else "vendorA"
+
+(* Loopbacks: 10.255.r.n ; link subnets: 10.(64+r).x.y/31 ;
+   inter-region links: 10.63.x.y/31 ; external peering: 172.16.x.y/31 ;
+   DC loopbacks: 10.254.x.y *)
+
+let build_topology (p : params) (st : Random.State.t) =
+  let b = Builder.create () in
+  let link_counter = ref 0 in
+  let fresh_link_subnet region =
+    let n = !link_counter in
+    incr link_counter;
+    Prefix.make
+      (Ip.v4_of_octets 10 (64 + region) (n / 128 mod 256) (n mod 128 * 2))
+      31
+  in
+  let inter_counter = ref 0 in
+  let fresh_inter_subnet () =
+    let n = !inter_counter in
+    incr inter_counter;
+    Prefix.make (Ip.v4_of_octets 10 63 (n / 128 mod 256) (n mod 128 * 2)) 31
+  in
+  let regions = List.init p.g_regions region_name in
+  let cores = Hashtbl.create 16 and borders = Hashtbl.create 16 in
+  let rrs = Hashtbl.create 16 and dcs = Hashtbl.create 16 in
+  (* devices *)
+  List.iteri
+    (fun ri region ->
+      let dev kind role n =
+        let name = Printf.sprintf "%s-%s%02d" region kind n in
+        let octet_kind =
+          match kind with "core" -> 0 | "bdr" -> 64 | "rr" -> 128 | _ -> 192
+        in
+        Builder.add_device b ~name ~vendor:(vendor_of st p) ~asn:wan_asn
+          ~router_id:(Ip.v4_of_octets 10 255 (octet_kind + ri) (n + 1))
+          ~region ~role ();
+        name
+      in
+      Hashtbl.replace cores region
+        (List.init p.g_cores_per_region (dev "core" Topology.Wan_core));
+      Hashtbl.replace borders region
+        (List.init p.g_borders_per_region (dev "bdr" Topology.Wan_border));
+      Hashtbl.replace rrs region
+        (List.init p.g_rrs_per_region (dev "rr" Topology.Rr));
+      (* DC routers: own AS per DC *)
+      Hashtbl.replace dcs region
+        (List.init p.g_dcs_per_region (fun n ->
+             let name = Printf.sprintf "%s-dc%03d" region n in
+             Builder.add_device b ~name ~vendor:(vendor_of st p)
+               ~asn:(65100 + (ri * 500) + n)
+               ~router_id:
+                 (Ip.v4_of_octets 10 254 ((ri * 40) + (n / 250)) (n mod 250))
+               ~region ~role:Topology.Dc_core ();
+             name)))
+    regions;
+  (* intra-region links: core ring; borders and rrs attach to two cores *)
+  List.iteri
+    (fun ri region ->
+      let cs = Hashtbl.find cores region in
+      let n = List.length cs in
+      List.iteri
+        (fun i c ->
+          let next = List.nth cs ((i + 1) mod n) in
+          if n > 1 then
+            (* every 5th core link carries an IS-IS TE metric — the
+               feature Hoyan did not model before 03/2023 (§5.3) *)
+            let te = i mod 4 = 3 in
+            ignore
+              (Builder.link b ~a:c ~b:next ~subnet:(fresh_link_subnet ri)
+                 ~cost:((10 + Random.State.int st 10) * if te then 4 else 1)
+                 ~te ()))
+        cs;
+      let attach dev =
+        let c1 = List.nth cs (Random.State.int st n) in
+        let c2 = List.nth cs (Random.State.int st n) in
+        ignore
+          (Builder.link b ~a:dev ~b:c1 ~subnet:(fresh_link_subnet ri)
+             ~cost:(10 + Random.State.int st 10) ());
+        if not (String.equal c1 c2) then
+          ignore
+            (Builder.link b ~a:dev ~b:c2 ~subnet:(fresh_link_subnet ri)
+               ~cost:(10 + Random.State.int st 10) ())
+      in
+      List.iter attach (Hashtbl.find borders region);
+      List.iter attach (Hashtbl.find rrs region);
+      (* DC routers attach to one border each *)
+      List.iter
+        (fun dc ->
+          let bs = Hashtbl.find borders region in
+          let bd = List.nth bs (Random.State.int st (List.length bs)) in
+          ignore
+            (Builder.link b ~a:dc ~b:bd ~subnet:(fresh_link_subnet ri)
+               ~cost:(10 + Random.State.int st 5) ()))
+        (Hashtbl.find dcs region))
+    regions;
+  (* inter-region backbone: ring over regions via borders + chords *)
+  let border0 region = List.hd (Hashtbl.find borders region) in
+  let border1 region =
+    let bs = Hashtbl.find borders region in
+    List.nth bs (min 1 (List.length bs - 1))
+  in
+  let nregions = List.length regions in
+  List.iteri
+    (fun i region ->
+      let next = List.nth regions ((i + 1) mod nregions) in
+      if nregions > 1 then
+        ignore
+          (Builder.link b ~a:(border0 region) ~b:(border0 next)
+             ~subnet:(fresh_inter_subnet ())
+             ~cost:(30 + Random.State.int st 30)
+             ~bandwidth:400e9 ()))
+    regions;
+  (* chords across the ring *)
+  if nregions > 3 then
+    List.iteri
+      (fun i region ->
+        if i mod 2 = 0 then
+          let far = List.nth regions ((i + (nregions / 2)) mod nregions) in
+          if not (String.equal far region) then
+            ignore
+              (Builder.link b ~a:(border1 region) ~b:(border1 far)
+                 ~subnet:(fresh_inter_subnet ())
+                 ~cost:(40 + Random.State.int st 30)
+                 ~bandwidth:400e9 ()))
+      regions;
+  (b, regions, cores, borders, rrs, dcs)
+
+(* ------------------------------------------------------------------ *)
+(* BGP sessions and policies                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Communities used by the generated policies:
+   - 64512:1xx  : learned-from-ISP in region xx (confined by RRs)
+   - 64512:2xx  : learned-from-DC in region xx (propagates everywhere)   *)
+
+let isp_comm ri = Community.make wan_asn (100 + ri)
+let dc_comm ri = Community.make wan_asn (200 + ri)
+
+let pass_policy = Builder.policy "PASS" [ Builder.node 10 ]
+
+let setup_bgp (_p : params) (_st : Random.State.t) b regions cores borders rrs
+    dcs =
+  (* Every device carries a PASS policy so vendor-B's missing-policy VSB
+     does not silently blackhole sessions; real deployments do the same. *)
+  List.iteri
+    (fun ri region ->
+      let region_rrs = Hashtbl.find rrs region in
+      let clients =
+        Hashtbl.find cores region @ Hashtbl.find borders region
+      in
+      List.iter (fun d -> Builder.add_policy b d pass_policy) (clients @ region_rrs);
+      (* import policy on borders: tag ISP routes with the region community
+         and raise local-pref; the RRs' inter-region export policy then
+         confines those routes to neighbouring regions *)
+      List.iter
+        (fun border ->
+          (* borders originate the default routes (both families):
+             traffic with no more specific route exits the WAN at its
+             nearest border *)
+          Builder.add_network b border (Prefix.default Ip.Ipv4);
+          Builder.add_network b border (Prefix.default Ip.Ipv6);
+          Builder.add_policy b border
+            (Builder.policy "ISP_IN"
+               [
+                 Builder.node 10
+                   ~sets:
+                     [
+                       Types.Set_communities (Types.Comm_add, [ isp_comm ri ]);
+                       Types.Set_local_pref 200;
+                     ];
+               ]);
+          Builder.add_policy b border
+            (Builder.policy "DC_IN"
+               [
+                 Builder.node 10
+                   ~sets:
+                     [
+                       Types.Set_communities (Types.Comm_add, [ dc_comm ri ]);
+                       Types.Set_local_pref 150;
+                     ];
+               ]))
+        (Hashtbl.find borders region);
+      (* iBGP: clients to their region RRs (loopback sessions).  Borders
+         receive the region's ISP routes; cores do not (they follow the
+         default towards their borders) — this is what makes ISP routes
+         propagate only a few hops while DC routes go network-wide, the
+         heterogeneity behind Figure 5(c). *)
+      List.iter
+        (fun border ->
+          List.iter
+            (fun rr ->
+              (* only the client (border/core) sets next-hop-self when
+                 advertising its eBGP-learned routes up to the RR; the RR
+                 reflects with next hops unchanged, preserving hot-potato
+                 consistency *)
+              Builder.ibgp_loopback_session b ~a:rr ~b:border ~a_rr_client:true
+                ~a_import:"PASS" ~a_export:"RR_OUT" ~b_import:"PASS"
+                ~b_export:"PASS" ~b_next_hop_self:true ())
+            region_rrs)
+        (Hashtbl.find borders region);
+      List.iter
+        (fun core ->
+          List.iter
+            (fun rr ->
+              Builder.ibgp_loopback_session b ~a:rr ~b:core ~a_rr_client:true
+                ~a_import:"PASS" ~a_export:"RR_OUT_CORE" ~b_import:"PASS"
+                ~b_export:"PASS" ~b_next_hop_self:true ())
+            region_rrs)
+        (Hashtbl.find cores region);
+      (* the RRs' export policy confines ISP communities of *other*
+         regions: an RR re-advertises an ISP route only if it carries its
+         own region's community (keeps ISP routes 2-3 hops deep) *)
+      List.iter
+        (fun rr ->
+          let deny_nodes =
+            List.mapi
+              (fun rj _ ->
+                if rj = ri then None
+                else
+                  Some
+                    (Builder.node
+                       ((rj * 10) + 10)
+                       ~action:(Some Types.Deny)
+                       ~matches:[ Types.Match_community_list
+                                    (Printf.sprintf "ISP_R%d" rj) ]))
+              regions
+            |> List.filter_map Fun.id
+          in
+          List.iteri
+            (fun rj _ ->
+              Builder.add_community_list b rr
+                {
+                  Types.cl_name = Printf.sprintf "ISP_R%d" rj;
+                  cl_entries =
+                    [ { Types.ce_seq = 5; ce_action = Types.Permit;
+                        ce_members = [ isp_comm rj ] } ];
+                })
+            regions;
+          (* bogon AS filtering: routes whose path contains 65666 are
+             dropped at the RRs; the flawed legacy regex engine misses
+             deep occurrences (the §5.3 simulation-bug class) *)
+          Builder.update_config b rr (fun cfg ->
+              { cfg with
+                Types.dc_aspath_filters =
+                  Types.Smap.add "BOGON"
+                    { Types.af_name = "BOGON";
+                      af_entries =
+                        [ { Types.ae_seq = 5; ae_action = Types.Permit;
+                            ae_regex = ".* 65666 .*" } ] }
+                    cfg.Types.dc_aspath_filters });
+          Builder.add_policy b rr
+            (Builder.policy "RR_OUT"
+               (Builder.node 5 ~action:(Some Types.Deny)
+                  ~matches:[ Types.Match_aspath_filter "BOGON" ]
+                :: deny_nodes
+               @ [ Builder.node 1000 ]));
+          (* cores never receive ISP routes at all *)
+          let deny_all_isp =
+            List.mapi
+              (fun rj _ ->
+                Builder.node
+                  ((rj * 10) + 10)
+                  ~action:(Some Types.Deny)
+                  ~matches:
+                    [ Types.Match_community_list (Printf.sprintf "ISP_R%d" rj) ])
+              regions
+          in
+          Builder.add_policy b rr
+            (Builder.policy "RR_OUT_CORE"
+               (Builder.node 5 ~action:(Some Types.Deny)
+                  ~matches:[ Types.Match_aspath_filter "BOGON" ]
+                :: deny_all_isp
+               @ [ Builder.node 1000 ])))
+        region_rrs)
+    regions;
+  (* SRv6 policies: each region's lead border steers towards the next
+     region's lead border loopback (exercising SR forwarding and the
+     "IGP cost for SR" VSB at scale) *)
+  List.iteri
+    (fun i region ->
+      let next = List.nth regions ((i + 1) mod (List.length regions)) in
+      if not (String.equal region next) then begin
+        let head = List.hd (Hashtbl.find borders region) in
+        let tail = List.hd (Hashtbl.find borders next) in
+        let tail_id = (Topology.device_exn (Builder.topo b) tail).Topology.router_id in
+        for k = 1 to _p.g_sr_policies do
+          Builder.add_sr_policy b head
+            {
+              Types.sp_name = Printf.sprintf "SR_%s_%d" next k;
+              sp_endpoint = tail_id;
+              sp_color = 100 + k;
+              sp_segments = [];
+              sp_preference = 100;
+            }
+        done
+      end)
+    regions;
+  (* RR full mesh across regions *)
+  let all_rrs = List.concat_map (fun r -> Hashtbl.find rrs r) regions in
+  let rec mesh = function
+    | [] -> ()
+    | rr :: rest ->
+        List.iter
+          (fun other ->
+            Builder.ibgp_loopback_session b ~a:rr ~b:other ~a_import:"PASS"
+              ~a_export:"RR_OUT" ~b_import:"PASS" ~b_export:"RR_OUT" ())
+          rest;
+        mesh rest
+  in
+  mesh all_rrs;
+  (* DC eBGP sessions to the borders they are linked with *)
+  List.iter
+    (fun region ->
+      List.iter
+        (fun dc ->
+          Builder.add_policy b dc pass_policy;
+          (* find the devices dc is linked to *)
+          let topo = Builder.topo b in
+          let neighbors = Topology.neighbors topo dc in
+          List.iter
+            (fun nb ->
+              match Topology.edge_between topo dc nb with
+              | Some e -> (
+                  let dc_cfg = Builder.config b dc in
+                  let dc_addr =
+                    List.find_map
+                      (fun (i : Types.iface_config) ->
+                        if String.equal i.Types.if_name e.Topology.src_if then
+                          i.Types.if_addr
+                        else None)
+                      dc_cfg.Types.dc_ifaces
+                  in
+                  let nb_cfg = Builder.config b nb in
+                  let nb_addr =
+                    List.find_map
+                      (fun (i : Types.iface_config) ->
+                        if String.equal i.Types.if_name e.Topology.dst_if then
+                          i.Types.if_addr
+                        else None)
+                      nb_cfg.Types.dc_ifaces
+                  in
+                  match (dc_addr, nb_addr) with
+                  | Some da, Some na ->
+                      Builder.bgp_session b ~a:dc ~b:nb ~a_addr:da ~b_addr:na
+                        ~a_import:"PASS" ~a_export:"PASS" ~b_import:"DC_IN"
+                        ~b_export:"PASS" ~next_hop_self:true ()
+                  | _ -> ())
+              | None -> ())
+            neighbors)
+        (Hashtbl.find dcs region))
+    regions
+
+(* ------------------------------------------------------------------ *)
+(* External peering subnets on borders (eBGP next-hop anchors)          *)
+(* ------------------------------------------------------------------ *)
+
+let add_external_subnets b borders_all =
+  List.iteri
+    (fun i border ->
+      Builder.update_config b border (fun cfg ->
+          {
+            cfg with
+            Types.dc_ifaces =
+              {
+                Types.if_name = "Ext0";
+                if_addr = Some (Ip.v4_of_octets 172 16 (i / 128) (i mod 128 * 2));
+                if_plen = 31;
+                if_bandwidth = 100e9;
+                if_acl_in = None;
+              }
+              :: cfg.Types.dc_ifaces;
+          }))
+    borders_all
+
+let external_peer_addr i = Ip.v4_of_octets 172 16 (i / 128) ((i mod 128 * 2) + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Input routes and flows                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Prefix space: IPv4 ISP prefixes under 100.0.0.0/8..149..., IPv4 DC
+   prefixes under 150.0.0.0/8..199...; IPv6 prefixes under 2001:aaa::/32
+   (ISP) and 2001:ddd::/32 (DC).  All four blocks are disjoint and
+   orderable, which the splitter's ranges rely on. *)
+
+let nth_prefix ?(v6 = false) ~isp n =
+  if not v6 then
+    let base = if isp then 100 else 150 in
+    Prefix.make
+      (Ip.v4_of_octets (base + (n / 65536)) (n / 256 mod 256) (n mod 256) 0)
+      24
+  else
+    let block = if isp then "2001:aaa" else "2001:ddd" in
+    Prefix.of_string_exn
+      (Printf.sprintf "%s:%x:%x::/64" block (n / 65536) (n mod 65536))
+
+(** Generate input routes: each prefix is announced at
+    [g_routes_per_prefix] injection points (borders for ISP prefixes, DC
+    routers — or borders when there are none — for DC prefixes). *)
+let gen_input_routes (p : params) (st : Random.State.t)
+    ~(borders_all : (string * int) list) ~(dc_all : string list) :
+    Route.t list =
+  let n_isp =
+    int_of_float (float_of_int p.g_prefixes *. p.g_isp_prefix_fraction)
+  in
+  (* Announcement patterns: an upstream announces many prefixes over the
+     same sessions with the same attributes, so prefixes sharing a pattern
+     fall into one equivalence class.  Roughly prefixes/4 patterns yields
+     the paper's ~4x EC compression (Â§3.1). *)
+  let n_patterns = max 1 (n_isp / 4) in
+  let make_pattern _ =
+    let copies =
+      1 + Random.State.int st (max 1 ((2 * p.g_routes_per_prefix) - 1))
+    in
+    let bogon = Random.State.int st 100 < 3 in
+    List.init copies (fun _ ->
+        let border, bi = pick st borders_all in
+        let asn = 7000 + (Random.State.int st 12 * 37) in
+        let len = 1 + Random.State.int st 3 in
+        let as_path =
+          if bogon then As_path.of_asns [ asn; 65666; asn + 7 ]
+          else As_path.of_asns (List.init len (fun k -> asn + (k * 7)))
+        in
+        (border, bi, as_path))
+  in
+  let isp_patterns = Array.init n_patterns make_pattern in
+  let dc_patterns =
+    Array.init
+      (max 1 ((p.g_prefixes - n_isp) / 4))
+      (fun _ -> if dc_all = [] then [] else [ pick st dc_all ])
+  in
+  let is_v6 n = float_of_int (n mod 100) < p.g_v6_fraction *. 100. in
+  let routes = ref [] in
+  (* per-family sequence counters so prefixes of one family share
+     announcement patterns (mixed families would never merge into one
+     equivalence class: their prefix lengths differ) *)
+  let seq4 = ref 0 and seq6 = ref 0 in
+  for n = 0 to p.g_prefixes - 1 do
+    let isp = n < n_isp in
+    let idx = if isp then n else n - n_isp in
+    let v6 = is_v6 n in
+    let prefix = nth_prefix ~v6 ~isp idx in
+    let fam_seq =
+      if v6 then begin incr seq6; !seq6 end
+      else begin incr seq4; !seq4 end
+    in
+    if isp || dc_all = [] then
+      let pattern = isp_patterns.(fam_seq mod n_patterns) in
+      List.iter
+        (fun (border, bi, as_path) ->
+          (* the route as collected: post-import-policy, so it already
+             carries the region community and local-pref the border set *)
+          let ri = int_of_string (String.sub border 1 2) in
+          let comm = if isp then isp_comm ri else dc_comm ri in
+          routes :=
+            Route.make ~device:border ~prefix ~proto:Route.Bgp
+              ~source:Route.Ebgp
+              ~nexthop:(external_peer_addr bi)
+              ~as_path
+              ~communities:(Community.Set.of_list [ comm ])
+              ~local_pref:(if isp then 200 else 150)
+              ~origin:Route.Igp ()
+            :: !routes)
+        pattern
+    else
+      let pattern = dc_patterns.(fam_seq mod Array.length dc_patterns) in
+      List.iter
+        (fun dc ->
+          routes :=
+            Route.make ~device:dc ~prefix ~proto:Route.Bgp ~source:Route.Ebgp
+              ~as_path:As_path.empty ~local_pref:100 ~origin:Route.Igp
+              ~communities:(Community.Set.of_list [ Community.make 65000 99 ])
+              ()
+            :: !routes)
+        pattern
+  done;
+  !routes
+
+(** Generate flows: destinations drawn from the input prefix space,
+    ingress at borders (transit) or cores. *)
+let gen_flows (p : params) (st : Random.State.t) ~(ingress_pool : string list)
+    : Flow.t list =
+  let n_isp =
+    int_of_float (float_of_int p.g_prefixes *. p.g_isp_prefix_fraction)
+  in
+  (* NetFlow reports many records towards the same destination (different
+     5-tuples, same forwarding): emit bundles of records per (ingress,
+     destination) so flow-EC grouping has real duplicates to merge, as in
+     production. *)
+  let bundle = 5 in
+  List.init ((p.g_flows + bundle - 1) / bundle) (fun _ ->
+      let isp = Random.State.float st 1.0 < p.g_isp_prefix_fraction in
+      let idx =
+        if isp then Random.State.int st (max 1 n_isp)
+        else Random.State.int st (max 1 (p.g_prefixes - n_isp))
+      in
+      let global_idx = if isp then idx else idx + n_isp in
+      let v6 = float_of_int (global_idx mod 100) < p.g_v6_fraction *. 100. in
+      let dst_prefix = nth_prefix ~v6 ~isp idx in
+      let dst =
+        Ip.add (Prefix.first_addr dst_prefix) (1 + Random.State.int st 250)
+      in
+      let ingress = pick st ingress_pool in
+      List.init bundle (fun _ ->
+          let src =
+            if v6 then
+              Ip.add
+                (Ip.of_string_exn "2001:bbb::")
+                (Random.State.int st 1_000_000)
+            else
+              Ip.v4_of_octets
+                (1 + Random.State.int st 99)
+                (Random.State.int st 256) (Random.State.int st 256)
+                (1 + Random.State.int st 250)
+          in
+          Flow.make ~src ~dst ~ingress
+            ~sport:(1024 + Random.State.int st 60000)
+            ~dport:(pick st [ 80; 443; 8080; 22; 53 ])
+            ~ip_proto:(pick st [ 6; 6; 6; 17 ])
+            ~volume:(Random.State.float st 2e6 +. 1e4)
+            ~population:p.g_flow_population ()))
+  |> List.concat
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Generate the full scenario.  When [reparse] is set (default), every
+    device configuration is printed to its vendor dialect and re-parsed,
+    so the model entering simulation went through the same parsing path as
+    production configs; parse errors are counted in the result. *)
+let generate ?(reparse = true) (p : params) : t =
+  let st = Random.State.make [| p.g_seed |] in
+  let b, regions, cores, borders, rrs, dcs = build_topology p st in
+  setup_bgp p st b regions cores borders rrs dcs;
+  let borders_all =
+    List.concat_map (fun r -> Hashtbl.find borders r) regions
+  in
+  add_external_subnets b borders_all;
+  let borders_indexed = List.mapi (fun i bd -> (bd, i)) borders_all in
+  let dc_all = List.concat_map (fun r -> Hashtbl.find dcs r) regions in
+  let input_routes =
+    gen_input_routes p st ~borders_all:borders_indexed ~dc_all
+  in
+  let ingress_pool =
+    borders_all @ List.concat_map (fun r -> Hashtbl.find cores r) regions
+  in
+  let flows = gen_flows p st ~ingress_pool in
+  (* print + re-parse the configurations *)
+  let configs = Builder.configs b in
+  let configs, parse_errors =
+    if not reparse then (configs, 0)
+    else
+      Smap.fold
+        (fun dev cfg (acc, errs) ->
+          let text = Printer.print cfg in
+          let cfg', es =
+            Printer.parse ~vendor:cfg.Types.dc_vendor ~device:dev text
+          in
+          (Smap.add dev cfg' acc, errs + List.length es))
+        configs (Smap.empty, 0)
+  in
+  let model = Model.build (Builder.topo b) configs in
+  {
+    params = p;
+    model;
+    input_routes;
+    flows;
+    borders = borders_all;
+    dc_routers = dc_all;
+    regions;
+    parse_errors;
+  }
+
+let device_count (t : t) = Topology.num_devices t.model.Model.topo
+
+let stats (t : t) =
+  Printf.sprintf
+    "devices=%d links=%d input-routes=%d prefixes=%d flows=%d (population %d) \
+     config-lines=%d parse-errors=%d"
+    (device_count t)
+    (Topology.num_links t.model.Model.topo)
+    (List.length t.input_routes)
+    t.params.g_prefixes (List.length t.flows)
+    (List.fold_left (fun n (f : Flow.t) -> n + f.Flow.population) 0 t.flows)
+    (Model.total_config_lines t.model)
+    t.parse_errors

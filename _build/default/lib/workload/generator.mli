@@ -1,0 +1,63 @@
+(** Synthetic dual-stack WAN / WAN+DCN generator (DESIGN.md §2).
+
+    Generates a multi-region backbone (per-region route reflectors, core
+    rings, border routers with external peering subnets), optionally with
+    attached data-center routers, in mixed vendor dialects.  Device
+    configurations are rendered to vendor text and re-parsed, so the
+    model entering simulation went through the production parsing path.
+
+    The workload deliberately reproduces the properties the paper's
+    evaluation depends on: announcement patterns shared across prefixes
+    (equivalence-class compressible, like real upstreams), ISP routes
+    confined near their region while DC routes go network-wide (the
+    Figure-5c subtask skew), IPv6 prefixes and SRv6 policies (the
+    next-generation WAN), and NetFlow-style record bundles per
+    destination. *)
+
+open Hoyan_net
+
+type params = {
+  g_regions : int;
+  g_cores_per_region : int;
+  g_borders_per_region : int;
+  g_rrs_per_region : int;
+  g_dcs_per_region : int;  (** DC core routers per region (WAN+DCN) *)
+  g_prefixes : int;
+  g_routes_per_prefix : int;  (** average multi-homing degree *)
+  g_flows : int;  (** flow records *)
+  g_flow_population : int;  (** concrete flows represented per record *)
+  g_vendor_b_fraction : float;
+  g_isp_prefix_fraction : float;
+  g_v6_fraction : float;  (** fraction of prefixes (and flows) that are IPv6 *)
+  g_sr_policies : int;  (** SRv6 policies per region between borders *)
+  g_seed : int;
+}
+
+(** ~20 devices; used by tests and examples. *)
+val small : params
+
+(** The benches' scaled-down WAN: ~100 devices, ~10k input routes. *)
+val wan : params
+
+(** WAN plus the DC core layer: ~1000 devices. *)
+val wan_dcn : params
+
+type t = {
+  params : params;
+  model : Hoyan_sim.Model.t;
+  input_routes : Route.t list;
+  flows : Flow.t list;
+  borders : string list;  (** border router names (injection points) *)
+  dc_routers : string list;
+  regions : string list;
+  parse_errors : int;  (** from re-parsing the emitted configurations *)
+}
+
+(** Generate the scenario.  [reparse=false] skips the print→parse round
+    trip (marginally faster; tests keep it on). *)
+val generate : ?reparse:bool -> params -> t
+
+val device_count : t -> int
+
+(** One-line summary (devices, links, routes, flows, config lines). *)
+val stats : t -> string

@@ -1,0 +1,345 @@
+(** Scripted replications of the paper's real-world cases (§6.1, Fig 10).
+
+    Each scenario packages a base network, the pre-computed inputs, the
+    operator's change plan, and the intents the operator asked Hoyan to
+    check — so the examples and the bench can run the same incident
+    end-to-end and show the violations Hoyan caught in production. *)
+
+open Hoyan_net
+module Types = Hoyan_config.Types
+module Cp = Hoyan_config.Change_plan
+module Intents = Hoyan_core.Intents
+module Preprocess = Hoyan_core.Preprocess
+module Verify_request = Hoyan_core.Verify_request
+
+type t = {
+  sc_name : string;
+  sc_description : string;
+  sc_base : Preprocess.base;
+  sc_request : Verify_request.request;
+  sc_expected : string list; (* what Hoyan is expected to flag *)
+}
+
+let pfx = Prefix.of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10(a): shifting traffic to the new WAN                        *)
+(* ------------------------------------------------------------------ *)
+
+(** The operators intend to shift traffic for 1.0.0.0/24 from the old-WAN
+    router A to the new-WAN router B.  Node 10 of the pre-installed
+    ingress policy on M1/M2 denies all routes from B; node 20 permits the
+    target route — but node 20 is {e missing on M1} (an existing
+    misconfiguration with no pre-change impact).  The change deletes node
+    10 on both.  Result: M1 still denies route R, M2 installs and
+    re-advertises it to A; A forwards to M2 but cannot advertise back to
+    M1 (AS loop), so M1 falls back to its static 1.0.0.0/8 towards A and
+    the traffic takes M1-A-M2-B, overloading A-M2. *)
+let fig10a () : t =
+  let b = Builder.create () in
+  Builder.add_device b ~name:"DC" ~vendor:"vendorA" ~asn:65010
+    ~router_id:(Builder.ip "10.255.0.10") ();
+  Builder.add_device b ~name:"M1" ~vendor:"vendorA" ~asn:65001
+    ~router_id:(Builder.ip "10.255.0.1") ();
+  Builder.add_device b ~name:"M2" ~vendor:"vendorA" ~asn:65001
+    ~router_id:(Builder.ip "10.255.0.2") ();
+  Builder.add_device b ~name:"A" ~vendor:"vendorA" ~asn:65002
+    ~router_id:(Builder.ip "10.255.0.3") ();
+  Builder.add_device b ~name:"B" ~vendor:"vendorA" ~asn:65003
+    ~router_id:(Builder.ip "10.255.0.4") ();
+  let dc_m1, m1_dc = Builder.link b ~a:"DC" ~b:"M1" ~subnet:(pfx "10.1.0.0/31") () in
+  let dc_m2, m2_dc = Builder.link b ~a:"DC" ~b:"M2" ~subnet:(pfx "10.2.0.0/31") () in
+  let m1_a, a_m1 = Builder.link b ~a:"M1" ~b:"A" ~subnet:(pfx "10.3.0.0/31") () in
+  let m2_a, a_m2 =
+    Builder.link b ~a:"M2" ~b:"A" ~subnet:(pfx "10.4.0.0/31") ~bandwidth:10e9 ()
+  in
+  let m1_b, b_m1 = Builder.link b ~a:"M1" ~b:"B" ~subnet:(pfx "10.5.0.0/31") () in
+  let m2_b, b_m2 = Builder.link b ~a:"M2" ~b:"B" ~subnet:(pfx "10.6.0.0/31") () in
+  ignore (dc_m1, dc_m2, m1_dc, m2_dc);
+  (* ingress policies on M1/M2 for routes from B: node 10 denies all;
+     node 20 (permit 1.0.0.0/24, lp 300) was pre-installed on M2 ONLY *)
+  let target_pl =
+    { Types.pl_name = "TARGET"; pl_family = Ip.Ipv4;
+      pl_entries =
+        [ { Types.pe_seq = 5; pe_action = Types.Permit;
+            pe_prefix = pfx "1.0.0.0/24"; pe_ge = None; pe_le = None } ] }
+  in
+  Builder.add_prefix_list b "M1" target_pl;
+  Builder.add_prefix_list b "M2" target_pl;
+  (* both policies end with the standard trailing deny-all (node 100);
+     the permit node 20 for the target prefix was pre-installed on M2
+     only — the latent misconfiguration *)
+  Builder.add_policy b "M1"
+    (Builder.policy "FROM_B"
+       [
+         Builder.node 10 ~action:(Some Types.Deny);
+         Builder.node 100 ~action:(Some Types.Deny);
+       ]);
+  Builder.add_policy b "M2"
+    (Builder.policy "FROM_B"
+       [
+         Builder.node 10 ~action:(Some Types.Deny);
+         Builder.node 20
+           ~matches:[ Types.Match_prefix_list "TARGET" ]
+           ~sets:[ Types.Set_local_pref 300 ];
+         Builder.node 100 ~action:(Some Types.Deny);
+       ]);
+  (* sessions: M1/M2 to A (old WAN) and B (new WAN); DC below them *)
+  Builder.bgp_session b ~a:"M1" ~b:"A" ~a_addr:m1_a ~b_addr:a_m1 ();
+  Builder.bgp_session b ~a:"M2" ~b:"A" ~a_addr:m2_a ~b_addr:a_m2 ();
+  Builder.bgp_session b ~a:"M1" ~b:"B" ~a_addr:m1_b ~b_addr:b_m1
+    ~a_import:"FROM_B" ();
+  Builder.bgp_session b ~a:"M2" ~b:"B" ~a_addr:m2_b ~b_addr:b_m2
+    ~a_import:"FROM_B" ();
+  (* M1/M2 carry the pre-configured static default 1.0.0.0/8 towards A *)
+  Builder.add_static b "M1"
+    { Types.st_prefix = pfx "1.0.0.0/8"; st_nexthop = Some a_m1;
+      st_iface = None; st_preference = 200; st_tag = 0;
+      st_vrf = Route.default_vrf };
+  Builder.add_static b "M2"
+    { Types.st_prefix = pfx "1.0.0.0/8"; st_nexthop = Some a_m2;
+      st_iface = None; st_preference = 200; st_tag = 0;
+      st_vrf = Route.default_vrf };
+  let model = Builder.build b in
+  (* route R: 1.0.0.0/24 announced by the new WAN at B *)
+  let route_r =
+    Builder.input_route ~device:"B" ~prefix:"1.0.0.0/24" ~as_path:[ 64900 ]
+      ~local_pref:100 ()
+  in
+  (* a large DC flow towards 1.0.0.0/24 entering at M1 *)
+  let flow =
+    Flow.make ~src:(Builder.ip "172.20.0.1") ~dst:(Builder.ip "1.0.0.9")
+      ~ingress:"M1" ~volume:9e9 ()
+  in
+  let base =
+    Preprocess.prepare model ~monitored_routes:[ route_r ]
+      ~monitored_flows:[ flow ]
+  in
+  let plan =
+    Cp.make "shift-traffic-to-new-wan"
+      ~commands:
+        [ ("M1", "no route-map FROM_B 10\n"); ("M2", "no route-map FROM_B 10\n") ]
+  in
+  let request =
+    {
+      Verify_request.rq_name = "shift-traffic-to-new-wan";
+      rq_plan = plan;
+      rq_intents =
+        [
+          (* (1) route R installed as best on both M1 and M2 *)
+          Intents.Route_reach
+            { rr_prefix = pfx "1.0.0.0/24"; rr_devices = [ "M1"; "M2" ];
+              rr_expect = true };
+          (* (2) the traffic shifts to B *)
+          Intents.Flow_through
+            { fl_flow = flow; fl_device = "B"; fl_expect = true };
+          Intents.Flow_through
+            { fl_flow = flow; fl_device = "A"; fl_expect = false };
+          (* (3) no link overloaded *)
+          Intents.Max_utilization 0.8;
+        ];
+    }
+  in
+  {
+    sc_name = "figure-10a";
+    sc_description =
+      "Shifting traffic to the new WAN: a pre-existing misconfiguration \
+       (missing policy node 20 on M1) surfaces only after the change, \
+       sending traffic M1-A-M2-B and overloading A-M2.";
+    sc_base = base;
+    sc_request = request;
+    sc_expected =
+      [ "route 1.0.0.0/24 missing on M1"; "flow still traverses A";
+        "link A->M2 overloaded" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10(b): changing ISP exits                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The operator moves a list of IPv6 prefixes from ISP1 (exit D) to ISP2
+    (exit C) by raising local preference on C before advertising to the
+    region RR — but writes the prefix list with [ip-prefix] instead of
+    [ipv6-prefix].  Vendor B only checks IPv4 prefixes after [ip-prefix]
+    and permits all IPv6 prefixes by default, so {e every} IPv6 prefix
+    moves to C and C's links overload.  Hoyan verifies the stated intent
+    (the target prefixes did move) but flags the overload, and an
+    "others do not change" RCL intent pinpoints the collateral damage. *)
+let fig10b () : t =
+  let b = Builder.create () in
+  Builder.add_device b ~name:"C" ~vendor:"vendorB" ~asn:65001
+    ~router_id:(Builder.ip "10.255.1.1") ();
+  Builder.add_device b ~name:"D" ~vendor:"vendorA" ~asn:65001
+    ~router_id:(Builder.ip "10.255.1.2") ();
+  Builder.add_device b ~name:"RR" ~vendor:"vendorA" ~asn:65001
+    ~router_id:(Builder.ip "10.255.1.3") ();
+  Builder.add_device b ~name:"R1" ~vendor:"vendorA" ~asn:65001
+    ~router_id:(Builder.ip "10.255.1.4") ();
+  (* C's uplink is provisioned for the target prefixes only (10G); the
+     exit via D and the access side are comfortable *)
+  ignore (Builder.link b ~a:"C" ~b:"RR" ~subnet:(pfx "10.1.0.0/31") ~bandwidth:10e9 ());
+  ignore (Builder.link b ~a:"D" ~b:"RR" ~subnet:(pfx "10.2.0.0/31") ~bandwidth:20e9 ());
+  ignore (Builder.link b ~a:"R1" ~b:"RR" ~subnet:(pfx "10.3.0.0/31") ~bandwidth:100e9 ());
+  Builder.add_policy b "C" (Builder.policy "PASS" [ Builder.node 10 ]);
+  (* iBGP: C, D, R1 are clients of RR *)
+  Builder.ibgp_loopback_session b ~a:"RR" ~b:"C" ~a_rr_client:true
+    ~b_import:"PASS" ~b_export:"PASS" ~b_next_hop_self:true ();
+  Builder.ibgp_loopback_session b ~a:"RR" ~b:"D" ~a_rr_client:true
+    ~b_next_hop_self:true ();
+  Builder.ibgp_loopback_session b ~a:"RR" ~b:"R1" ~a_rr_client:true ();
+  let model = Builder.build b in
+  (* IPv6 prefixes: two targets plus two unrelated; all reachable via
+     both exits, ISP1 (at D) preferred before the change (lp 200) *)
+  let v6 n = Printf.sprintf "2001:db8:%d::/48" n in
+  let inputs =
+    List.concat_map
+      (fun n ->
+        [
+          Builder.input_route ~device:"D" ~prefix:(v6 n) ~local_pref:200
+            ~as_path:[ 1010 ] ();
+          Builder.input_route ~device:"C" ~prefix:(v6 n) ~local_pref:100
+            ~as_path:[ 2020 ] ();
+        ])
+      [ 1; 2; 8; 9 ]
+  in
+  let flows =
+    List.map
+      (fun n ->
+        Flow.make
+          ~src:(Builder.ip "2001:db8:ffff::1")
+          ~dst:(Builder.ip (Printf.sprintf "2001:db8:%d::42" n))
+          ~ingress:"R1" ~volume:4e9 ())
+      [ 1; 2; 8; 9 ]
+  in
+  let base =
+    Preprocess.prepare model ~monitored_routes:inputs ~monitored_flows:flows
+  in
+  (* the operator's change on C (vendor B dialect), with the wrong
+     'ip ip-prefix' command for IPv6 prefixes *)
+  let block =
+    {|ip ip-prefix EXIT2 index 5 permit 2001:db8:1:: 48
+ip ip-prefix EXIT2 index 10 permit 2001:db8:2:: 48
+route-policy TO_RR permit node 10
+ if-match ip-prefix EXIT2
+ apply local-preference 300
+route-policy TO_RR permit node 20
+bgp 65001
+ peer 10.255.1.3 as-number 65001
+ peer 10.255.1.3 route-policy TO_RR export
+|}
+  in
+  let plan = Cp.make "change-isp-exits" ~commands:[ ("C", block) ] in
+  let request =
+    {
+      Verify_request.rq_name = "change-isp-exits";
+      rq_plan = plan;
+      rq_intents =
+        [
+          (* next hops of the target prefixes change from D to C *)
+          Intents.Route_change
+            (Printf.sprintf
+               "forall device in {R1} : forall prefix in {%s, %s} : routeType \
+                = BEST => POST |> distVals(nexthop) = {10.255.1.1}"
+               (v6 1) (v6 2));
+          (* the traffic is steered to ISP2 *)
+          Intents.Flow_through
+            { fl_flow = List.hd flows; fl_device = "C"; fl_expect = true };
+          (* no link overloaded *)
+          Intents.Max_utilization 0.9;
+          (* "others do not change" — the missing spec from §7 that the
+             operator later added *)
+          Intents.Route_change
+            (Printf.sprintf
+               "forall device in {R1} : forall prefix in {%s, %s} : routeType \
+                = BEST => PRE |> distVals(nexthop) = POST |> distVals(nexthop)"
+               (v6 8) (v6 9));
+        ];
+    }
+  in
+  {
+    sc_name = "figure-10b";
+    sc_description =
+      "Changing ISP exits: 'ip-prefix' used instead of 'ipv6-prefix'; the \
+       vendor permits all IPv6 prefixes by default, so every prefix moves \
+       to C and its links overload.";
+    sc_base = base;
+    sc_request = request;
+    sc_expected =
+      [ "links into C overloaded"; "unrelated prefixes' next hop changed" ];
+  }
+
+let all () = [ fig10a (); fig10b () ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: the root-cause-analysis case                              *)
+(* ------------------------------------------------------------------ *)
+
+type diag_scenario = {
+  dg_name : string;
+  dg_description : string;
+  dg_live_model : Hoyan_sim.Model.t; (* ground truth (real vendor semantics) *)
+  dg_hoyan_model : Hoyan_sim.Model.t; (* Hoyan's pre-fix model *)
+  dg_inputs : Route.t list;
+  dg_flow : Flow.t;
+  dg_link : string * string; (* the link with the reported load gap *)
+}
+
+(** The §5.2 case: router A holds two equal-IGP-cost BGP routes towards B
+    and C; an SR policy covers the B next hop.  A's real vendor treats the
+    IGP cost of SR-reachable next hops as 0, so the live network uses only
+    the B path, while Hoyan (before the fix) simulated two ECMP routes —
+    under-estimating the A-B load.  The root-cause workflow localizes the
+    divergence at A and hints at the IGP/SR interaction. *)
+let fig9 () : diag_scenario =
+  let build vendor_of_a =
+    let b = Builder.create () in
+    Builder.add_device b ~name:"A" ~vendor:vendor_of_a ~asn:65000
+      ~router_id:(Builder.ip "10.255.0.1") ();
+    Builder.add_device b ~name:"Bx" ~vendor:"vendorB" ~asn:65000
+      ~router_id:(Builder.ip "10.255.0.2") ();
+    Builder.add_device b ~name:"Cx" ~vendor:"vendorB" ~asn:65000
+      ~router_id:(Builder.ip "10.255.0.3") ();
+    Builder.add_device b ~name:"D" ~vendor:"vendorB" ~asn:65000
+      ~router_id:(Builder.ip "10.255.0.4") ();
+    ignore (Builder.link b ~a:"A" ~b:"Bx" ~subnet:(pfx "10.1.0.0/31") ());
+    ignore (Builder.link b ~a:"A" ~b:"Cx" ~subnet:(pfx "10.2.0.0/31") ());
+    ignore (Builder.link b ~a:"D" ~b:"A" ~subnet:(pfx "10.3.0.0/31") ());
+    List.iter
+      (fun d -> Builder.add_policy b d (Builder.policy "PASS" [ Builder.node 10 ]))
+      [ "A"; "Bx"; "Cx"; "D" ];
+    Builder.ibgp_loopback_session b ~a:"A" ~b:"Bx" ~a_import:"PASS"
+      ~a_export:"PASS" ~b_import:"PASS" ~b_export:"PASS" ();
+    Builder.ibgp_loopback_session b ~a:"A" ~b:"Cx" ~a_import:"PASS"
+      ~a_export:"PASS" ~b_import:"PASS" ~b_export:"PASS" ();
+    Builder.ibgp_loopback_session b ~a:"D" ~b:"A" ~a_import:"PASS"
+      ~a_export:"PASS" ~b_import:"PASS" ~b_export:"PASS" ~b_rr_client:true
+      ~b_next_hop_self:true ();
+    Builder.add_sr_policy b "A"
+      { Types.sp_name = "TO_B"; sp_endpoint = Builder.ip "10.255.0.2";
+        sp_color = 1; sp_segments = []; sp_preference = 100 };
+    Builder.build b
+  in
+  let inputs =
+    [
+      Builder.input_route ~device:"Bx" ~prefix:"99.0.0.0/24"
+        ~nexthop:"10.255.0.2" ~as_path:[ 7018 ] ();
+      Builder.input_route ~device:"Cx" ~prefix:"99.0.0.0/24"
+        ~nexthop:"10.255.0.3" ~as_path:[ 7018 ] ();
+    ]
+  in
+  {
+    dg_name = "figure-9";
+    dg_description =
+      "A's vendor zeroes the IGP cost of SR-reached next hops, so the \
+       live network sends all traffic A-B while Hoyan's pre-fix model \
+       predicted ECMP across A-B and A-C.";
+    (* live network: vendor A semantics on router A (sr_igp_cost_zero) *)
+    dg_live_model = build "vendorA";
+    (* Hoyan before the fix: modelled A like the other vendor *)
+    dg_hoyan_model = build "vendorB";
+    dg_inputs = inputs;
+    dg_flow =
+      Flow.make ~src:(Builder.ip "8.8.8.8") ~dst:(Builder.ip "99.0.0.10")
+        ~ingress:"D" ~volume:5e9 ();
+    dg_link = ("A", "Bx");
+  }

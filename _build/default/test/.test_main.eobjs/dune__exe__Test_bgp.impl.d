@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest As_path Community Flow Hashtbl Hoyan_config Hoyan_net Hoyan_proto Hoyan_sim Hoyan_workload Ip List Option Prefix Printf Rib Route String Topology

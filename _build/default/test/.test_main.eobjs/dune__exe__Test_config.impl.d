@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest As_path Change_plan Community Hoyan_config Hoyan_net Ip Lexutil List Option Parser_a Parser_b Policy Prefix Printer Printf Route String Types Vsb

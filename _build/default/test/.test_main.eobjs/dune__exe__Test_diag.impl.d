@@ -1,0 +1,1 @@
+test/test_diag.ml: Alcotest Float Flow Hashtbl Hoyan_config Hoyan_diag Hoyan_monitor Hoyan_net Hoyan_regex Hoyan_sim Hoyan_workload Lazy List Option Prefix Route Str String Topology

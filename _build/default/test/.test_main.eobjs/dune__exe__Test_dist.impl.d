@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Flow Fun Hashtbl Hoyan_dist Hoyan_net Hoyan_sim Hoyan_workload Ip Lazy List Prefix QCheck QCheck_alcotest Random Rib Route

@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Hoyan_config Hoyan_dist Hoyan_net List Prefix Printf Route

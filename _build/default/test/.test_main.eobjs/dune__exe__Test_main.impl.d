@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bgp Test_config Test_diag Test_dist Test_infra Test_net Test_pipeline Test_props Test_proto Test_rcl Test_regex Test_scenarios Test_workload

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest As_path Community Hoyan_net Int Int128 Ip List Prefix QCheck QCheck_alcotest Random Rib Route String Trie

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest As_path Flow Hoyan_config Hoyan_core Hoyan_net Hoyan_sim Hoyan_workload Lazy List Option Prefix Rib Route String Topology

@@ -1,0 +1,1 @@
+test/test_props.ml: As_path Community Hoyan_config Hoyan_net Hoyan_proto Hoyan_workload Ip List Prefix Printf QCheck QCheck_alcotest Random Route String

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Hoyan_config Hoyan_diag Hoyan_monitor Hoyan_net Hoyan_proto Hoyan_regex Hoyan_sim Hoyan_workload Ip List Prefix Route String

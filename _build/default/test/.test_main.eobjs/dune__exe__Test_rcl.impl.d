@@ -1,0 +1,1 @@
+test/test_rcl.ml: Alcotest Ast Community Hoyan_net Hoyan_rcl Ip List Parser Prefix Pretty Printf QCheck QCheck_alcotest Random Route Semantics Str String Value Verify

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Hoyan_regex QCheck QCheck_alcotest Random Regex Str String

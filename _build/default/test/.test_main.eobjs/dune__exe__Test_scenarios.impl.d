@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Hashtbl Hoyan_config Hoyan_core Hoyan_net Hoyan_sim Hoyan_workload List Option Rib Route Str

@@ -1,0 +1,600 @@
+(* End-to-end tests of the BGP engine, IS-IS, the model compiler, and the
+   route/traffic simulators on small hand-built networks. *)
+
+open Hoyan_net
+module B = Hoyan_workload.Builder
+module Types = Hoyan_config.Types
+module Bgp = Hoyan_proto.Bgp
+module Isis = Hoyan_proto.Isis
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let pfx = Prefix.of_string_exn
+
+(* A simple line: EXT(input) - R1 --ebgp-- R2 --ebgp-- R3. *)
+let line_network () =
+  let b = B.create () in
+  B.add_device b ~name:"R1" ~vendor:"vendorA" ~asn:65001
+    ~router_id:(B.ip "1.1.1.1") ();
+  B.add_device b ~name:"R2" ~vendor:"vendorA" ~asn:65002
+    ~router_id:(B.ip "2.2.2.2") ();
+  B.add_device b ~name:"R3" ~vendor:"vendorB" ~asn:65003
+    ~router_id:(B.ip "3.3.3.3") ();
+  let a12, b12 = B.link b ~a:"R1" ~b:"R2" ~subnet:(pfx "10.12.0.0/31") () in
+  let a23, b23 = B.link b ~a:"R2" ~b:"R3" ~subnet:(pfx "10.23.0.0/31") () in
+  B.bgp_session b ~a:"R1" ~b:"R2" ~a_addr:a12 ~b_addr:b12 ();
+  (* R3 is vendor B, which drops eBGP updates without an explicit policy
+     (the "missing route policy" VSB) — so its session carries pass-all
+     policies, as a real VRP/XR-style deployment would. *)
+  B.add_policy b "R3" (B.policy "PASS" [ B.node 10 ]);
+  B.bgp_session b ~a:"R2" ~b:"R3" ~a_addr:a23 ~b_addr:b23 ~b_import:"PASS"
+    ~b_export:"PASS" ();
+  b
+
+let find_routes rib ~device ~prefix =
+  List.filter
+    (fun (r : Route.t) ->
+      String.equal r.Route.device device
+      && Prefix.equal r.Route.prefix (pfx prefix)
+      && r.Route.proto = Route.Bgp)
+    rib
+
+let test_linear_propagation () =
+  let b = line_network () in
+  let model = B.build b in
+  let input =
+    [ B.input_route ~device:"R1" ~prefix:"99.0.0.0/24" ~as_path:[ 7018 ] () ]
+  in
+  let res = Route_sim.run model ~input_routes:input () in
+  (* the route must appear on all three devices *)
+  List.iter
+    (fun dev ->
+      check tbool
+        (Printf.sprintf "route on %s" dev)
+        true
+        (find_routes res.Route_sim.rib ~device:dev ~prefix:"99.0.0.0/24" <> []))
+    [ "R1"; "R2"; "R3" ];
+  (* AS path grows along the way *)
+  let r3 =
+    List.hd (find_routes res.Route_sim.rib ~device:"R3" ~prefix:"99.0.0.0/24")
+  in
+  check tstr "as path at R3" "65002 65001 7018"
+    (As_path.to_string r3.Route.as_path);
+  (* next hop at R3 is R2's link address *)
+  check tstr "nexthop at R3" "10.23.0.0" (Route.nexthop_string r3);
+  check tbool "fixpoint quick" true
+    (res.Route_sim.bgp_stats.Bgp.st_rounds <= 10)
+
+let test_as_loop_prevention () =
+  let b = line_network () in
+  let model = B.build b in
+  (* input already carries R3's ASN: R3 must reject it *)
+  let input =
+    [ B.input_route ~device:"R1" ~prefix:"99.0.0.0/24" ~as_path:[ 65003; 7018 ]
+        () ]
+  in
+  let res = Route_sim.run model ~input_routes:input () in
+  check tbool "R2 has it" true
+    (find_routes res.Route_sim.rib ~device:"R2" ~prefix:"99.0.0.0/24" <> []);
+  check tbool "R3 rejects (loop)" true
+    (find_routes res.Route_sim.rib ~device:"R3" ~prefix:"99.0.0.0/24" = [])
+
+let test_import_policy_blocks () =
+  let b = line_network () in
+  (* R2 blocks routes with community 666:666 from R1 *)
+  B.add_community_list b "R2"
+    { Types.cl_name = "BLOCK";
+      cl_entries =
+        [ { Types.ce_seq = 5; ce_action = Types.Permit;
+            ce_members = [ B.comm "666:666" ] } ] };
+  B.add_policy b "R2"
+    (B.policy "IMP"
+       [
+         B.node 10 ~action:(Some Types.Deny)
+           ~matches:[ Types.Match_community_list "BLOCK" ];
+         B.node 20;
+       ]);
+  B.update_config b "R2" (fun cfg ->
+      let nbs =
+        List.map
+          (fun (nb : Types.neighbor) ->
+            if Ip.equal nb.Types.nb_addr (B.ip "10.12.0.0") then
+              { nb with Types.nb_import = Some "IMP" }
+            else nb)
+          cfg.Types.dc_bgp.Types.bgp_neighbors
+      in
+      { cfg with Types.dc_bgp = { cfg.Types.dc_bgp with Types.bgp_neighbors = nbs } });
+  let model = B.build b in
+  let tainted =
+    B.input_route ~device:"R1" ~prefix:"66.0.0.0/24" ~communities:[ "666:666" ]
+      ~as_path:[ 7018 ] ()
+  in
+  let clean =
+    B.input_route ~device:"R1" ~prefix:"77.0.0.0/24" ~as_path:[ 7018 ] ()
+  in
+  let res = Route_sim.run model ~input_routes:[ tainted; clean ] () in
+  check tbool "tainted blocked at R2" true
+    (find_routes res.Route_sim.rib ~device:"R2" ~prefix:"66.0.0.0/24" = []);
+  check tbool "clean passes" true
+    (find_routes res.Route_sim.rib ~device:"R2" ~prefix:"77.0.0.0/24" <> [])
+
+(* iBGP square with a route reflector:
+        RR
+       /  \
+      C1    C2     (clients, same AS)
+   C1 gets an external input; C2 must learn it via RR. *)
+let test_route_reflection () =
+  let b = B.create () in
+  B.add_device b ~name:"RR" ~vendor:"vendorA" ~asn:65000
+    ~router_id:(B.ip "10.255.0.1") ~role:Topology.Rr ();
+  B.add_device b ~name:"C1" ~vendor:"vendorA" ~asn:65000
+    ~router_id:(B.ip "10.255.0.2") ();
+  B.add_device b ~name:"C2" ~vendor:"vendorA" ~asn:65000
+    ~router_id:(B.ip "10.255.0.3") ();
+  ignore (B.link b ~a:"RR" ~b:"C1" ~subnet:(pfx "10.0.1.0/31") ());
+  ignore (B.link b ~a:"RR" ~b:"C2" ~subnet:(pfx "10.0.2.0/31") ());
+  B.ibgp_loopback_session b ~a:"RR" ~b:"C1" ~a_rr_client:true ();
+  B.ibgp_loopback_session b ~a:"RR" ~b:"C2" ~a_rr_client:true ();
+  let model = B.build b in
+  let input =
+    [ B.input_route ~device:"C1" ~prefix:"99.0.0.0/24" ~nexthop:"10.255.0.2"
+        ~as_path:[ 7018 ] () ]
+  in
+  let res = Route_sim.run model ~input_routes:input () in
+  check tbool "RR learned" true
+    (find_routes res.Route_sim.rib ~device:"RR" ~prefix:"99.0.0.0/24" <> []);
+  check tbool "C2 learned via reflection" true
+    (find_routes res.Route_sim.rib ~device:"C2" ~prefix:"99.0.0.0/24" <> []);
+  (* without the client flag, C2 must NOT learn it *)
+  let b2 = B.create () in
+  B.add_device b2 ~name:"RR" ~vendor:"vendorA" ~asn:65000
+    ~router_id:(B.ip "10.255.0.1") ();
+  B.add_device b2 ~name:"C1" ~vendor:"vendorA" ~asn:65000
+    ~router_id:(B.ip "10.255.0.2") ();
+  B.add_device b2 ~name:"C2" ~vendor:"vendorA" ~asn:65000
+    ~router_id:(B.ip "10.255.0.3") ();
+  ignore (B.link b2 ~a:"RR" ~b:"C1" ~subnet:(pfx "10.0.1.0/31") ());
+  ignore (B.link b2 ~a:"RR" ~b:"C2" ~subnet:(pfx "10.0.2.0/31") ());
+  B.ibgp_loopback_session b2 ~a:"RR" ~b:"C1" ();
+  B.ibgp_loopback_session b2 ~a:"RR" ~b:"C2" ();
+  let res2 =
+    Route_sim.run (B.build b2) ~input_routes:input ()
+  in
+  check tbool "no reflection without client flag" true
+    (find_routes res2.Route_sim.rib ~device:"C2" ~prefix:"99.0.0.0/24" = [])
+
+let test_local_pref_decision () =
+  (* R3 hears 99/24 via two paths; an import policy raises local-pref on
+     the longer one, which must then win. *)
+  let b = B.create () in
+  B.add_device b ~name:"S" ~vendor:"vendorA" ~asn:65100
+    ~router_id:(B.ip "9.9.9.9") ();
+  B.add_device b ~name:"L" ~vendor:"vendorA" ~asn:65200
+    ~router_id:(B.ip "8.8.8.8") ();
+  B.add_device b ~name:"D" ~vendor:"vendorA" ~asn:65300
+    ~router_id:(B.ip "7.7.7.7") ();
+  let s_d, d_s = B.link b ~a:"S" ~b:"D" ~subnet:(pfx "10.1.0.0/31") () in
+  let l_d, d_l = B.link b ~a:"L" ~b:"D" ~subnet:(pfx "10.2.0.0/31") () in
+  B.add_policy b "D"
+    (B.policy "PREF_L" [ B.node 10 ~sets:[ Types.Set_local_pref 300 ] ]);
+  B.bgp_session b ~a:"S" ~b:"D" ~a_addr:s_d ~b_addr:d_s ();
+  B.bgp_session b ~a:"L" ~b:"D" ~a_addr:l_d ~b_addr:d_l ~b_import:"PREF_L"
+    ();
+  let model = B.build b in
+  let inputs =
+    [
+      B.input_route ~device:"S" ~prefix:"99.0.0.0/24" ~as_path:[ 1 ] ();
+      B.input_route ~device:"L" ~prefix:"99.0.0.0/24" ~as_path:[ 1; 2; 3 ] ();
+    ]
+  in
+  let res = Route_sim.run model ~input_routes:inputs () in
+  let d_routes = find_routes res.Route_sim.rib ~device:"D" ~prefix:"99.0.0.0/24" in
+  check tint "two candidates at D" 2 (List.length d_routes);
+  let best =
+    List.find (fun (r : Route.t) -> r.Route.route_type = Route.Best) d_routes
+  in
+  (* best must be the one from L (lp 300) despite the longer AS path *)
+  check tint "best has lp 300" 300 best.Route.local_pref;
+  check tbool "best from L" true (best.Route.peer = Some "L")
+
+let test_aggregation () =
+  let b = line_network () in
+  B.update_config b "R2" (fun cfg ->
+      { cfg with
+        Types.dc_bgp =
+          { cfg.Types.dc_bgp with
+            Types.bgp_aggregates =
+              [ { Types.ag_prefix = pfx "99.0.0.0/16"; ag_as_set = false;
+                  ag_summary_only = true; ag_vrf = Route.default_vrf } ] } });
+  let model = B.build b in
+  let input =
+    [ B.input_route ~device:"R1" ~prefix:"99.0.1.0/24" ~as_path:[ 7018 ] () ]
+  in
+  let res = Route_sim.run model ~input_routes:input () in
+  (* the aggregate appears at R2 and propagates to R3 *)
+  check tbool "aggregate at R2" true
+    (find_routes res.Route_sim.rib ~device:"R2" ~prefix:"99.0.0.0/16" <> []);
+  check tbool "aggregate at R3" true
+    (find_routes res.Route_sim.rib ~device:"R3" ~prefix:"99.0.0.0/16" <> []);
+  (* summary-only suppresses the component towards R3 *)
+  check tbool "component suppressed at R3" true
+    (find_routes res.Route_sim.rib ~device:"R3" ~prefix:"99.0.1.0/24" = [])
+
+let test_aggregation_vsb_common_prefix () =
+  (* vendor A emits an empty AS path on the aggregate; vendor B carries the
+     common prefix (Table 5: "common AS path prefix"). *)
+  let run vendor =
+    let b = B.create () in
+    B.add_device b ~name:"AGG" ~vendor ~asn:65001 ~router_id:(B.ip "1.1.1.1") ();
+    B.add_device b ~name:"PEER" ~vendor:"vendorA" ~asn:65002
+      ~router_id:(B.ip "2.2.2.2") ();
+    let a, p = B.link b ~a:"AGG" ~b:"PEER" ~subnet:(pfx "10.0.0.0/31") () in
+    B.bgp_session b ~a:"AGG" ~b:"PEER" ~a_addr:a ~b_addr:p ();
+    B.update_config b "AGG" (fun cfg ->
+        { cfg with
+          Types.dc_bgp =
+            { cfg.Types.dc_bgp with
+              Types.bgp_aggregates =
+                [ { Types.ag_prefix = pfx "99.0.0.0/16"; ag_as_set = false;
+                    ag_summary_only = false; ag_vrf = Route.default_vrf } ] } });
+    let model = B.build b in
+    let inputs =
+      [
+        B.input_route ~device:"AGG" ~prefix:"99.0.1.0/24" ~as_path:[ 70; 80 ] ();
+        B.input_route ~device:"AGG" ~prefix:"99.0.2.0/24" ~as_path:[ 70; 90 ] ();
+      ]
+    in
+    let res = Route_sim.run model ~input_routes:inputs () in
+    List.hd (find_routes res.Route_sim.rib ~device:"AGG" ~prefix:"99.0.0.0/16")
+  in
+  let agg_a = run "vendorA" and agg_b = run "vendorB" in
+  check tstr "vendor A: empty path" "" (As_path.to_string agg_a.Route.as_path);
+  check tstr "vendor B: common prefix" "70"
+    (As_path.to_string agg_b.Route.as_path)
+
+let test_ecmp_and_igp_cost () =
+  (* Diamond: D hears 99/24 from two iBGP peers with equal attributes; the
+     IGP costs decide.  Equal costs -> ECMP (the Figure 9 setup). *)
+  let diamond sr_on_a =
+    let b = B.create () in
+    List.iter
+      (fun (n, id) ->
+        B.add_device b ~name:n ~vendor:"vendorA" ~asn:65000
+          ~router_id:(B.ip id) ())
+      [ ("A", "10.255.0.1"); ("Bx", "10.255.0.2"); ("C", "10.255.0.3") ];
+    ignore (B.link b ~a:"A" ~b:"Bx" ~subnet:(pfx "10.1.0.0/31") ~cost:10 ());
+    ignore (B.link b ~a:"A" ~b:"C" ~subnet:(pfx "10.2.0.0/31") ~cost:10 ());
+    B.ibgp_loopback_session b ~a:"A" ~b:"Bx" ();
+    B.ibgp_loopback_session b ~a:"A" ~b:"C" ();
+    if sr_on_a then
+      B.add_sr_policy b "A"
+        { Types.sp_name = "TO_B"; sp_endpoint = B.ip "10.255.0.2";
+          sp_color = 100; sp_segments = []; sp_preference = 100 };
+    let model = B.build b in
+    let inputs =
+      [
+        B.input_route ~device:"Bx" ~prefix:"99.0.0.0/24" ~nexthop:"10.255.0.2"
+          ~as_path:[ 7018 ] ();
+        B.input_route ~device:"C" ~prefix:"99.0.0.0/24" ~nexthop:"10.255.0.3"
+          ~as_path:[ 7018 ] ();
+      ]
+    in
+    let res = Route_sim.run model ~input_routes:inputs () in
+    find_routes res.Route_sim.rib ~device:"A" ~prefix:"99.0.0.0/24"
+  in
+  (* no SR: equal IGP costs -> two ECMP routes *)
+  let routes = diamond false in
+  let installed =
+    List.filter
+      (fun (r : Route.t) ->
+        match r.Route.route_type with
+        | Route.Best | Route.Ecmp -> true
+        | Route.Backup -> false)
+      routes
+  in
+  check tint "two ECMP routes" 2 (List.length installed);
+  (* with an SR policy to B on vendor A (sr_igp_cost_zero = true), the
+     B route gets cost 0 and wins alone -- the Figure 9 vendor behaviour *)
+  let routes_sr = diamond true in
+  let installed_sr =
+    List.filter
+      (fun (r : Route.t) ->
+        match r.Route.route_type with
+        | Route.Best | Route.Ecmp -> true
+        | Route.Backup -> false)
+      routes_sr
+  in
+  check tint "SR collapses to one best" 1 (List.length installed_sr);
+  check tbool "winner via B" true
+    ((List.hd installed_sr).Route.peer = Some "Bx")
+
+let test_isis_spf () =
+  let b = B.create () in
+  List.iter
+    (fun (n, id) ->
+      B.add_device b ~name:n ~vendor:"vendorA" ~asn:65000 ~router_id:(B.ip id)
+        ())
+    [ ("A", "1.1.1.1"); ("B", "2.2.2.2"); ("C", "3.3.3.3"); ("D", "4.4.4.4") ];
+  ignore (B.link b ~a:"A" ~b:"B" ~subnet:(pfx "10.1.0.0/31") ~cost:10 ());
+  ignore (B.link b ~a:"B" ~b:"D" ~subnet:(pfx "10.2.0.0/31") ~cost:10 ());
+  ignore (B.link b ~a:"A" ~b:"C" ~subnet:(pfx "10.3.0.0/31") ~cost:10 ());
+  ignore (B.link b ~a:"C" ~b:"D" ~subnet:(pfx "10.4.0.0/31") ~cost:30 ());
+  let igp = Isis.compute (B.topo b) (B.configs b) in
+  check tbool "cost A->D" true (Isis.cost igp ~src:"A" ~dst:"D" = Some 20);
+  check
+    Alcotest.(list string)
+    "single first hop via B" [ "B" ]
+    (Isis.first_hops igp ~src:"A" ~dst:"D");
+  (* make both sides equal: ECMP first hops *)
+  let b2 = B.create () in
+  List.iter
+    (fun (n, id) ->
+      B.add_device b2 ~name:n ~vendor:"vendorA" ~asn:65000 ~router_id:(B.ip id)
+        ())
+    [ ("A", "1.1.1.1"); ("B", "2.2.2.2"); ("C", "3.3.3.3"); ("D", "4.4.4.4") ];
+  ignore (B.link b2 ~a:"A" ~b:"B" ~subnet:(pfx "10.1.0.0/31") ~cost:10 ());
+  ignore (B.link b2 ~a:"B" ~b:"D" ~subnet:(pfx "10.2.0.0/31") ~cost:10 ());
+  ignore (B.link b2 ~a:"A" ~b:"C" ~subnet:(pfx "10.3.0.0/31") ~cost:10 ());
+  ignore (B.link b2 ~a:"C" ~b:"D" ~subnet:(pfx "10.4.0.0/31") ~cost:10 ());
+  let igp2 = Isis.compute (B.topo b2) (B.configs b2) in
+  check
+    Alcotest.(slist string String.compare)
+    "ECMP first hops" [ "B"; "C" ]
+    (Isis.first_hops igp2 ~src:"A" ~dst:"D")
+
+let test_ec_compression () =
+  let b = line_network () in
+  let model = B.build b in
+  (* 10 input routes with identical attributes and no prefix-list to tell
+     them apart -> few ECs *)
+  let inputs =
+    List.init 10 (fun i ->
+        B.input_route ~device:"R1"
+          ~prefix:(Printf.sprintf "99.%d.0.0/24" i)
+          ~as_path:[ 7018 ] ())
+  in
+  let res = Route_sim.run model ~input_routes:inputs () in
+  check tbool "compressed" true (res.Route_sim.ec_count < 10);
+  (* results identical with and without ECs *)
+  let res_plain = Route_sim.run ~use_ecs:false model ~input_routes:inputs () in
+  check tbool "EC result equals plain result" true
+    (Rib.Global.equal res.Route_sim.rib res_plain.Route_sim.rib)
+
+let test_traffic_forwarding () =
+  let b = line_network () in
+  let model = B.build b in
+  let input =
+    [ B.input_route ~device:"R3" ~prefix:"99.0.0.0/24" ~nexthop:"10.23.0.1"
+        ~as_path:[ 7018 ] () ]
+  in
+  let res = Route_sim.run model ~input_routes:input () in
+  let flow =
+    Flow.make ~src:(B.ip "1.0.0.1") ~dst:(B.ip "99.0.0.7") ~ingress:"R1"
+      ~volume:1e9 ()
+  in
+  let tres =
+    Traffic_sim.run model ~rib:res.Route_sim.rib ~flows:[ flow ] ()
+  in
+  let fr = List.hd tres.Traffic_sim.flow_results in
+  check tbool "delivered" true (fr.Traffic_sim.f_delivered > 0.99);
+  let hops = (List.hd fr.Traffic_sim.f_paths).Traffic_sim.hops in
+  check Alcotest.(list string) "path R1-R2-R3" [ "R1"; "R2"; "R3" ] hops;
+  (* link loads on both hops *)
+  let load k = Option.value (Hashtbl.find_opt tres.Traffic_sim.link_load k) ~default:0. in
+  check (Alcotest.float 1.0) "load R1->R2" 1e9 (load ("R1", "R2"));
+  check (Alcotest.float 1.0) "load R2->R3" 1e9 (load ("R2", "R3"))
+
+let test_traffic_acl_drop () =
+  let b = line_network () in
+  (* R2 drops TCP/80 from 1.0.0.0/8 on its R1-facing interface *)
+  B.update_config b "R2" (fun cfg ->
+      let acl =
+        { Types.acl_name = "BLOCK80";
+          acl_entries =
+            [
+              { Types.ace_seq = 5; ace_action = Types.Deny;
+                ace_src = Some (pfx "1.0.0.0/8"); ace_dst = None;
+                ace_proto = Some 6; ace_dport = Some (80, 80) };
+              { Types.ace_seq = 10; ace_action = Types.Permit; ace_src = None;
+                ace_dst = None; ace_proto = None; ace_dport = None };
+            ] }
+      in
+      let ifaces =
+        List.map
+          (fun (i : Types.iface_config) ->
+            match i.Types.if_addr with
+            | Some a when Ip.equal a (B.ip "10.12.0.1") ->
+                { i with Types.if_acl_in = Some "BLOCK80" }
+            | _ -> i)
+          cfg.Types.dc_ifaces
+      in
+      { cfg with
+        Types.dc_ifaces = ifaces;
+        dc_acls = Types.Smap.add "BLOCK80" acl cfg.Types.dc_acls })
+  ;
+  let model = B.build b in
+  let input =
+    [ B.input_route ~device:"R3" ~prefix:"99.0.0.0/24" ~nexthop:"10.23.0.1"
+        ~as_path:[ 7018 ] () ]
+  in
+  let res = Route_sim.run model ~input_routes:input () in
+  let blocked =
+    Flow.make ~src:(B.ip "1.0.0.1") ~dst:(B.ip "99.0.0.7") ~ingress:"R1"
+      ~dport:80 ~volume:1e9 ()
+  in
+  let ok =
+    Flow.make ~src:(B.ip "1.0.0.1") ~dst:(B.ip "99.0.0.7") ~ingress:"R1"
+      ~dport:443 ~volume:1e9 ()
+  in
+  let tres =
+    Traffic_sim.run model ~rib:res.Route_sim.rib ~flows:[ blocked; ok ] ()
+  in
+  match tres.Traffic_sim.flow_results with
+  | [ fb; fo ] ->
+      check tbool "blocked dropped" true (fb.Traffic_sim.f_dropped > 0.99);
+      check tbool "ok delivered" true (fo.Traffic_sim.f_delivered > 0.99)
+  | _ -> Alcotest.fail "expected two flow results"
+
+let test_flow_ec_compression () =
+  let b = line_network () in
+  let model = B.build b in
+  let input =
+    [ B.input_route ~device:"R3" ~prefix:"99.0.0.0/24" ~nexthop:"10.23.0.1"
+        ~as_path:[ 7018 ] () ]
+  in
+  let res = Route_sim.run model ~input_routes:input () in
+  (* many flows to the same /24: one EC *)
+  let flows =
+    List.init 50 (fun i ->
+        Flow.make ~src:(B.ip "1.0.0.1")
+          ~dst:(B.ip (Printf.sprintf "99.0.0.%d" i))
+          ~ingress:"R1" ~volume:1e6 ())
+  in
+  let tres = Traffic_sim.run model ~rib:res.Route_sim.rib ~flows () in
+  check tint "one flow EC" 1 tres.Traffic_sim.ec_count;
+  (* same loads as without ECs *)
+  let tres2 =
+    Traffic_sim.run ~use_ecs:false model ~rib:res.Route_sim.rib ~flows ()
+  in
+  let total tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0. in
+  check (Alcotest.float 1.0) "loads agree"
+    (total tres2.Traffic_sim.link_load)
+    (total tres.Traffic_sim.link_load)
+
+let test_change_plan_end_to_end () =
+  (* apply a change plan that raises local-pref on R2's import; the best
+     route at R2 must change accordingly *)
+  let b = line_network () in
+  let model = B.build b in
+  let input =
+    [ B.input_route ~device:"R1" ~prefix:"99.0.0.0/24" ~as_path:[ 7018 ] () ]
+  in
+  let block =
+    {|route-map NEWPOL permit 10
+ set local-preference 777
+router bgp 65002
+ neighbor 10.12.0.0 remote-as 65001
+ neighbor 10.12.0.0 route-map NEWPOL in
+|}
+  in
+  let cp = Hoyan_config.Change_plan.make "raise-lp" ~commands:[ ("R2", block) ] in
+  let model', reports = Model.apply_change_plan model cp in
+  List.iter
+    (fun (r : Hoyan_config.Change_plan.apply_report) ->
+      List.iter
+        (fun e ->
+          Printf.printf "apply error on %s: %s\n"
+            r.Hoyan_config.Change_plan.ar_device
+            (Hoyan_config.Lexutil.error_to_string e))
+        r.Hoyan_config.Change_plan.ar_parse_errors;
+      check tint "clean apply" 0
+        (List.length r.Hoyan_config.Change_plan.ar_parse_errors))
+    reports;
+  let res = Route_sim.run model' ~input_routes:input () in
+  let r2 = find_routes res.Route_sim.rib ~device:"R2" ~prefix:"99.0.0.0/24" in
+  check tint "lp changed by plan" 777 (List.hd r2).Route.local_pref
+
+let test_add_paths () =
+  (* with additional-paths, a device advertises up to n paths, so the
+     peer sees the ECMP alternatives too *)
+  let run add_paths =
+    let b = B.create () in
+    B.add_device b ~name:"S1" ~vendor:"vendorA" ~asn:65101
+      ~router_id:(B.ip "1.1.1.1") ();
+    B.add_device b ~name:"S2" ~vendor:"vendorA" ~asn:65102
+      ~router_id:(B.ip "2.2.2.2") ();
+    B.add_device b ~name:"M" ~vendor:"vendorA" ~asn:65100
+      ~router_id:(B.ip "3.3.3.3") ();
+    B.add_device b ~name:"P" ~vendor:"vendorA" ~asn:65200
+      ~router_id:(B.ip "4.4.4.4") ();
+    let s1_m, m_s1 = B.link b ~a:"S1" ~b:"M" ~subnet:(pfx "10.1.0.0/31") () in
+    let s2_m, m_s2 = B.link b ~a:"S2" ~b:"M" ~subnet:(pfx "10.2.0.0/31") () in
+    let m_p, p_m = B.link b ~a:"M" ~b:"P" ~subnet:(pfx "10.3.0.0/31") () in
+    B.bgp_session b ~a:"S1" ~b:"M" ~a_addr:s1_m ~b_addr:m_s1 ();
+    B.bgp_session b ~a:"S2" ~b:"M" ~a_addr:s2_m ~b_addr:m_s2 ();
+    B.bgp_session b ~a:"M" ~b:"P" ~a_addr:m_p ~b_addr:p_m ~add_paths ();
+    let model = B.build b in
+    let inputs =
+      [
+        B.input_route ~device:"S1" ~prefix:"99.0.0.0/24" ~as_path:[ 7 ] ();
+        B.input_route ~device:"S2" ~prefix:"99.0.0.0/24" ~as_path:[ 8 ] ();
+      ]
+    in
+    let rib = (Route_sim.run model ~input_routes:inputs ()).Route_sim.rib in
+    List.filter
+      (fun (r : Route.t) ->
+        String.equal r.Route.device "P"
+        && Prefix.equal r.Route.prefix (pfx "99.0.0.0/24"))
+      rib
+  in
+  check tint "without add-paths P sees one path" 1 (List.length (run 0));
+  check tint "with add-paths 2 P sees both" 2 (List.length (run 2))
+
+let test_vrf_leaking_semantics () =
+  (* a route exported from vrf X with RT 100:1 appears in vrf Y importing
+     that RT, carrying the export RT as a community; vendor A does not
+     re-leak it into Z, vendor B does (Table 5) *)
+  let run vendor =
+    let b = B.create () in
+    B.add_device b ~name:"PE" ~vendor ~asn:65000 ~router_id:(B.ip "1.1.1.1") ();
+    B.add_vrf b "PE"
+      { Types.vd_name = "vx"; vd_rd = "65000:1"; vd_import_rts = [];
+        vd_export_rts = [ "100:1" ]; vd_export_policy = None };
+    B.add_vrf b "PE"
+      { Types.vd_name = "vy"; vd_rd = "65000:2"; vd_import_rts = [ "100:1" ];
+        vd_export_rts = [ "200:1" ]; vd_export_policy = None };
+    B.add_vrf b "PE"
+      { Types.vd_name = "vz"; vd_rd = "65000:3"; vd_import_rts = [ "200:1" ];
+        vd_export_rts = []; vd_export_policy = None };
+    let model = B.build b in
+    let inputs =
+      [ B.input_route ~device:"PE" ~vrf:"vx" ~prefix:"99.0.0.0/24" () ]
+    in
+    (Route_sim.run model ~input_routes:inputs ()).Route_sim.rib
+  in
+  let vrf_has rib vrf =
+    List.exists
+      (fun (r : Route.t) ->
+        String.equal r.Route.vrf vrf
+        && Prefix.equal r.Route.prefix (pfx "99.0.0.0/24"))
+      rib
+  in
+  let rib_a = run "vendorA" in
+  check tbool "leaked into vy" true (vrf_has rib_a "vy");
+  check tbool "A does not re-leak into vz" false (vrf_has rib_a "vz");
+  (* the leaked copy carries the export RT as a community *)
+  let leaked =
+    List.find
+      (fun (r : Route.t) -> String.equal r.Route.vrf "vy")
+      rib_a
+  in
+  check tbool "export RT stamped" true
+    (Community.Set.mem (B.comm "100:1") leaked.Route.communities);
+  let rib_b = run "vendorB" in
+  check tbool "B re-leaks into vz" true (vrf_has rib_b "vz")
+
+let suite =
+  [
+    ("linear propagation", `Quick, test_linear_propagation);
+    ("AS loop prevention", `Quick, test_as_loop_prevention);
+    ("import policy blocks", `Quick, test_import_policy_blocks);
+    ("route reflection", `Quick, test_route_reflection);
+    ("local-pref decision", `Quick, test_local_pref_decision);
+    ("aggregation + summary-only", `Quick, test_aggregation);
+    ("aggregation VSB common prefix", `Quick, test_aggregation_vsb_common_prefix);
+    ("ECMP and SR igp-cost VSB", `Quick, test_ecmp_and_igp_cost);
+    ("isis spf + ecmp", `Quick, test_isis_spf);
+    ("route EC compression", `Quick, test_ec_compression);
+    ("traffic forwarding", `Quick, test_traffic_forwarding);
+    ("traffic ACL drop", `Quick, test_traffic_acl_drop);
+    ("flow EC compression", `Quick, test_flow_ec_compression);
+    ("change plan end to end", `Quick, test_change_plan_end_to_end);
+    ("add-path advertisement", `Quick, test_add_paths);
+    ("vrf leaking semantics", `Quick, test_vrf_leaking_semantics);
+  ]

@@ -1,0 +1,488 @@
+(* Tests for the configuration model, the vendor parsers/printers, policy
+   evaluation with VSBs, and change-plan application. *)
+
+open Hoyan_net
+open Hoyan_config
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let pfx = Prefix.of_string_exn
+let ip = Ip.of_string_exn
+let comm = Community.of_string_exn
+
+(* --- filters ------------------------------------------------------------ *)
+
+let test_prefix_list_semantics () =
+  let entry seq action p ge le =
+    { Types.pe_seq = seq; pe_action = action; pe_prefix = pfx p; pe_ge = ge;
+      pe_le = le }
+  in
+  let pl =
+    { Types.pl_name = "PL"; pl_family = Ip.Ipv4;
+      pl_entries =
+        [
+          entry 5 Types.Permit "10.0.0.0/24" None None;
+          entry 10 Types.Deny "10.0.0.0/8" None (Some 32);
+          entry 15 Types.Permit "0.0.0.0/0" (Some 16) (Some 24);
+        ] }
+  in
+  let eval p = Types.prefix_list_eval pl (pfx p) in
+  check tbool "exact match" true (eval "10.0.0.0/24" = Some Types.Permit);
+  check tbool "longer falls to deny" true (eval "10.0.0.0/25" = Some Types.Deny);
+  check tbool "le range deny" true (eval "10.9.0.0/16" = Some Types.Deny);
+  check tbool "ge/le window" true (eval "172.16.0.0/20" = Some Types.Permit);
+  check tbool "below ge" true (eval "172.0.0.0/8" = None)
+
+let test_community_list () =
+  let cl =
+    { Types.cl_name = "CL";
+      cl_entries =
+        [
+          { Types.ce_seq = 5; ce_action = Types.Deny;
+            ce_members = [ comm "666:666" ] };
+          { Types.ce_seq = 10; ce_action = Types.Permit;
+            ce_members = [ comm "100:1"; comm "200:2" ] };
+        ] }
+  in
+  let eval cs =
+    Types.community_list_eval cl
+      (Community.Set.of_list (List.map comm cs))
+  in
+  check tbool "deny first" true (eval [ "666:666"; "100:1" ] = Some Types.Deny);
+  check tbool "all members required" true (eval [ "100:1" ] = None);
+  check tbool "permit" true (eval [ "100:1"; "200:2"; "1:1" ] = Some Types.Permit)
+
+let test_acl () =
+  let acl =
+    { Types.acl_name = "A";
+      acl_entries =
+        [
+          { Types.ace_seq = 5; ace_action = Types.Permit;
+            ace_src = Some (pfx "10.0.0.0/8"); ace_dst = None;
+            ace_proto = Some 6; ace_dport = Some (443, 443) };
+          { Types.ace_seq = 10; ace_action = Types.Deny; ace_src = None;
+            ace_dst = None; ace_proto = None; ace_dport = None };
+        ] }
+  in
+  let eval ~src ~proto ~dport =
+    Types.acl_eval acl ~src:(ip src) ~dst:(ip "1.1.1.1") ~proto ~dport
+  in
+  check tbool "permit https" true
+    (eval ~src:"10.1.1.1" ~proto:6 ~dport:443 = Some Types.Permit);
+  check tbool "wrong port denied" true
+    (eval ~src:"10.1.1.1" ~proto:6 ~dport:80 = Some Types.Deny);
+  check tbool "wrong src denied" true
+    (eval ~src:"11.1.1.1" ~proto:6 ~dport:443 = Some Types.Deny)
+
+(* --- policy evaluation and VSBs ----------------------------------------- *)
+
+let route ?(prefix = "10.0.0.0/24") ?(communities = []) ?(as_path = []) () =
+  Route.make ~device:"R" ~prefix:(pfx prefix)
+    ~communities:(Community.Set.of_list (List.map comm communities))
+    ~as_path:(As_path.of_asns as_path)
+    ()
+
+let cfg_with_policy nodes =
+  let cfg = Types.empty ~device:"R" ~vendor:"vendorA" in
+  { cfg with
+    Types.dc_policies =
+      Types.Smap.add "P" { Types.rp_name = "P"; rp_nodes = nodes }
+        cfg.Types.dc_policies }
+
+let node ?(action = Some Types.Permit) ?(matches = []) ?(sets = [])
+    ?(goto = false) seq =
+  { Types.pn_seq = seq; pn_action = action; pn_matches = matches;
+    pn_sets = sets; pn_goto_next = goto }
+
+let test_policy_basic () =
+  let cfg = cfg_with_policy [ node 10 ~sets:[ Types.Set_local_pref 300 ] ] in
+  let v = Policy.eval cfg Vsb.vendor_a (Some "P") (route ()) in
+  check tbool "permitted" true (v.Policy.pv_action = Types.Permit);
+  check tint "lp set" 300 v.Policy.pv_route.Route.local_pref;
+  check tbool "matched node" true (v.Policy.pv_matched_node = Some 10)
+
+let test_policy_vsb_missing () =
+  let cfg = Types.empty ~device:"R" ~vendor:"vendorA" in
+  let r = route () in
+  (* vendor A accepts without a policy, vendor B does not *)
+  check tbool "A: no policy accepts" true
+    ((Policy.eval cfg Vsb.vendor_a None r).Policy.pv_action = Types.Permit);
+  check tbool "B: no policy denies" true
+    ((Policy.eval cfg Vsb.vendor_b None r).Policy.pv_action = Types.Deny);
+  (* undefined policy name *)
+  check tbool "A: undefined policy accepts" true
+    ((Policy.eval cfg Vsb.vendor_a (Some "NOPE") r).Policy.pv_action
+    = Types.Permit);
+  check tbool "B: undefined policy denies" true
+    ((Policy.eval cfg Vsb.vendor_b (Some "NOPE") r).Policy.pv_action
+    = Types.Deny)
+
+let test_policy_vsb_default_action () =
+  (* route matching no node: vendor A denies, vendor B permits *)
+  let cfg =
+    cfg_with_policy
+      [ node 10 ~matches:[ Types.Match_tag 42 ] ~sets:[] ]
+  in
+  let r = route () in
+  check tbool "A: no match denies" true
+    ((Policy.eval cfg Vsb.vendor_a (Some "P") r).Policy.pv_action = Types.Deny);
+  check tbool "B: no match permits" true
+    ((Policy.eval cfg Vsb.vendor_b (Some "P") r).Policy.pv_action = Types.Permit)
+
+let test_policy_vsb_undefined_filter () =
+  let cfg =
+    cfg_with_policy [ node 10 ~matches:[ Types.Match_prefix_list "MISSING" ] ]
+  in
+  let r = route () in
+  (* A: undefined filter matches everything -> permit; B: never matches ->
+     falls through -> B's default-permit VSB then applies *)
+  let va = Policy.eval cfg Vsb.vendor_a (Some "P") r in
+  check tbool "A matches via node 10" true (va.Policy.pv_matched_node = Some 10);
+  let vb = Policy.eval cfg Vsb.vendor_b (Some "P") r in
+  check tbool "B does not match the node" true (vb.Policy.pv_matched_node = None)
+
+let test_policy_vsb_no_explicit_action () =
+  let cfg = cfg_with_policy [ node ~action:None 10 ] in
+  let r = route () in
+  check tbool "A: implicit permit" true
+    ((Policy.eval cfg Vsb.vendor_a (Some "P") r).Policy.pv_action = Types.Permit);
+  check tbool "B: implicit deny" true
+    ((Policy.eval cfg Vsb.vendor_b (Some "P") r).Policy.pv_action = Types.Deny)
+
+let test_policy_sets () =
+  let cfg =
+    cfg_with_policy
+      [
+        node 10
+          ~sets:
+            [
+              Types.Set_communities (Types.Comm_add, [ comm "300:3" ]);
+              Types.Set_med 50;
+              Types.Set_aspath_prepend (65000, 2);
+            ];
+      ]
+  in
+  let r = route ~communities:[ "100:1" ] ~as_path:[ 1; 2 ] () in
+  let v = Policy.eval cfg Vsb.vendor_a (Some "P") r in
+  let r' = v.Policy.pv_route in
+  check tstr "communities" "100:1,300:3"
+    (Community.Set.to_string r'.Route.communities);
+  check tint "med" 50 r'.Route.med;
+  check tstr "prepended" "65000 65000 1 2" (As_path.to_string r'.Route.as_path)
+
+let test_policy_overwrite_flag () =
+  let cfg =
+    cfg_with_policy [ node 10 ~sets:[ Types.Set_aspath_overwrite [ 9; 9 ] ] ]
+  in
+  let v = Policy.eval cfg Vsb.vendor_a (Some "P") (route ~as_path:[ 1 ] ()) in
+  check tbool "overwrote flag" true v.Policy.pv_aspath_overwritten;
+  check tstr "overwritten path" "9 9"
+    (As_path.to_string v.Policy.pv_route.Route.as_path)
+
+let test_policy_goto_next () =
+  let cfg =
+    cfg_with_policy
+      [
+        node 10 ~sets:[ Types.Set_local_pref 200 ] ~goto:true;
+        node 20 ~sets:[ Types.Set_med 7 ];
+      ]
+  in
+  let v = Policy.eval cfg Vsb.vendor_a (Some "P") (route ()) in
+  let r = v.Policy.pv_route in
+  check tint "first node applied" 200 r.Route.local_pref;
+  check tint "second node applied too" 7 r.Route.med
+
+let test_policy_ipv6_against_ipv4_list () =
+  (* The Figure-10(b) quirk: an ip-prefix (v4) list matched against an
+     IPv6 route.  Vendor B treats it as a match (permitting all IPv6);
+     vendor A does not match. *)
+  let pl =
+    { Types.pl_name = "PL4"; pl_family = Ip.Ipv4;
+      pl_entries =
+        [ { Types.pe_seq = 5; pe_action = Types.Permit;
+            pe_prefix = pfx "10.0.0.0/8"; pe_ge = None; pe_le = None } ] }
+  in
+  let cfg =
+    let c =
+      cfg_with_policy
+        [ node 10 ~matches:[ Types.Match_prefix_list "PL4" ]
+            ~sets:[ Types.Set_local_pref 999 ] ]
+    in
+    { c with Types.dc_prefix_lists = Types.Smap.add "PL4" pl c.Types.dc_prefix_lists }
+  in
+  let v6_route = route ~prefix:"2001:db8::/32" () in
+  let vb = Policy.eval cfg Vsb.vendor_b (Some "P") v6_route in
+  check tbool "B: v6 hits the v4 list node" true
+    (vb.Policy.pv_matched_node = Some 10);
+  check tint "B: lp mistakenly raised" 999 vb.Policy.pv_route.Route.local_pref;
+  let va = Policy.eval cfg Vsb.vendor_a (Some "P") v6_route in
+  check tbool "A: v6 does not hit the node" true
+    (va.Policy.pv_matched_node = None)
+
+(* --- parsers ------------------------------------------------------------ *)
+
+let vendor_a_config =
+  {|hostname CORE-1
+!
+interface Eth0
+ ip address 10.0.0.1/31
+ bandwidth 100000000000
+ isis cost 15
+!
+ip prefix-list PL seq 5 permit 10.0.0.0/24
+ip prefix-list PL seq 10 deny 0.0.0.0/0 le 32
+ipv6 prefix-list PL6 seq 5 permit 2001:db8::/32
+ip community-list CL seq 5 permit 100:1 200:2
+ip as-path access-list AP seq 5 permit .* 123 .*
+!
+route-map RM permit 10
+ match ip prefix-list PL
+ set local-preference 300
+ set community 300:1 additive
+!
+route-map RM deny 20
+!
+router isis
+ net 49.0001.0001
+!
+router bgp 65001
+ bgp router-id 1.1.1.1
+ network 10.0.0.0/24
+ aggregate-address 10.0.0.0/16 summary-only
+ redistribute static route-map RM
+ neighbor 10.0.0.2 remote-as 65002
+ neighbor 10.0.0.2 route-map RM in
+ neighbor 10.0.0.2 next-hop-self
+!
+ip route 192.168.0.0/24 10.0.0.2 preference 5 tag 77
+access-list ACL1 seq 5 permit tcp 10.0.0.0/8 any eq 443
+pbr interface Eth0 acl ACL1 next-hop 10.0.0.9
+|}
+
+let test_parser_a () =
+  let cfg, errors = Parser_a.parse ~device:"x" vendor_a_config in
+  check tint "no errors" 0 (List.length errors);
+  check tstr "hostname" "CORE-1" cfg.Types.dc_device;
+  check tint "one interface" 1 (List.length cfg.Types.dc_ifaces);
+  let i = List.hd cfg.Types.dc_ifaces in
+  check tstr "iface addr" "10.0.0.1" (Ip.to_string (Option.get i.Types.if_addr));
+  check tint "plen" 31 i.Types.if_plen;
+  check tint "prefix lists" 2 (Types.Smap.cardinal cfg.Types.dc_prefix_lists);
+  let pl = Option.get (Types.find_prefix_list cfg "PL") in
+  check tint "PL entries" 2 (List.length pl.Types.pl_entries);
+  check tbool "le parsed" true
+    ((List.nth pl.Types.pl_entries 1).Types.pe_le = Some 32);
+  let rm = Option.get (Types.find_policy cfg "RM") in
+  check tint "RM nodes" 2 (List.length rm.Types.rp_nodes);
+  check tbool "node 20 is deny" true
+    ((List.nth rm.Types.rp_nodes 1).Types.pn_action = Some Types.Deny);
+  check tint "bgp asn" 65001 cfg.Types.dc_bgp.Types.bgp_asn;
+  let nb = List.hd cfg.Types.dc_bgp.Types.bgp_neighbors in
+  check tbool "neighbor import" true (nb.Types.nb_import = Some "RM");
+  check tbool "next-hop-self" true nb.Types.nb_next_hop_self;
+  check tint "aggregates" 1 (List.length cfg.Types.dc_bgp.Types.bgp_aggregates);
+  check tbool "summary-only" true
+    (List.hd cfg.Types.dc_bgp.Types.bgp_aggregates).Types.ag_summary_only;
+  check tint "statics" 1 (List.length cfg.Types.dc_statics);
+  check tint "acl entries" 1
+    (List.length (Option.get (Types.find_acl cfg "ACL1")).Types.acl_entries);
+  check tint "pbr" 1 (List.length cfg.Types.dc_pbr);
+  check tbool "isis on" true cfg.Types.dc_isis.Types.isis_enabled;
+  check tint "isis iface cost" 15
+    (List.hd cfg.Types.dc_isis.Types.isis_ifaces).Types.ii_cost
+
+let vendor_b_config =
+  {|sysname BORDER-2
+#
+interface Eth0
+ ip address 10.0.0.2 31
+ isis enable 1
+ isis cost 20
+#
+ip ip-prefix PL index 5 permit 10.0.0.0 24 less-equal 32
+ip ipv6-prefix PL6 index 5 permit 2001:db8:: 32
+ip community-filter CF index 5 permit 100:1
+ip as-path-filter AP index 5 permit .* 65000 .*
+#
+route-policy RP permit node 10
+ if-match ip-prefix PL
+ apply local-preference 200
+ goto next-node
+#
+route-policy RP deny node 20
+#
+isis 1
+ network-entity 49.0001.0002
+#
+bgp 65002
+ router-id 2.2.2.2
+ network 20.0.0.0 24
+ peer 10.0.0.1 as-number 65001
+ peer 10.0.0.1 route-policy RP import
+ peer 10.0.0.1 reflect-client
+#
+ip route-static 172.16.0.0 16 10.0.0.1 preference 60 tag 0
+#
+acl name FILTER
+ rule 5 permit tcp source 10.0.0.0/8 destination-port eq 80
+#
+|}
+
+let test_parser_b () =
+  let cfg, errors = Parser_b.parse ~device:"x" vendor_b_config in
+  List.iter (fun e -> Printf.printf "ERR: %s\n" (Lexutil.error_to_string e)) errors;
+  check tint "no errors" 0 (List.length errors);
+  check tstr "sysname" "BORDER-2" cfg.Types.dc_device;
+  check tstr "vendor" "vendorB" cfg.Types.dc_vendor;
+  let pl = Option.get (Types.find_prefix_list cfg "PL") in
+  check tbool "family v4" true (pl.Types.pl_family = Ip.Ipv4);
+  check tbool "less-equal" true
+    ((List.hd pl.Types.pl_entries).Types.pe_le = Some 32);
+  let pl6 = Option.get (Types.find_prefix_list cfg "PL6") in
+  check tbool "family v6" true (pl6.Types.pl_family = Ip.Ipv6);
+  let rp = Option.get (Types.find_policy cfg "RP") in
+  check tbool "goto next" true (List.hd rp.Types.rp_nodes).Types.pn_goto_next;
+  let nb = List.hd cfg.Types.dc_bgp.Types.bgp_neighbors in
+  check tbool "reflect client" true nb.Types.nb_rr_client;
+  check tint "statics" 1 (List.length cfg.Types.dc_statics);
+  check tbool "acl parsed" true (Types.find_acl cfg "FILTER" <> None)
+
+let test_parser_b_ipprefix_family_trap () =
+  (* "ip ip-prefix" with an IPv6 address: the vendor accepts the command
+     but the entry is ineffective — the list exists, declared IPv4, with
+     no usable entries.  This is the §6.1 operator mistake: combined with
+     vendor B's "ip-prefix permits the other family" VSB, every IPv6
+     route then sails through the policy node. *)
+  let cfg, errors =
+    Parser_b.parse ~device:"x" "ip ip-prefix X index 5 permit 2001:db8:: 32\n"
+  in
+  check tint "one error" 1 (List.length errors);
+  (match Types.find_prefix_list cfg "X" with
+  | Some pl ->
+      check tbool "declared IPv4" true (pl.Types.pl_family = Ip.Ipv4);
+      check tint "no usable entries" 0 (List.length pl.Types.pl_entries)
+  | None -> Alcotest.fail "list should be declared")
+
+let test_printer_roundtrip_a () =
+  let cfg, errors = Parser_a.parse ~device:"x" vendor_a_config in
+  check tint "parse clean" 0 (List.length errors);
+  let text = Printer.A.print cfg in
+  let cfg2, errors2 = Parser_a.parse ~device:"x" text in
+  check tint "reparse clean" 0 (List.length errors2);
+  (* compare rendered forms (canonical) *)
+  check tstr "roundtrip stable" (Printer.A.print cfg) (Printer.A.print cfg2)
+
+let test_printer_roundtrip_b () =
+  let cfg, errors = Parser_b.parse ~device:"x" vendor_b_config in
+  check tint "parse clean" 0 (List.length errors);
+  let text = Printer.B.print cfg in
+  let cfg2, errors2 = Parser_b.parse ~device:"x" text in
+  check tint "reparse clean" 0 (List.length errors2);
+  check tstr "roundtrip stable" (Printer.B.print cfg) (Printer.B.print cfg2)
+
+let test_parser_flaws () =
+  let text = "route-map RM permit 10\n set community 1:1 additive\n" in
+  let cfg, _ = Parser_a.parse ~device:"x" text in
+  let cfg_flawed, _ =
+    Parser_a.parse ~flaws:[ Parser_a.Ignore_additive ] ~device:"x" text
+  in
+  let get_set c =
+    (List.hd (Option.get (Types.find_policy c "RM")).Types.rp_nodes)
+      .Types.pn_sets
+  in
+  (match (get_set cfg, get_set cfg_flawed) with
+  | [ Types.Set_communities (Types.Comm_add, _) ],
+    [ Types.Set_communities (Types.Comm_replace, _) ] ->
+      ()
+  | _ -> Alcotest.fail "flaw not reproduced");
+  let text6 = "ipv6 prefix-list P6 seq 5 permit 2001:db8::/32\n" in
+  let cfg6, _ =
+    Parser_a.parse ~flaws:[ Parser_a.Drop_ipv6_prefix_lists ] ~device:"x" text6
+  in
+  check tbool "v6 lists dropped" true (Types.find_prefix_list cfg6 "P6" = None)
+
+let test_unknown_lines_reported () =
+  let _, errors = Parser_a.parse ~device:"x" "frobnicate the network\n" in
+  check tint "error recorded" 1 (List.length errors)
+
+(* --- change plans -------------------------------------------------------- *)
+
+let test_change_plan_merge_and_delete () =
+  let base, _ = Parser_a.parse ~device:"x" vendor_a_config in
+  let block =
+    {|route-map RM permit 15
+ set metric 9
+!
+no route-map RM 20
+ip prefix-list PL seq 7 permit 10.1.0.0/24
+no ip route 192.168.0.0/24
+|}
+  in
+  let cfg, report = Change_plan.apply_commands base block in
+  check tint "no parse errors" 0 (List.length report.Change_plan.ar_parse_errors);
+  check tint "no delete errors" 0
+    (List.length report.Change_plan.ar_delete_errors);
+  let rm = Option.get (Types.find_policy cfg "RM") in
+  let seqs = List.map (fun n -> n.Types.pn_seq) rm.Types.rp_nodes in
+  check Alcotest.(list int) "nodes 10,15 remain; 20 deleted" [ 10; 15 ] seqs;
+  let pl = Option.get (Types.find_prefix_list cfg "PL") in
+  check tint "PL grew" 3 (List.length pl.Types.pl_entries);
+  check tint "static removed" 0 (List.length cfg.Types.dc_statics)
+
+let test_change_plan_wrong_dialect () =
+  (* vendor-B commands applied to a vendor-A device: everything errors and
+     the config is unchanged -- Table 6's "wrong command format" risk *)
+  let base, _ = Parser_a.parse ~device:"x" vendor_a_config in
+  let block = "route-policy RP permit node 10\n apply local-preference 5\n" in
+  let cfg, report = Change_plan.apply_commands base block in
+  check tbool "errors reported" true
+    (List.length report.Change_plan.ar_parse_errors > 0);
+  check tbool "no new policy" true (Types.find_policy cfg "RP" = None)
+
+let test_change_plan_delete_typo () =
+  let base, _ = Parser_a.parse ~device:"x" vendor_a_config in
+  let cfg, report = Change_plan.apply_commands base "no route-map RMTYPO 10\n" in
+  check tint "delete error" 1 (List.length report.Change_plan.ar_delete_errors);
+  check tbool "config unchanged" true (Types.find_policy cfg "RM" <> None)
+
+(* --- VSB table ------------------------------------------------------------ *)
+
+let test_vsb_profiles_differ_on_all_16 () =
+  List.iter
+    (fun dim ->
+      let a = Vsb.dimension_value Vsb.vendor_a dim in
+      let b = Vsb.dimension_value Vsb.vendor_b dim in
+      if String.equal a b then
+        Alcotest.failf "profiles agree on %s (%s)" dim a)
+    Vsb.dimension_names;
+  check tint "16 dimensions" 16 (List.length Vsb.dimension_names)
+
+let suite =
+  [
+    ("prefix list semantics", `Quick, test_prefix_list_semantics);
+    ("community list", `Quick, test_community_list);
+    ("acl evaluation", `Quick, test_acl);
+    ("policy basic", `Quick, test_policy_basic);
+    ("VSB: missing/undefined policy", `Quick, test_policy_vsb_missing);
+    ("VSB: default action", `Quick, test_policy_vsb_default_action);
+    ("VSB: undefined filter", `Quick, test_policy_vsb_undefined_filter);
+    ("VSB: no explicit action", `Quick, test_policy_vsb_no_explicit_action);
+    ("policy set clauses", `Quick, test_policy_sets);
+    ("policy overwrite flag", `Quick, test_policy_overwrite_flag);
+    ("policy goto-next", `Quick, test_policy_goto_next);
+    ("VSB: ip-prefix vs ipv6 route", `Quick, test_policy_ipv6_against_ipv4_list);
+    ("parser vendor A", `Quick, test_parser_a);
+    ("parser vendor B", `Quick, test_parser_b);
+    ("parser B family trap", `Quick, test_parser_b_ipprefix_family_trap);
+    ("printer roundtrip A", `Quick, test_printer_roundtrip_a);
+    ("printer roundtrip B", `Quick, test_printer_roundtrip_b);
+    ("parser injected flaws", `Quick, test_parser_flaws);
+    ("unknown lines reported", `Quick, test_unknown_lines_reported);
+    ("change plan merge+delete", `Quick, test_change_plan_merge_and_delete);
+    ("change plan wrong dialect", `Quick, test_change_plan_wrong_dialect);
+    ("change plan delete typo", `Quick, test_change_plan_delete_typo);
+    ("VSB profiles differ on all 16", `Quick, test_vsb_profiles_differ_on_all_16);
+  ]

@@ -1,0 +1,254 @@
+(* Tests for the distributed simulation framework: splitters, the ordering
+   heuristic, master/worker execution, failure retry, the schedule replay,
+   and the real-parallel executor. *)
+
+open Hoyan_net
+module G = Hoyan_workload.Generator
+module Split = Hoyan_dist.Split
+module Framework = Hoyan_dist.Framework
+module Schedule = Hoyan_dist.Schedule
+module Db = Hoyan_dist.Db
+module Parallel = Hoyan_dist.Parallel
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+
+
+(* fixed seed: the property suites are deterministic run to run *)
+let qtest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |]) t
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let scenario = lazy (G.generate G.small)
+
+let test_split_routes_ordered () =
+  let g = Lazy.force scenario in
+  let splits =
+    Split.split_routes ~strategy:Split.Ordered ~subtasks:10 g.G.input_routes
+  in
+  check tbool "about 10 subtasks" true (List.length splits <= 10);
+  (* all routes of one prefix are in the same subtask *)
+  let prefix_home = Hashtbl.create 256 in
+  List.iteri
+    (fun i (routes, _) ->
+      List.iter
+        (fun (r : Route.t) ->
+          match Hashtbl.find_opt prefix_home r.Route.prefix with
+          | Some j -> check tint "same-prefix same-subtask" j i
+          | None -> Hashtbl.add prefix_home r.Route.prefix i)
+        routes)
+    splits;
+  (* ranges cover their routes *)
+  List.iter
+    (fun (routes, (lo, hi)) ->
+      List.iter
+        (fun (r : Route.t) ->
+          check tbool "range covers first" true
+            (Ip.compare (Prefix.first_addr r.Route.prefix) lo >= 0);
+          check tbool "range covers last" true
+            (Ip.compare (Prefix.last_addr r.Route.prefix) hi <= 0))
+        routes)
+    splits;
+  (* total preserved *)
+  let total = List.fold_left (fun n (rs, _) -> n + List.length rs) 0 splits in
+  check tint "no route lost" (List.length g.G.input_routes) total
+
+let test_split_flows () =
+  let g = Lazy.force scenario in
+  let splits =
+    Split.split_flows ~strategy:Split.Ordered ~subtasks:8 g.G.flows
+  in
+  let total = List.fold_left (fun n (fs, _) -> n + List.length fs) 0 splits in
+  check tint "no flow lost" (List.length g.G.flows) total;
+  (* destination ranges are ordered and non-overlapping for Ordered *)
+  let ranges = List.map snd splits in
+  let rec non_overlapping = function
+    | (_, hi) :: ((lo2, _) :: _ as rest) ->
+        Ip.compare hi lo2 <= 0 && non_overlapping rest
+    | _ -> true
+  in
+  check tbool "ordered ranges disjoint" true (non_overlapping ranges)
+
+let test_distributed_equals_direct () =
+  let g = Lazy.force scenario in
+  let direct =
+    (Route_sim.run g.G.model ~input_routes:g.G.input_routes ()).Route_sim.rib
+  in
+  let fw = Framework.create g.G.model in
+  let phase =
+    Framework.run_route_phase ~subtasks:7 fw ~input_routes:g.G.input_routes
+  in
+  check tbool "distributed RIB equals direct RIB" true
+    (Rib.Global.equal direct phase.Framework.rp_rib)
+
+let test_traffic_phase_and_dependencies () =
+  let g = Lazy.force scenario in
+  let fw = Framework.create g.G.model in
+  let rp = Framework.run_route_phase ~subtasks:10 fw ~input_routes:g.G.input_routes in
+  let tp =
+    Framework.run_traffic_phase ~subtasks:8 ~dep_mode:Framework.Deps_ordered fw
+      ~route_phase:rp ~flows:g.G.flows
+  in
+  (* loads through the framework equal a direct traffic run *)
+  let direct =
+    Traffic_sim.run g.G.model ~rib:rp.Framework.rp_rib ~flows:g.G.flows ()
+  in
+  let total tbl = Hashtbl.fold (fun _ v a -> a +. v) tbl 0. in
+  check (Alcotest.float 1.0) "loads agree"
+    (total direct.Traffic_sim.link_load)
+    (total tp.Framework.tp_link_load);
+  (* the ordering heuristic loads strictly fewer RIB files than all *)
+  let fw2 = Framework.create g.G.model in
+  let rp2 = Framework.run_route_phase ~subtasks:10 fw2 ~input_routes:g.G.input_routes in
+  let tp_all =
+    Framework.run_traffic_phase ~subtasks:8 ~dep_mode:Framework.Deps_all fw2
+      ~route_phase:rp2 ~flows:g.G.flows
+  in
+  let avg fracs =
+    List.fold_left (fun a (_, f) -> a +. f) 0. fracs
+    /. float_of_int (List.length fracs)
+  in
+  check tbool "ordered loads fewer files" true
+    (avg tp.Framework.tp_loaded_fracs < avg tp_all.Framework.tp_loaded_fracs);
+  check (Alcotest.float 0.001) "all-mode loads everything" 1.0
+    (avg tp_all.Framework.tp_loaded_fracs);
+  (* and the results are nevertheless identical (dependency soundness) *)
+  check (Alcotest.float 1.0) "ordered = all results"
+    (total tp_all.Framework.tp_link_load)
+    (total tp.Framework.tp_link_load)
+
+let test_random_split_loads_everything () =
+  let g = Lazy.force scenario in
+  let fw = Framework.create g.G.model in
+  let rp =
+    Framework.run_route_phase ~strategy:(Split.Random 5) ~subtasks:10 fw
+      ~input_routes:g.G.input_routes
+  in
+  let tp =
+    Framework.run_traffic_phase ~strategy:(Split.Random 6) ~subtasks:8
+      ~dep_mode:Framework.Deps_ordered fw ~route_phase:rp ~flows:g.G.flows
+  in
+  (* with random partitions nearly every subtask depends on nearly every
+     RIB file (Figure 5d's contrast) *)
+  let avg =
+    List.fold_left (fun a (_, f) -> a +. f) 0. tp.Framework.tp_loaded_fracs
+    /. float_of_int (List.length tp.Framework.tp_loaded_fracs)
+  in
+  check tbool "random split loads ~all files" true (avg > 0.9)
+
+let test_failure_retry () =
+  let g = Lazy.force scenario in
+  let fw = Framework.create ~fail_prob:0.3 ~seed:11 g.G.model in
+  let phase =
+    Framework.run_route_phase ~subtasks:10 fw ~input_routes:g.G.input_routes
+  in
+  (* despite injected worker crashes, every subtask eventually completes
+     (the master re-sends failed subtasks) and the result is correct *)
+  check tbool "all subtasks done" true (Db.all_done fw.Framework.db);
+  let direct =
+    (Route_sim.run g.G.model ~input_routes:g.G.input_routes ()).Route_sim.rib
+  in
+  check tbool "rib correct despite failures" true
+    (Rib.Global.equal direct phase.Framework.rp_rib);
+  (* at least one retry actually happened *)
+  let retried =
+    Db.all fw.Framework.db
+    |> List.exists (fun (_, e) -> e.Db.e_attempts > 1)
+  in
+  check tbool "some subtask was retried" true retried
+
+let test_schedule_makespan () =
+  (* makespan on 1 server is the sum; more servers monotonically help;
+     a single huge job bounds the makespan from below *)
+  let durations = [ 10.; 1.; 1.; 1.; 1.; 1.; 1.; 1. ] in
+  let m1, _ = Schedule.makespan ~servers:1 durations in
+  let m4, _ = Schedule.makespan ~servers:4 durations in
+  let m100, _ = Schedule.makespan ~servers:100 durations in
+  check (Alcotest.float 0.001) "1 server = sum" 17.0 m1;
+  check tbool "4 servers faster" true (m4 < m1);
+  check (Alcotest.float 0.001) "bounded by longest job" 10.0 m100;
+  (* the CDF helper is a proper CDF *)
+  let cdf = Schedule.cdf durations in
+  check (Alcotest.float 0.001) "cdf ends at 1" 1.0 (snd (List.nth cdf 7));
+  check tbool "cdf sorted" true
+    (List.for_all2
+       (fun (a, _) (b, _) -> a <= b)
+       (List.filteri (fun i _ -> i < 7) cdf)
+       (List.tl cdf))
+
+let test_parallel_executor () =
+  let g = Lazy.force scenario in
+  let direct =
+    (Route_sim.run g.G.model ~input_routes:g.G.input_routes ()).Route_sim.rib
+  in
+  let parallel =
+    Parallel.route_phase_rib ~domains:4 ~subtasks:6 g.G.model
+      ~input_routes:g.G.input_routes
+  in
+  check tbool "parallel domains produce the same RIB" true
+    (Rib.Global.equal direct parallel)
+
+let test_parallel_map () =
+  let xs = List.init 100 Fun.id in
+  let ys = Parallel.map ~domains:4 (fun x -> x * x) xs in
+  check Alcotest.(list int) "order preserved" (List.map (fun x -> x * x) xs) ys
+
+(* property: the ordering heuristic's dependency test is sound — if a
+   traffic subtask's range does not overlap a route subtask's range, no
+   flow of the former can match any route of the latter *)
+let prop_dependency_soundness =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 20)
+           (map2
+              (fun ip len ->
+                Hoyan_net.Prefix.make (Ip.V4 (ip land 0xffffffff)) (8 + (len mod 17)))
+              nat nat))
+        (list_size (int_range 1 20) (map (fun n -> Ip.V4 (n land 0xffffffff)) nat)))
+  in
+  QCheck.Test.make ~name:"range-overlap dependency test is sound" ~count:200
+    (QCheck.make gen)
+    (fun (prefixes, dsts) ->
+      let routes =
+        List.map
+          (fun p -> Route.make ~device:"X" ~prefix:p ())
+          prefixes
+      in
+      let r_splits = Split.split_routes ~strategy:Split.Ordered ~subtasks:4 routes in
+      let flows =
+        List.map
+          (fun d -> Flow.make ~src:(Ip.V4 1) ~dst:d ~ingress:"X" ())
+          dsts
+      in
+      let f_splits = Split.split_flows ~strategy:Split.Ordered ~subtasks:4 flows in
+      List.for_all
+        (fun (fs, frange) ->
+          List.for_all
+            (fun (rs, rrange) ->
+              Split.ranges_overlap frange rrange
+              || (* no overlap: then no flow matches any route *)
+              not
+                (List.exists
+                   (fun (f : Flow.t) ->
+                     List.exists
+                       (fun (r : Route.t) -> Prefix.mem f.Flow.dst r.Route.prefix)
+                       rs)
+                   fs))
+            r_splits)
+        f_splits)
+
+let suite =
+  [
+    ("split routes (ordered)", `Quick, test_split_routes_ordered);
+    ("split flows", `Quick, test_split_flows);
+    ("distributed = direct", `Slow, test_distributed_equals_direct);
+    ("traffic phase + ordering heuristic", `Slow, test_traffic_phase_and_dependencies);
+    ("random split loads all", `Slow, test_random_split_loads_everything);
+    ("failure injection + retry", `Slow, test_failure_retry);
+    ("schedule makespan", `Quick, test_schedule_makespan);
+    ("parallel executor equivalence", `Slow, test_parallel_executor);
+    ("parallel map", `Quick, test_parallel_map);
+    qtest prop_dependency_soundness;
+  ]

@@ -1,0 +1,19 @@
+(* Test aggregator: every module contributes a suite. *)
+
+let () =
+  Alcotest.run "hoyan"
+    [
+      ("net", Test_net.suite);
+      ("regex", Test_regex.suite);
+      ("config", Test_config.suite);
+      ("bgp-sim", Test_bgp.suite);
+      ("protocols", Test_proto.suite);
+      ("rcl", Test_rcl.suite);
+      ("dist", Test_dist.suite);
+      ("infra", Test_infra.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("diagnosis", Test_diag.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("workload", Test_workload.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,266 @@
+(* Cross-cutting property tests: printer/parser round trips on random
+   configurations, BGP selection invariants, change-plan merge
+   idempotence, and AS-path aggregation laws. *)
+
+open Hoyan_net
+module Types = Hoyan_config.Types
+module Printer = Hoyan_config.Printer
+module Cp = Hoyan_config.Change_plan
+module Bgp = Hoyan_proto.Bgp
+module B = Hoyan_workload.Builder
+
+(* fixed seed: the property suites are deterministic run to run *)
+let qtest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |]) t
+
+
+(* ------------------------------------------------------------------ *)
+(* random configuration generator                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_name prefix =
+  QCheck.Gen.(map (fun n -> Printf.sprintf "%s%d" prefix (n mod 50)) nat)
+
+let gen_v4_prefix =
+  QCheck.Gen.(
+    map2
+      (fun ip len -> Prefix.make (Ip.V4 (ip land 0xffffffff)) (8 + (len mod 17)))
+      nat nat)
+
+let gen_community =
+  QCheck.Gen.(
+    map2 (fun a t -> Community.make (1 + (a mod 65000)) (t mod 65536)) nat nat)
+
+let gen_action = QCheck.Gen.oneofl [ Types.Permit; Types.Deny ]
+
+let gen_prefix_list =
+  let open QCheck.Gen in
+  let* name = gen_name "PL" in
+  let* entries =
+    list_size (int_range 1 5)
+      (let* action = gen_action in
+       let* p = gen_v4_prefix in
+       let* le = opt (int_range (Prefix.len p) 32) in
+       return
+         { Types.pe_seq = 0; pe_action = action; pe_prefix = p; pe_ge = None;
+           pe_le = le })
+  in
+  return
+    { Types.pl_name = name; pl_family = Ip.Ipv4;
+      pl_entries = List.mapi (fun i e -> { e with Types.pe_seq = (i + 1) * 5 }) entries }
+
+let gen_set_clause =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun n -> Types.Set_local_pref (n mod 1000)) nat;
+      map (fun n -> Types.Set_med (n mod 1000)) nat;
+      map (fun n -> Types.Set_weight (n mod 65536)) nat;
+      map (fun n -> Types.Set_tag (n mod 10000)) nat;
+      map (fun c -> Types.Set_communities (Types.Comm_add, [ c ])) gen_community;
+      map (fun c -> Types.Set_communities (Types.Comm_replace, [ c ])) gen_community;
+      map2
+        (fun asn n -> Types.Set_aspath_prepend (1 + (asn mod 65000), 1 + (n mod 3)))
+        nat nat;
+    ]
+
+let gen_policy pl_names cl_names =
+  let open QCheck.Gen in
+  let* name = gen_name "RM" in
+  let gen_match =
+    oneof
+      ([ map (fun t -> Types.Match_tag (t mod 100)) nat ]
+      @ (if pl_names = [] then []
+         else [ map (fun i -> Types.Match_prefix_list (List.nth pl_names (i mod List.length pl_names))) nat ])
+      @
+      if cl_names = [] then []
+      else [ map (fun i -> Types.Match_community_list (List.nth cl_names (i mod List.length cl_names))) nat ])
+  in
+  let* nodes =
+    list_size (int_range 1 4)
+      (let* action = oneofl [ Some Types.Permit; Some Types.Deny; None ] in
+       let* matches = list_size (int_range 0 2) gen_match in
+       let* sets = list_size (int_range 0 3) gen_set_clause in
+       let* goto = bool in
+       return
+         { Types.pn_seq = 0; pn_action = action; pn_matches = matches;
+           pn_sets = sets; pn_goto_next = goto })
+  in
+  return
+    { Types.rp_name = name;
+      rp_nodes = List.mapi (fun i n -> { n with Types.pn_seq = (i + 1) * 10 }) nodes }
+
+let gen_config vendor =
+  let open QCheck.Gen in
+  let* pls = list_size (int_range 0 3) gen_prefix_list in
+  let* cls =
+    list_size (int_range 0 2)
+      (let* name = gen_name "CL" in
+       let* entries =
+         list_size (int_range 1 3)
+           (let* action = gen_action in
+            let* cs = list_size (int_range 1 2) gen_community in
+            return { Types.ce_seq = 0; ce_action = action; ce_members = cs })
+       in
+       return
+         { Types.cl_name = name;
+           cl_entries =
+             List.mapi (fun i e -> { e with Types.ce_seq = (i + 1) * 5 }) entries })
+  in
+  let pl_names = List.map (fun p -> p.Types.pl_name) pls in
+  let cl_names = List.map (fun c -> c.Types.cl_name) cls in
+  let* policies = list_size (int_range 0 3) (gen_policy pl_names cl_names) in
+  let* statics =
+    list_size (int_range 0 3)
+      (let* p = gen_v4_prefix in
+       let* pref = int_range 1 254 in
+       return
+         { Types.st_prefix = p; st_nexthop = Some (Ip.v4_of_octets 10 0 0 1);
+           st_iface = None; st_preference = pref; st_tag = 0;
+           st_vrf = Route.default_vrf })
+  in
+  let* asn = int_range 1 65000 in
+  let cfg = Types.empty ~device:"RAND" ~vendor in
+  let add_map to_map items key =
+    List.fold_left (fun m x -> Types.Smap.add (key x) x m) to_map items
+  in
+  return
+    { cfg with
+      Types.dc_prefix_lists =
+        add_map cfg.Types.dc_prefix_lists pls (fun p -> p.Types.pl_name);
+      dc_community_lists =
+        add_map cfg.Types.dc_community_lists cls (fun c -> c.Types.cl_name);
+      dc_policies =
+        add_map cfg.Types.dc_policies policies (fun p -> p.Types.rp_name);
+      dc_statics = statics;
+      dc_bgp = { cfg.Types.dc_bgp with Types.bgp_asn = asn } }
+
+(* print -> parse -> print is a fixpoint, for both dialects *)
+let roundtrip_prop vendor =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s print/parse fixpoint on random configs" vendor)
+    ~count:200
+    (QCheck.make (gen_config vendor))
+    (fun cfg ->
+      let text = Printer.print cfg in
+      let cfg', errors = Printer.parse ~vendor ~device:"RAND" text in
+      errors = [] && String.equal (Printer.print cfg') text)
+
+let prop_roundtrip_a = roundtrip_prop "vendorA"
+let prop_roundtrip_b = roundtrip_prop "vendorB"
+
+(* applying the same command block twice equals applying it once *)
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"change-plan application is idempotent" ~count:100
+    (QCheck.make (gen_config "vendorA"))
+    (fun delta ->
+      let base = Types.empty ~device:"RAND" ~vendor:"vendorA" in
+      let block = Printer.print delta in
+      let once, _ = Cp.apply_commands base block in
+      let twice, _ = Cp.apply_commands once block in
+      String.equal (Printer.print once) (Printer.print twice))
+
+(* ------------------------------------------------------------------ *)
+(* BGP selection invariants                                            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_candidate =
+  let open QCheck.Gen in
+  let* lp = int_range 50 300 in
+  let* med = int_range 0 50 in
+  let* weight = int_range 0 2 in
+  let* plen = int_range 1 4 in
+  let* asn = int_range 1 9 in
+  let* nh = int_range 1 250 in
+  let* peer = int_range 1 5 in
+  return
+    (Route.make ~device:"X" ~prefix:(Prefix.of_string_exn "99.0.0.0/24")
+       ~nexthop:(Ip.v4_of_octets 10 0 0 nh)
+       ~local_pref:lp ~med ~weight
+       ~as_path:(As_path.of_asns (List.init plen (fun i -> asn + i)))
+       ~peer:(Printf.sprintf "P%d" peer)
+       ~source:Route.Ebgp ())
+
+(* a device context where every next hop resolves at cost 0 *)
+let trivial_ctx : Bgp.device_ctx =
+  {
+    Bgp.d_name = "X";
+    d_asn = 65000;
+    d_router_id = Ip.V4 1;
+    d_cfg = Types.empty ~device:"X" ~vendor:"vendorA";
+    d_vsb = Hoyan_config.Vsb.vendor_a;
+    d_sessions = [];
+    d_igp_cost = (fun _ -> Some 0);
+    d_sr_reach = (fun _ -> false);
+    d_regex = (fun _ _ -> false);
+  }
+
+let prop_select_invariants =
+  QCheck.Test.make ~name:"BGP select: one Best; Ecmp decision-equal to it"
+    ~count:500
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 10) gen_candidate))
+    (fun candidates ->
+      let selected = Bgp.select trivial_ctx candidates in
+      let bests =
+        List.filter (fun (r : Route.t) -> r.Route.route_type = Route.Best) selected
+      in
+      List.length selected = List.length candidates
+      && List.length bests = 1
+      &&
+      let best = List.hd bests in
+      List.for_all
+        (fun (r : Route.t) ->
+          match r.Route.route_type with
+          | Route.Ecmp -> Bgp.better_than r best = 0
+          | Route.Backup -> Bgp.better_than best r < 0
+          | Route.Best -> true)
+        selected)
+
+(* ------------------------------------------------------------------ *)
+(* AS-path laws                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_paths =
+  QCheck.Gen.(
+    list_size (int_range 1 5)
+      (map
+         (fun l -> As_path.of_asns (List.map (fun n -> 1 + (n mod 20)) l))
+         (list_size (int_range 1 5) nat)))
+
+let prop_aggregate_with_set_complete =
+  (* every ASN of every component appears in the AS-set aggregate *)
+  QCheck.Test.make ~name:"as-set aggregation loses no ASN" ~count:300
+    (QCheck.make gen_paths)
+    (fun paths ->
+      let agg = As_path.aggregate_with_set paths in
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun asn -> As_path.contains_asn asn agg)
+            (As_path.asns p))
+        paths)
+
+let prop_common_prefix_is_prefix =
+  QCheck.Test.make ~name:"common prefix is a prefix of every path" ~count:300
+    (QCheck.make gen_paths)
+    (fun paths ->
+      let cp = As_path.common_prefix paths in
+      List.for_all
+        (fun p ->
+          let flat = As_path.asns p in
+          let rec is_prefix = function
+            | [], _ -> true
+            | _ :: _, [] -> false
+            | x :: xs, y :: ys -> x = y && is_prefix (xs, ys)
+          in
+          is_prefix (cp, flat))
+        paths)
+
+let suite =
+  [
+    qtest prop_roundtrip_a;
+    qtest prop_roundtrip_b;
+    qtest prop_merge_idempotent;
+    qtest prop_select_invariants;
+    qtest prop_aggregate_with_set_complete;
+    qtest prop_common_prefix_is_prefix;
+  ]

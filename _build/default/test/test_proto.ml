@@ -1,0 +1,231 @@
+(* Focused protocol tests: SR segment expansion, IS-IS TE awareness,
+   well-known communities, regex injection into policies, and the
+   post-change validator. *)
+
+open Hoyan_net
+module B = Hoyan_workload.Builder
+module Types = Hoyan_config.Types
+module Isis = Hoyan_proto.Isis
+module Sr = Hoyan_proto.Sr
+module Route_sim = Hoyan_sim.Route_sim
+module Model = Hoyan_sim.Model
+module Route_monitor = Hoyan_monitor.Route_monitor
+module Postcheck = Hoyan_diag.Postcheck
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let pfx = Prefix.of_string_exn
+
+(* A-B-C-D line plus a chord A-D. *)
+let sr_net () =
+  let b = B.create () in
+  List.iter
+    (fun (n, id) ->
+      B.add_device b ~name:n ~vendor:"vendorA" ~asn:65000 ~router_id:(B.ip id) ())
+    [ ("A", "1.1.1.1"); ("B", "2.2.2.2"); ("C", "3.3.3.3"); ("D", "4.4.4.4") ];
+  ignore (B.link b ~a:"A" ~b:"B" ~subnet:(pfx "10.1.0.0/31") ~cost:10 ());
+  ignore (B.link b ~a:"B" ~b:"C" ~subnet:(pfx "10.2.0.0/31") ~cost:10 ());
+  ignore (B.link b ~a:"C" ~b:"D" ~subnet:(pfx "10.3.0.0/31") ~cost:10 ());
+  ignore (B.link b ~a:"A" ~b:"D" ~subnet:(pfx "10.4.0.0/31") ~cost:5 ());
+  b
+
+let test_sr_igp_path_tunnel () =
+  let b = sr_net () in
+  B.add_sr_policy b "A"
+    { Types.sp_name = "TO_D"; sp_endpoint = B.ip "4.4.4.4"; sp_color = 1;
+      sp_segments = []; sp_preference = 100 };
+  let model = B.build b in
+  let tunnels = Model.Smap.find "A" model.Model.tunnels in
+  check tint "one tunnel" 1 (List.length tunnels);
+  let t = List.hd tunnels in
+  (* IGP shortest path uses the cheap chord *)
+  check Alcotest.(list string) "igp path" [ "A"; "D" ] t.Sr.tn_path;
+  check tbool "reaches endpoint" true (Sr.reaches tunnels (B.ip "4.4.4.4"));
+  check tbool "not other addresses" false (Sr.reaches tunnels (B.ip "3.3.3.3"))
+
+let test_sr_explicit_segments () =
+  let b = sr_net () in
+  (* a detour via waypoint C: each leg follows the IGP shortest path, so
+     the tunnel runs A-D-C (cheapest way to C) and then back C-D *)
+  B.add_sr_policy b "A"
+    { Types.sp_name = "VIA_C"; sp_endpoint = B.ip "4.4.4.4"; sp_color = 2;
+      sp_segments = [ "C"; "D" ]; sp_preference = 50 };
+  let model = B.build b in
+  let tunnels = Model.Smap.find "A" model.Model.tunnels in
+  let t = List.hd tunnels in
+  check Alcotest.(list string) "explicit waypoints honoured"
+    [ "A"; "D"; "C"; "D" ] t.Sr.tn_path
+
+let test_isis_te_awareness () =
+  (* a TE-flagged interface with a big cost: honoured only when the model
+     is TE-aware (the pre-2023 gap of §5.3) *)
+  let b = B.create () in
+  List.iter
+    (fun (n, id) ->
+      B.add_device b ~name:n ~vendor:"vendorA" ~asn:65000 ~router_id:(B.ip id) ())
+    [ ("A", "1.1.1.1"); ("B", "2.2.2.2"); ("C", "3.3.3.3") ];
+  ignore (B.link b ~a:"A" ~b:"B" ~subnet:(pfx "10.1.0.0/31") ~cost:100 ~te:true ());
+  ignore (B.link b ~a:"A" ~b:"C" ~subnet:(pfx "10.2.0.0/31") ~cost:10 ());
+  ignore (B.link b ~a:"C" ~b:"B" ~subnet:(pfx "10.3.0.0/31") ~cost:10 ());
+  let aware = Isis.compute ~te_aware:true (B.topo b) (B.configs b) in
+  let blind = Isis.compute ~te_aware:false (B.topo b) (B.configs b) in
+  check (Alcotest.option Alcotest.int) "TE-aware avoids the expensive link"
+    (Some 20)
+    (Isis.cost aware ~src:"A" ~dst:"B");
+  check (Alcotest.option Alcotest.int) "TE-blind uses the default metric"
+    (Some 10)
+    (Isis.cost blind ~src:"A" ~dst:"B")
+
+let line_with_pass () =
+  let b = B.create () in
+  B.add_device b ~name:"R1" ~vendor:"vendorA" ~asn:65001
+    ~router_id:(B.ip "1.1.1.1") ();
+  B.add_device b ~name:"R2" ~vendor:"vendorA" ~asn:65002
+    ~router_id:(B.ip "2.2.2.2") ();
+  B.add_device b ~name:"R3" ~vendor:"vendorA" ~asn:65003
+    ~router_id:(B.ip "3.3.3.3") ();
+  let a12, b12 = B.link b ~a:"R1" ~b:"R2" ~subnet:(pfx "10.12.0.0/31") () in
+  let a23, b23 = B.link b ~a:"R2" ~b:"R3" ~subnet:(pfx "10.23.0.0/31") () in
+  B.bgp_session b ~a:"R1" ~b:"R2" ~a_addr:a12 ~b_addr:b12 ();
+  B.bgp_session b ~a:"R2" ~b:"R3" ~a_addr:a23 ~b_addr:b23 ();
+  b
+
+let test_well_known_communities () =
+  let b = line_with_pass () in
+  let model = B.build b in
+  let mk prefix communities =
+    B.input_route ~device:"R1" ~prefix ~as_path:[ 7018 ]
+      ~communities ()
+  in
+  let inputs =
+    [
+      mk "99.0.0.0/24" [];
+      mk "99.1.0.0/24" [ "65535:65281" ] (* NO_EXPORT *);
+      mk "99.2.0.0/24" [ "65535:65282" ] (* NO_ADVERTISE *);
+    ]
+  in
+  let rib = (Route_sim.run model ~input_routes:inputs ()).Route_sim.rib in
+  let present dev p =
+    List.exists
+      (fun (r : Route.t) ->
+        String.equal r.Route.device dev && Prefix.equal r.Route.prefix (pfx p))
+      rib
+  in
+  check tbool "plain route propagates" true (present "R2" "99.0.0.0/24");
+  (* R1-R2 is eBGP: NO_EXPORT stops at R1 *)
+  check tbool "NO_EXPORT blocked over eBGP" false (present "R2" "99.1.0.0/24");
+  check tbool "NO_ADVERTISE never advertised" false (present "R2" "99.2.0.0/24");
+  check tbool "both stay in R1's RIB" true
+    (present "R1" "99.1.0.0/24" && present "R1" "99.2.0.0/24")
+
+let test_no_export_crosses_ibgp () =
+  (* NO_EXPORT still crosses iBGP sessions *)
+  let b = B.create () in
+  B.add_device b ~name:"X" ~vendor:"vendorA" ~asn:65000
+    ~router_id:(B.ip "1.1.1.1") ();
+  B.add_device b ~name:"Y" ~vendor:"vendorA" ~asn:65000
+    ~router_id:(B.ip "2.2.2.2") ();
+  ignore (B.link b ~a:"X" ~b:"Y" ~subnet:(pfx "10.0.0.0/31") ());
+  B.ibgp_loopback_session b ~a:"X" ~b:"Y" ~b_rr_client:true ();
+  let model = B.build b in
+  let inputs =
+    [ B.input_route ~device:"Y" ~prefix:"99.1.0.0/24" ~nexthop:"2.2.2.2"
+        ~communities:[ "65535:65281" ] ~as_path:[ 7 ] () ]
+  in
+  let rib = (Route_sim.run model ~input_routes:inputs ()).Route_sim.rib in
+  check tbool "NO_EXPORT crosses iBGP" true
+    (List.exists
+       (fun (r : Route.t) ->
+         String.equal r.Route.device "X"
+         && Prefix.equal r.Route.prefix (pfx "99.1.0.0/24"))
+       rib)
+
+let test_postcheck () =
+  let b = line_with_pass () in
+  let model = B.build b in
+  let inputs =
+    [ B.input_route ~device:"R1" ~prefix:"99.0.0.0/24" ~as_path:[ 7018 ] () ]
+  in
+  let live_rib = (Route_sim.run model ~input_routes:inputs ()).Route_sim.rib in
+  let live_tr =
+    Hoyan_sim.Traffic_sim.run model ~rib:live_rib ~flows:[] ()
+  in
+  let monitored = Route_monitor.observe (Route_monitor.create ()) live_rib in
+  (* consistent rollout: live matches the simulation *)
+  let v =
+    Postcheck.validate model ~input_routes:inputs ~flows:[]
+      ~live_monitored_rib:monitored
+      ~live_monitored_loads:live_tr.Hoyan_sim.Traffic_sim.link_load
+  in
+  check tbool "consistent rollout passes" true v.Postcheck.pc_consistent;
+  (* a vendor bug on the live network: R3 dropped the route *)
+  let broken =
+    List.filter
+      (fun (r : Route.t) -> not (String.equal r.Route.device "R3"))
+      monitored
+  in
+  let v2 =
+    Postcheck.validate model ~input_routes:inputs ~flows:[]
+      ~live_monitored_rib:broken
+      ~live_monitored_loads:live_tr.Hoyan_sim.Traffic_sim.link_load
+  in
+  check tbool "inconsistency triggers rollback" false v2.Postcheck.pc_consistent
+
+let test_regex_injection_into_model () =
+  (* the model-level regex hook changes policy behaviour end to end *)
+  let b = line_with_pass () in
+  B.update_config b "R2" (fun cfg ->
+      { cfg with
+        Types.dc_aspath_filters =
+          Types.Smap.add "F"
+            { Types.af_name = "F";
+              af_entries =
+                [ { Types.ae_seq = 5; ae_action = Types.Permit;
+                    ae_regex = ".* 666 .*" } ] }
+            cfg.Types.dc_aspath_filters });
+  B.add_policy b "R2"
+    (B.policy "IMP"
+       [
+         B.node 10 ~action:(Some Types.Deny)
+           ~matches:[ Types.Match_aspath_filter "F" ];
+         B.node 20;
+       ]);
+  B.update_config b "R2" (fun cfg ->
+      { cfg with
+        Types.dc_bgp =
+          { cfg.Types.dc_bgp with
+            Types.bgp_neighbors =
+              List.map
+                (fun (nb : Types.neighbor) ->
+                  if Ip.equal nb.Types.nb_addr (B.ip "10.12.0.0") then
+                    { nb with Types.nb_import = Some "IMP" }
+                  else nb)
+                cfg.Types.dc_bgp.Types.bgp_neighbors } });
+  let inputs =
+    [ B.input_route ~device:"R1" ~prefix:"66.0.0.0/24"
+        ~as_path:[ 1; 2; 666; 3 ] () ]
+  in
+  let strict = B.build b in
+  let flawed = B.build ~regex:Hoyan_regex.Regex.Legacy.matches_str b in
+  let has model =
+    List.exists
+      (fun (r : Route.t) ->
+        String.equal r.Route.device "R2"
+        && Prefix.equal r.Route.prefix (pfx "66.0.0.0/24"))
+      (Route_sim.run model ~input_routes:inputs ()).Route_sim.rib
+  in
+  check tbool "correct engine denies the deep match" false (has strict);
+  check tbool "legacy engine lets it through" true (has flawed)
+
+let suite =
+  [
+    ("SR tunnel along the IGP path", `Quick, test_sr_igp_path_tunnel);
+    ("SR explicit segment list", `Quick, test_sr_explicit_segments);
+    ("IS-IS TE awareness", `Quick, test_isis_te_awareness);
+    ("well-known communities (eBGP)", `Quick, test_well_known_communities);
+    ("NO_EXPORT crosses iBGP", `Quick, test_no_export_crosses_ibgp);
+    ("post-change validation", `Quick, test_postcheck);
+    ("regex engine injection", `Quick, test_regex_injection_into_model);
+  ]

@@ -1,0 +1,123 @@
+(* Tests for the regular-expression engine (hoyan.regex). *)
+
+open Hoyan_regex
+
+
+(* fixed seed: the property suites are deterministic run to run *)
+let qtest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242 |]) t
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let m pattern input = Regex.matches_str pattern input
+
+let test_literals () =
+  check tbool "exact" true (m "abc" "abc");
+  check tbool "not prefix" false (m "abc" "abcd");
+  check tbool "not substring" false (m "abc" "xabc");
+  check tbool "empty pattern, empty input" true (m "" "")
+
+let test_star_plus_opt () =
+  check tbool "a* empty" true (m "a*" "");
+  check tbool "a* many" true (m "a*" "aaaa");
+  check tbool "a+ needs one" false (m "a+" "");
+  check tbool "a+ many" true (m "a+" "aaa");
+  check tbool "a? zero" true (m "a?" "");
+  check tbool "a? one" true (m "a?" "a");
+  check tbool "a? two" false (m "a?" "aa");
+  check tbool "nested star" true (m "(ab)*" "ababab");
+  check tbool "star of alt" true (m "(a|b)*" "abba")
+
+let test_dot_class () =
+  check tbool "dot" true (m "a.c" "abc");
+  check tbool "dot any" true (m "..." "xyz");
+  check tbool "class" true (m "[abc]+" "cab");
+  check tbool "class miss" false (m "[abc]+" "cad");
+  check tbool "range" true (m "[0-9]+" "12345");
+  check tbool "negated" true (m "[^0-9]+" "abc");
+  check tbool "negated miss" false (m "[^0-9]+" "a1c")
+
+let test_alternation () =
+  check tbool "left" true (m "cat|dog" "cat");
+  check tbool "right" true (m "cat|dog" "dog");
+  check tbool "neither" false (m "cat|dog" "cow");
+  check tbool "grouped" true (m "(ca|do)t" "dot")
+
+let test_as_path_patterns () =
+  (* the pattern style from the paper: aspath matches ".* 123 .*" *)
+  check tbool "middle" true (m ".* 123 .*" "100 123 456");
+  check tbool "absent" false (m ".* 123 .*" "100 456");
+  (* NB: "123" appearing inside another ASN should not match with the
+     space-delimited pattern *)
+  check tbool "substring ASN" false (m ".* 123 .*" "1234 5678");
+  check tbool "first" true (m "123 .*" "123 456");
+  check tbool "escape dot" true (m "10\\.0\\.0\\.0" "10.0.0.0");
+  check tbool "escape dot strict" false (m "10\\.0\\.0\\.0" "10a0b0c0")
+
+let test_search () =
+  let t = Regex.compile "123" in
+  check tbool "search finds" true (Regex.search t "100 123 456");
+  check tbool "search absent" false (Regex.search t "456 789");
+  check tbool "search empty pattern" true (Regex.search (Regex.compile "a*") "zzz")
+
+let test_parse_errors () =
+  check tbool "dangling star" true (Regex.compile_opt "*a" = None);
+  check tbool "unbalanced paren" true (Regex.compile_opt "(ab" = None);
+  check tbool "unterminated class" true (Regex.compile_opt "[ab" = None);
+  check tbool "trailing paren" true (Regex.compile_opt "ab)" = None)
+
+let test_legacy_flaw () =
+  (* The legacy engine treats x* as x? — so ".* 123 .*" fails when 123 is
+     more than one hop deep.  This is the §5.3 flawed-regex issue. *)
+  let pat = ".* 123 .*" in
+  check tbool "correct engine: deep match" true (m pat "1 2 3 123 4 5");
+  check tbool "legacy engine misses deep match" false
+    (Regex.Legacy.matches_str pat "1 2 3 123 4 5");
+  (* both agree on shallow matches *)
+  check tbool "legacy ok shallow" true (Regex.Legacy.matches_str "123 .*" "123 4")
+
+(* Property: our engine agrees with Str (the stdlib regex) on a simple
+   fragment (literals, dot, star over single chars) where their semantics
+   coincide under full anchoring. *)
+let frag_gen =
+  let open QCheck.Gen in
+  let atom = oneofl [ "a"; "b"; "c"; "." ] in
+  let piece = map2 (fun a star -> if star then a ^ "*" else a) atom bool in
+  map (String.concat "") (list_size (int_range 1 6) piece)
+
+let input_gen =
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (int_range 0 8) (oneofl [ "a"; "b"; "c"; "d" ])))
+
+let prop_agrees_with_str =
+  QCheck.Test.make ~name:"engine agrees with Str on simple fragment"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair frag_gen input_gen))
+    (fun (pat, input) ->
+      let ours = m pat input in
+      let theirs =
+        Str.string_match (Str.regexp (pat ^ "$")) input 0
+        && Str.match_end () = String.length input
+      in
+      ours = theirs)
+
+let prop_star_idempotent =
+  QCheck.Test.make ~name:"(r*)* = r* on inputs" ~count:200
+    (QCheck.make input_gen)
+    (fun input ->
+      m "(a|b)*" input = m "((a|b)*)*" input)
+
+let suite =
+  [
+    ("literals", `Quick, test_literals);
+    ("star plus opt", `Quick, test_star_plus_opt);
+    ("dot and classes", `Quick, test_dot_class);
+    ("alternation", `Quick, test_alternation);
+    ("as-path patterns", `Quick, test_as_path_patterns);
+    ("substring search", `Quick, test_search);
+    ("parse errors", `Quick, test_parse_errors);
+    ("legacy flaw reproduction", `Quick, test_legacy_flaw);
+    qtest prop_agrees_with_str;
+    qtest prop_star_idempotent;
+  ]
