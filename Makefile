@@ -1,0 +1,28 @@
+# Convenience targets; tier-1 verification is `dune build && dune runtest`.
+
+.PHONY: all build test bench perf smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Full perf harness: writes BENCH_PR1.json (see DESIGN.md §2.1).
+perf:
+	dune exec bench/main.exe -- --perf
+
+# Tier-1 smoke: build, tests, and a quick perf-harness pass so the
+# multicore pipeline and its identity assertions are exercised in CI.
+smoke:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --perf --quick
+
+clean:
+	dune clean

@@ -75,13 +75,39 @@ let tests () =
       (Staged.stage (fun () ->
            Rcl_semantics.eval_intent rcl_ast ~pre:rib ~post:rib))
   in
-  (* flow EC keying *)
+  (* flow EC keying: the O(devices) reference vs the precomputed
+     union-trie path used by Traffic_sim.run *)
   let flow = List.hd g.G.flows in
   let flow_key =
     Test.make ~name:"flow EC key (LPM vector over all FIBs)"
       (Staged.stage (fun () -> Traffic_sim.flow_ec_key g.G.model fibs flow))
   in
-  [ lpm; ec_key; decide; policy_eval; rcl_eval; flow_key ]
+  let ecx = Traffic_sim.ec_ctx g.G.model fibs in
+  let flow_key_pre =
+    Test.make ~name:"flow EC key (precomputed union trie)"
+      (Staged.stage (fun () -> Traffic_sim.flow_ec_key_pre ecx flow))
+  in
+  (* batched FIB/trie construction over the full small-WAN RIB *)
+  let fib_build =
+    Test.make ~name:"FIB build (batched tries, small RIB)"
+      (Staged.stage (fun () -> Traffic_sim.build_fibs rib))
+  in
+  (* the BGP fixpoint on a slice of inputs: dominated by the per-
+     (vrf, prefix) rib_in/loc_rib churn this PR trims *)
+  let bgp_inputs = List.filteri (fun i _ -> i < 100) g.G.input_routes in
+  let bgp_fixpoint =
+    Test.make ~name:"BGP fixpoint (small WAN, 100 inputs)"
+      (Staged.stage (fun () ->
+           Bgp.run g.G.model.Hoyan_sim.Model.net
+             {
+               Bgp.in_routes = bgp_inputs;
+               in_local_tables = g.G.model.Hoyan_sim.Model.local_tables;
+             }))
+  in
+  [
+    lpm; ec_key; decide; policy_eval; rcl_eval; flow_key; flow_key_pre;
+    fib_build; bgp_fixpoint;
+  ]
 
 let run () =
   B_common.header "Micro-benchmarks (bechamel)";

@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- table4 fig5a  # selected sections
      dune exec bench/main.exe -- --quick ...   # smaller workloads
      dune exec bench/main.exe -- --micro       # bechamel micro-benchmarks
-     dune exec bench/main.exe -- --ablate      # design-choice ablations *)
+     dune exec bench/main.exe -- --ablate      # design-choice ablations
+     dune exec bench/main.exe -- --perf        # multicore perf harness;
+                                               # writes BENCH_PR1.json *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -34,7 +36,18 @@ let () =
   let t0 = Unix.gettimeofday () in
   if List.mem "--micro" flags then B_micro.run ()
   else if List.mem "--ablate" flags then B_ablate.all ()
+  else if List.mem "--perf" flags then B_perf.perf ()
   else begin
+    (* "fig5a" etc. are accepted as shorthand for "figure5a"; the alias
+       only applies to names actually prefixed with "figure" (a bare
+       "fig" argument used to silently select table1 via String.sub) *)
+    let fig_alias name =
+      let pfx = "figure" in
+      let lp = String.length pfx in
+      if String.length name > lp && String.equal (String.sub name 0 lp) pfx
+      then Some ("fig" ^ String.sub name lp (String.length name - lp))
+      else None
+    in
     let selected =
       if wanted = [] then sections
       else
@@ -43,7 +56,10 @@ let () =
             List.exists
               (fun w ->
                 String.equal w name
-                || String.equal ("fig" ^ String.sub name 6 (String.length name - 6)) w)
+                ||
+                match fig_alias name with
+                | Some alias -> String.equal alias w
+                | None -> false)
               wanted)
           sections
     in

@@ -9,7 +9,9 @@
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
-(** Parallel map preserving order.  [f] must only read shared state. *)
+(** Parallel map preserving order.  [f] must only read shared state.
+    If [f] raises, the first exception (by claim order) is re-raised on
+    the caller after all domains have been joined. *)
 let map ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
     'b list =
   match xs with
@@ -20,12 +22,20 @@ let map ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
       let n = Array.length arr in
       let results = Array.make n None in
       let next = Atomic.make 0 in
+      let failure = Atomic.make None in
       let worker () =
         let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            results.(i) <- Some (f arr.(i));
-            loop ()
+          (* stop claiming work once any worker has failed *)
+          if Atomic.get failure = None then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (match f arr.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+              loop ()
+            end
           end
         in
         loop ()
@@ -35,8 +45,11 @@ let map ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
       in
       worker ();
       List.iter Domain.join spawned;
-      Array.to_list results
-      |> List.map (function Some v -> v | None -> assert false)
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+          Array.to_list results
+          |> List.map (function Some v -> v | None -> assert false)
 
 (** Run the route subtasks of a split in parallel and return the merged
     global RIB (plus local tables).  Equivalent to
@@ -67,3 +80,53 @@ let route_phase_rib ?(domains = default_domains ()) ?(use_ecs = true)
       model.Hoyan_sim.Model.local_tables []
   in
   (List.concat ribs |> List.sort_uniq Hoyan_net.Route.compare) @ locals
+
+(** Domain-parallel traffic phase.
+
+    Flows are sharded with the §3.2 ordering heuristic (sorted by
+    destination, contiguous shards — each shard's walks touch few FIB
+    regions); the compiled model and the FIB tries are built once and
+    shared read-only across domains; each shard accumulates its own
+    link-load table and the per-shard results are merged in shard order,
+    so the output is a deterministic function of the inputs — identical
+    whatever the domain count (including [domains = 1]). *)
+let traffic_phase ?(domains = default_domains ())
+    ?(strategy = Split.Ordered) ?(subtasks = 32) ?(use_ecs = true)
+    (model : Hoyan_sim.Model.t) ~(rib : Hoyan_net.Route.t list)
+    ~(flows : Hoyan_net.Flow.t list) () : Hoyan_sim.Traffic_sim.result =
+  let module T = Hoyan_sim.Traffic_sim in
+  let fibs = T.build_fibs rib in
+  let ecx = T.ec_ctx model fibs in
+  let shards = Split.split_flows ~strategy ~subtasks flows in
+  let outs =
+    map ~domains
+      (fun (fs, _range) -> T.run ~use_ecs ~fibs ~ecx model ~rib:[] ~flows:fs ())
+      shards
+  in
+  (* merge in shard order: link loads sum associatively per shard table,
+     flow results concatenate *)
+  let link_load = Hashtbl.create 1024 in
+  List.iter
+    (fun (o : T.result) ->
+      Hashtbl.iter
+        (fun k v ->
+          let cur = Option.value (Hashtbl.find_opt link_load k) ~default:0. in
+          Hashtbl.replace link_load k (cur +. v))
+        o.T.link_load)
+    outs;
+  let flow_results =
+    List.concat_map (fun (o : T.result) -> o.T.flow_results) outs
+  in
+  let ec_count = List.fold_left (fun n (o : T.result) -> n + o.T.ec_count) 0 outs in
+  let flow_count =
+    List.fold_left (fun n (o : T.result) -> n + o.T.flow_count) 0 outs
+  in
+  {
+    T.flow_results;
+    link_load;
+    flow_count;
+    ec_count;
+    compression =
+      (if ec_count = 0 then 1.0
+       else float_of_int (List.length flows) /. float_of_int ec_count);
+  }

@@ -158,6 +158,78 @@ let to_list t = fold (fun p v acc -> (p, v) :: acc) t [] |> List.rev
 
 let cardinal t = fold (fun _ _ n -> n + 1) t 0
 
+(** Mutable batch construction.  [add] on the persistent trie copies the
+    whole root-to-leaf spine per insertion; building a FIB of n prefixes
+    that way allocates O(n · depth) nodes.  The builder inserts into a
+    mutable radix structure (one node allocated per new spine element
+    only) and freezes it into the persistent representation once. *)
+module Builder = struct
+  type 'a bnode = {
+    mutable bvalue : 'a option;
+    mutable bzero : 'a bnode option;
+    mutable bone : 'a bnode option;
+  }
+
+  type 'a builder = { b_family : Ip.family; b_root : 'a bnode }
+
+  let fresh () = { bvalue = None; bzero = None; bone = None }
+
+  let create family = { b_family = family; b_root = fresh () }
+
+  (** Walk (creating spine nodes as needed) to the node of [prefix]. *)
+  let node_of b prefix =
+    if Prefix.family prefix <> b.b_family then
+      invalid_arg "Trie.Builder: family"
+    else begin
+      let ip = Prefix.ip prefix and len = Prefix.len prefix in
+      let node = ref b.b_root in
+      for depth = 0 to len - 1 do
+        let n = !node in
+        if Ip.bit ip depth then
+          match n.bone with
+          | Some c -> node := c
+          | None ->
+              let c = fresh () in
+              n.bone <- Some c;
+              node := c
+        else
+          match n.bzero with
+          | Some c -> node := c
+          | None ->
+              let c = fresh () in
+              n.bzero <- Some c;
+              node := c
+      done;
+      !node
+    end
+
+  (** Bind [prefix] to [v], replacing any previous binding. *)
+  let add b prefix v = (node_of b prefix).bvalue <- Some v
+
+  (** Apply [f] to the current binding (or [None]). *)
+  let update b prefix f =
+    let n = node_of b prefix in
+    n.bvalue <- f n.bvalue
+
+  (** Freeze into the persistent trie. *)
+  let build b =
+    let rec freeze (n : 'a bnode) : 'a node =
+      {
+        value = n.bvalue;
+        zero = Option.map freeze n.bzero;
+        one = Option.map freeze n.bone;
+      }
+    in
+    { family = b.b_family; root = freeze b.b_root }
+end
+
+(** Batch-build a trie from bindings (later bindings of the same prefix
+    win, as with repeated {!add}). *)
+let of_list family bindings =
+  let b = Builder.create family in
+  List.iter (fun (p, v) -> Builder.add b p v) bindings;
+  Builder.build b
+
 module Dual = struct
   (** A pair of tries covering both families. *)
   type nonrec 'a t = { v4 : 'a t; v6 : 'a t }
@@ -199,4 +271,29 @@ module Dual = struct
   let to_list t = to_list t.v4 @ to_list t.v6
 
   let cardinal t = cardinal t.v4 + cardinal t.v6
+
+  (** Mutable batch construction over both families (see {!Trie.Builder}). *)
+  module Builder = struct
+    type 'a builder = { bv4 : 'a Builder.builder; bv6 : 'a Builder.builder }
+
+    let create () =
+      { bv4 = Builder.create Ip.Ipv4; bv6 = Builder.create Ip.Ipv6 }
+
+    let add b prefix v =
+      match Prefix.family prefix with
+      | Ip.Ipv4 -> Builder.add b.bv4 prefix v
+      | Ip.Ipv6 -> Builder.add b.bv6 prefix v
+
+    let update b prefix f =
+      match Prefix.family prefix with
+      | Ip.Ipv4 -> Builder.update b.bv4 prefix f
+      | Ip.Ipv6 -> Builder.update b.bv6 prefix f
+
+    let build b = { v4 = Builder.build b.bv4; v6 = Builder.build b.bv6 }
+  end
+
+  let of_list bindings =
+    let b = Builder.create () in
+    List.iter (fun (p, v) -> Builder.add b p v) bindings;
+    Builder.build b
 end

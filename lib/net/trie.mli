@@ -35,6 +35,26 @@ val to_list : 'a t -> (Prefix.t * 'a) list
 
 val cardinal : 'a t -> int
 
+(** Mutable batch construction: [add]/[update] mutate in place (one node
+    allocated per new spine element, against a whole spine copy per
+    persistent {!add}); [build] freezes into the persistent trie.  Used
+    to build WAN-scale FIBs in one pass. *)
+module Builder : sig
+  type 'a builder
+
+  val create : Ip.family -> 'a builder
+
+  (** @raise Invalid_argument on a family mismatch. *)
+  val add : 'a builder -> Prefix.t -> 'a -> unit
+
+  val update : 'a builder -> Prefix.t -> ('a option -> 'a option) -> unit
+
+  val build : 'a builder -> 'a t
+end
+
+(** Batch-build from bindings (later bindings of one prefix win). *)
+val of_list : Ip.family -> (Prefix.t * 'a) list -> 'a t
+
 (** A v4 + v6 trie pair with family dispatch on every operation. *)
 module Dual : sig
   type 'a t
@@ -58,4 +78,20 @@ module Dual : sig
   val to_list : 'a t -> (Prefix.t * 'a) list
 
   val cardinal : 'a t -> int
+
+  (** Family-dispatching mutable batch construction (see
+      {!Trie.Builder}). *)
+  module Builder : sig
+    type 'a builder
+
+    val create : unit -> 'a builder
+
+    val add : 'a builder -> Prefix.t -> 'a -> unit
+
+    val update : 'a builder -> Prefix.t -> ('a option -> 'a option) -> unit
+
+    val build : 'a builder -> 'a t
+  end
+
+  val of_list : (Prefix.t * 'a) list -> 'a t
 end

@@ -119,11 +119,20 @@ let tie_break (a : Route.t) (b : Route.t) : int =
     marked (one [Best], equal-cost ones [Ecmp], the rest [Backup]).
     Routes whose next hop does not resolve are dropped. *)
 let select (ctx : device_ctx) (candidates : Route.t list) : Route.t list =
+  (* avoid copying a route record when the field already has the value:
+     selection runs on every dirty (vrf, prefix) every round, and in the
+     steady state most routes are re-selected unchanged *)
+  let with_cost (r : Route.t) c =
+    if r.Route.igp_cost = c then r else { r with Route.igp_cost = c }
+  in
+  let with_type (r : Route.t) ty =
+    if r.Route.route_type = ty then r else { r with Route.route_type = ty }
+  in
   let valid =
     List.filter_map
       (fun r ->
         match effective_igp_cost ctx r with
-        | Some c -> Some { r with Route.igp_cost = c }
+        | Some c -> Some (with_cost r c)
         | None -> None)
       candidates
   in
@@ -140,10 +149,9 @@ let select (ctx : device_ctx) (candidates : Route.t list) : Route.t list =
       let best = List.hd sorted in
       List.mapi
         (fun i r ->
-          if i = 0 then { r with Route.route_type = Route.Best }
-          else if better_than r best = 0 then
-            { r with Route.route_type = Route.Ecmp }
-          else { r with Route.route_type = Route.Backup })
+          if i = 0 then with_type r Route.Best
+          else if better_than r best = 0 then with_type r Route.Ecmp
+          else with_type r Route.Backup)
         sorted
 
 (* ------------------------------------------------------------------ *)
@@ -229,12 +237,15 @@ let set_rib_in sim dev vrf prefix peer_key routes =
     else Hashtbl.replace st.rib_in key routes;
     let ikey = (vrf, prefix) in
     let peers = Option.value (Hashtbl.find_opt idx ikey) ~default:[] in
-    let peers =
-      if routes = [] then List.filter (fun p -> not (String.equal p peer_key)) peers
-      else if List.mem peer_key peers then peers
-      else peer_key :: peers
-    in
-    Hashtbl.replace idx ikey peers;
+    (* only write the index when membership actually changes (the common
+       case on re-advertisement is an unchanged peer set) *)
+    (if routes = [] then begin
+       if List.mem peer_key peers then
+         Hashtbl.replace idx ikey
+           (List.filter (fun p -> not (String.equal p peer_key)) peers)
+     end
+     else if not (List.mem peer_key peers) then
+       Hashtbl.replace idx ikey (peer_key :: peers));
     mark_dirty st ikey
   end;
   changed
@@ -244,6 +255,11 @@ let candidates sim dev vrf prefix =
   let idx = idx_of sim dev in
   match Hashtbl.find_opt idx (vrf, prefix) with
   | None -> []
+  | Some [] -> []
+  | Some [ pk ] ->
+      (* single-peer fast path (the overwhelmingly common case): return
+         the stored list without copying *)
+      Option.value (Hashtbl.find_opt st.rib_in (vrf, prefix, pk)) ~default:[]
   | Some peers ->
       List.concat_map
         (fun pk ->
@@ -424,6 +440,9 @@ let originate_networks sim (ctx : device_ctx) =
 let redistribute sim (ctx : device_ctx) (local_table : Route.t list) =
   List.iter
     (fun (proto, policy) ->
+      let peer_key =
+        Printf.sprintf "_redist:%s" (Route.proto_to_string proto)
+      in
       let sources =
         List.filter (fun (r : Route.t) -> r.Route.proto = proto) local_table
       in
@@ -457,19 +476,20 @@ let redistribute sim (ctx : device_ctx) (local_table : Route.t list) =
             in
             match verdict.Policy.pv_action with
             | Types.Permit ->
+                let prev =
+                  Option.value
+                    (Hashtbl.find_opt (state_of sim ctx.d_name).rib_in
+                       (cand.Route.vrf, cand.Route.prefix, peer_key))
+                    ~default:[]
+                in
                 ignore
                   (set_rib_in sim ctx.d_name cand.Route.vrf cand.Route.prefix
-                     (Printf.sprintf "_redist:%s" (Route.proto_to_string proto))
+                     peer_key
                      (verdict.Policy.pv_route
-                      :: (Option.value
-                            (Hashtbl.find_opt (state_of sim ctx.d_name).rib_in
-                               ( cand.Route.vrf,
-                                 cand.Route.prefix,
-                                 Printf.sprintf "_redist:%s"
-                                   (Route.proto_to_string proto) ))
-                            ~default:[]
-                         |> List.filter (fun x ->
-                                not (Route.equal x verdict.Policy.pv_route)))))
+                      :: List.filter
+                           (fun x ->
+                             not (Route.equal x verdict.Policy.pv_route))
+                           prev))
             | Types.Deny -> ())
         sources)
     ctx.d_cfg.Types.dc_bgp.Types.bgp_redistribute

@@ -39,7 +39,12 @@ let build_fibs (rib : Route.t list) : fib =
         Hashtbl.replace tbl key (r :: existing)
       end)
     rib;
-  let fibs : fib = Hashtbl.create 64 in
+  (* batch-build one mutable trie builder per device: the persistent
+     [Trie.Dual.add] copies a whole spine per prefix, which dominated FIB
+     construction time on WAN-scale RIBs *)
+  let builders : (string, Route.t list Trie.Dual.Builder.builder) Hashtbl.t =
+    Hashtbl.create 64
+  in
   Hashtbl.iter
     (fun (dev, prefix) routes ->
       (* protocol selection happens among the *selected* (Best/Ecmp)
@@ -63,12 +68,21 @@ let build_fibs (rib : Route.t list) : fib =
           selected
       in
       if installed <> [] then begin
-        let trie =
-          Option.value (Hashtbl.find_opt fibs dev) ~default:Trie.Dual.empty
+        let b =
+          match Hashtbl.find_opt builders dev with
+          | Some b -> b
+          | None ->
+              let b = Trie.Dual.Builder.create () in
+              Hashtbl.add builders dev b;
+              b
         in
-        Hashtbl.replace fibs dev (Trie.Dual.add trie prefix installed)
+        Trie.Dual.Builder.add b prefix installed
       end)
     tbl;
+  let fibs : fib = Hashtbl.create (Hashtbl.length builders) in
+  Hashtbl.iter
+    (fun dev b -> Hashtbl.replace fibs dev (Trie.Dual.Builder.build b))
+    builders;
   fibs
 
 let fib_lookup (fibs : fib) dev (addr : Ip.t) :
@@ -369,6 +383,86 @@ let flow_ec_key (model : Model.t) (fibs : fib) (f : Flow.t) : string =
 (* Hashtbl.iter order is unspecified but deterministic for a given table
    construction; keys only need to be consistent within one run. *)
 
+(** Precomputed flow-EC keying context.
+
+    The reference {!flow_ec_key} walks {e every} device's FIB per flow
+    (O(devices) LPM walks) and re-resolves every ACL name per flow.  The
+    prefixes installed on any FIB partition the address space: two
+    destinations whose longest match in the {e union} of all installed
+    prefixes is the same node match the identical chain of prefixes, and
+    therefore have the same LPM on every individual device.  One LPM walk
+    over a precomputed union trie thus keys the whole per-device LPM
+    vector, making EC keying O(address bits) instead of O(devices).  The
+    union partition is at least as fine as the per-device vector, so
+    flows merged by this key are merged by the reference key too
+    (soundness); the ACL/PBR signature is unchanged, evaluated over
+    match contexts resolved once per run. *)
+type ec_ctx = {
+  ecx_union : unit Trie.Dual.t; (* every prefix installed on any FIB *)
+  ecx_pbr : (string * Types.t * Types.acl) array;
+      (* device, its config, the resolved PBR-steering ACL *)
+  ecx_acl : (Types.t * Types.acl) array; (* config, resolved ingress ACL *)
+}
+
+let ec_ctx (model : Model.t) (fibs : fib) : ec_ctx =
+  let b = Trie.Dual.Builder.create () in
+  Hashtbl.iter
+    (fun _dev trie ->
+      ignore
+        (Trie.Dual.fold (fun p _ () -> Trie.Dual.Builder.add b p ()) trie ()))
+    fibs;
+  let pbr = ref [] and acl = ref [] in
+  Smap.iter
+    (fun dev cfg ->
+      List.iter
+        (fun (p : Types.pbr_rule) ->
+          match Types.find_acl cfg p.Types.pbr_acl with
+          | Some a -> pbr := (dev, cfg, a) :: !pbr
+          | None -> ())
+        cfg.Types.dc_pbr;
+      List.iter
+        (fun (i : Types.iface_config) ->
+          match i.Types.if_acl_in with
+          | Some name -> (
+              match Types.find_acl cfg name with
+              | Some a -> acl := (cfg, a) :: !acl
+              | None -> ())
+          | None -> ())
+        cfg.Types.dc_ifaces)
+    model.Model.configs;
+  {
+    ecx_union = Trie.Dual.Builder.build b;
+    ecx_pbr = Array.of_list (List.rev !pbr);
+    ecx_acl = Array.of_list (List.rev !acl);
+  }
+
+let eval_char (a : Types.acl) (f : Flow.t) =
+  match
+    Types.acl_eval a ~src:f.Flow.src ~dst:f.Flow.dst ~proto:f.Flow.ip_proto
+      ~dport:f.Flow.dport
+  with
+  | Some Types.Permit -> 'P'
+  | Some Types.Deny -> 'D'
+  | None -> '-'
+
+(** O(path) flow-EC key via the precomputed context: ingress, the union
+    LPM of the destination, and the ACL/PBR match signature. *)
+let flow_ec_key_pre (ecx : ec_ctx) (f : Flow.t) : string =
+  let b = Buffer.create 64 in
+  Buffer.add_string b f.Flow.ingress;
+  Buffer.add_char b '|';
+  (match Trie.Dual.longest_match ecx.ecx_union f.Flow.dst with
+  | Some (p, ()) -> Buffer.add_string b (Prefix.to_string p)
+  | None -> ());
+  Buffer.add_char b '|';
+  Array.iter
+    (fun (dev, _cfg, a) ->
+      Buffer.add_string b dev;
+      Buffer.add_char b (eval_char a f))
+    ecx.ecx_pbr;
+  Array.iter (fun (_cfg, a) -> Buffer.add_char b (eval_char a f)) ecx.ecx_acl;
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 (* Top-level run                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -389,9 +483,9 @@ type result = {
   compression : float;
 }
 
-let run ?(use_ecs = true) (model : Model.t) ~(rib : Route.t list)
+let run ?(use_ecs = true) ?fibs ?ecx (model : Model.t) ~(rib : Route.t list)
     ~(flows : Flow.t list) () : result =
-  let fibs = build_fibs rib in
+  let fibs = match fibs with Some f -> f | None -> build_fibs rib in
   let link_load : (string * string, float) Hashtbl.t = Hashtbl.create 1024 in
   let add_load edges volume =
     List.iter
@@ -427,12 +521,14 @@ let run ?(use_ecs = true) (model : Model.t) ~(rib : Route.t list)
     }
   end
   else begin
-    (* group flows into ECs *)
+    (* group flows into ECs (one union-trie LPM per flow, not one walk
+       per device; see {!ec_ctx}) *)
+    let ecx = match ecx with Some e -> e | None -> ec_ctx model fibs in
     let groups : (string, Flow.t list) Hashtbl.t = Hashtbl.create 1024 in
     let order = ref [] in
     List.iter
       (fun f ->
-        let k = flow_ec_key model fibs f in
+        let k = flow_ec_key_pre ecx f in
         match Hashtbl.find_opt groups k with
         | Some fs -> Hashtbl.replace groups k (f :: fs)
         | None ->

@@ -35,8 +35,21 @@ type walk_result = {
 val walk_flow : Model.t -> fib -> Flow.t -> walk_result
 
 (** The flow's equivalence-class key: ingress, the destination's LPM
-    result on every FIB, and the ACL/PBR match signature. *)
+    result on every FIB, and the ACL/PBR match signature.  Reference
+    implementation, O(devices) per flow — {!run} uses the precomputed
+    {!ec_ctx} path instead. *)
 val flow_ec_key : Model.t -> fib -> Flow.t -> string
+
+(** Precomputed EC-keying context: a union trie of every installed
+    prefix (one LPM keys the whole per-device LPM vector) plus resolved
+    ACL/PBR match contexts. *)
+type ec_ctx
+
+val ec_ctx : Model.t -> fib -> ec_ctx
+
+(** O(address-bits) EC key; partitions at least as finely as
+    {!flow_ec_key} (flows it merges are merged by the reference key). *)
+val flow_ec_key_pre : ec_ctx -> Flow.t -> string
 
 type flow_result = {
   f_flow : Flow.t;
@@ -55,9 +68,14 @@ type result = {
 }
 
 (** Simulate all flows against a global RIB.  [use_ecs=false] walks every
-    record individually (ablation; loads must agree). *)
+    record individually (ablation; loads must agree).  [fibs] and [ecx]
+    supply a prebuilt FIB set and EC-keying context (then [rib] is
+    ignored) — used by the domain-parallel traffic phase to build both
+    once and share them read-only across workers. *)
 val run :
   ?use_ecs:bool ->
+  ?fibs:fib ->
+  ?ecx:ec_ctx ->
   Model.t ->
   rib:Route.t list ->
   flows:Flow.t list ->

@@ -194,6 +194,99 @@ let test_parallel_map () =
   let ys = Parallel.map ~domains:4 (fun x -> x * x) xs in
   check Alcotest.(list int) "order preserved" (List.map (fun x -> x * x) xs) ys
 
+let test_parallel_map_sizes () =
+  let sq x = x * x in
+  (* empty, singleton, odd, and far more items than domains *)
+  List.iter
+    (fun n ->
+      let xs = List.init n Fun.id in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "size %d preserved" n)
+        (List.map sq xs)
+        (Parallel.map ~domains:4 sq xs))
+    [ 0; 1; 7; 1000 ];
+  (* domains=1 degenerates to sequential execution on the caller *)
+  let xs = List.init 33 Fun.id in
+  check
+    Alcotest.(list int)
+    "domains=1 is sequential" (List.map sq xs)
+    (Parallel.map ~domains:1 sq xs)
+
+exception Boom of int
+
+let test_parallel_map_exception () =
+  let xs = List.init 64 Fun.id in
+  (* a raise inside a worker propagates to the caller instead of
+     tripping the join-time assert on a result hole *)
+  (match Parallel.map ~domains:4 (fun x -> if x = 13 then raise (Boom x) else x) xs with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 13 -> ());
+  (* every item failing: still exactly one exception, no hang *)
+  (match Parallel.map ~domains:4 (fun _ -> raise Exit) xs with
+  | _ -> Alcotest.fail "expected Exit to propagate"
+  | exception Exit -> ());
+  (* sequential degenerate case propagates too *)
+  match Parallel.map ~domains:1 (fun _ -> raise Not_found) [ 1; 2 ] with
+  | _ -> Alcotest.fail "expected Not_found to propagate"
+  | exception Not_found -> ()
+
+let sorted_loads (r : Traffic_sim.result) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.Traffic_sim.link_load []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+(* The end-to-end parallel pipeline reproduces the centralized runner's
+   output: route-phase RIB rows bit-for-bit, traffic-phase results
+   bit-for-bit across domain counts and per-flow identical to the
+   sequential single-table run. *)
+let test_parallel_pipeline_equals_centralized () =
+  let g = Lazy.force scenario in
+  let cent =
+    Hoyan_sim.Centralized.run ~mem_cap_bytes:max_int g.G.model
+      ~input_routes:g.G.input_routes ()
+  in
+  let norm rs = List.sort_uniq Route.compare rs in
+  let par_rib =
+    Parallel.route_phase_rib ~domains:4 ~subtasks:6 g.G.model
+      ~input_routes:g.G.input_routes
+  in
+  check tbool "route phase rows = centralized rows (bit-for-bit)" true
+    (List.equal Route.equal
+       (norm cent.Hoyan_sim.Centralized.c_rib)
+       (norm par_rib));
+  let rib = par_rib in
+  let seq = Traffic_sim.run g.G.model ~rib ~flows:g.G.flows () in
+  let par1 =
+    Parallel.traffic_phase ~domains:1 ~subtasks:8 g.G.model ~rib
+      ~flows:g.G.flows ()
+  in
+  let par4 =
+    Parallel.traffic_phase ~domains:4 ~subtasks:8 g.G.model ~rib
+      ~flows:g.G.flows ()
+  in
+  (* the domain count changes nothing: deterministic shard merge *)
+  check tbool "traffic domains=1 = domains=4 (bit-for-bit)" true
+    (par1.Traffic_sim.flow_results = par4.Traffic_sim.flow_results
+    && sorted_loads par1 = sorted_loads par4);
+  (* per-flow results equal the sequential single-table run exactly
+     (walks are per-flow deterministic); link loads agree within float
+     re-association tolerance *)
+  let by_flow rs = List.sort Stdlib.compare rs in
+  check tbool "per-flow results = sequential (bit-for-bit)" true
+    (by_flow par4.Traffic_sim.flow_results
+    = by_flow seq.Traffic_sim.flow_results);
+  let la = sorted_loads par4 and lb = sorted_loads seq in
+  check tint "same loaded edges" (List.length lb) (List.length la);
+  List.iter2
+    (fun (ka, va) (kb, vb) ->
+      check tbool "same edge" true (ka = kb);
+      check tbool "load agrees" true
+        (Float.abs (va -. vb) <= 1e-6 *. Float.max 1.0 (Float.abs vb)))
+    la lb;
+  (* population accounting is preserved by the merge *)
+  check tint "flow population preserved" seq.Traffic_sim.flow_count
+    par4.Traffic_sim.flow_count
+
 (* property: the ordering heuristic's dependency test is sound — if a
    traffic subtask's range does not overlap a route subtask's range, no
    flow of the former can match any route of the latter *)
@@ -250,5 +343,10 @@ let suite =
     ("schedule makespan", `Quick, test_schedule_makespan);
     ("parallel executor equivalence", `Slow, test_parallel_executor);
     ("parallel map", `Quick, test_parallel_map);
+    ("parallel map sizes + domains=1", `Quick, test_parallel_map_sizes);
+    ("parallel map exception propagation", `Quick, test_parallel_map_exception);
+    ( "parallel pipeline = centralized (route + traffic)",
+      `Slow,
+      test_parallel_pipeline_equals_centralized );
     qtest prop_dependency_soundness;
   ]
