@@ -1,6 +1,6 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
-.PHONY: all build test bench perf smoke clean
+.PHONY: all build test bench perf lint smoke clean
 
 all: build
 
@@ -13,9 +13,17 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Full perf harness: writes BENCH_PR1.json (see DESIGN.md §2.1).
+# Full perf harness: writes the per-PR JSON (see DESIGN.md §2.1).
 perf:
-	dune exec bench/main.exe -- --perf
+	dune exec bench/main.exe -- --perf --out BENCH_PR2.json
+
+# Static analysis: build with the strict warning set, then run the
+# `hoyan lint` pass over a generated WAN corpus (exits non-zero on any
+# error-severity diagnostic; the corpus must come out clean).
+lint:
+	dune build @all
+	dune exec bin/hoyan_cli.exe -- lint --scale small
+	dune exec bin/hoyan_cli.exe -- lint --scale wan
 
 # Tier-1 smoke: build, tests, and a quick perf-harness pass so the
 # multicore pipeline and its identity assertions are exercised in CI.

@@ -1,0 +1,71 @@
+(* --lint: cost of the static-analysis gate vs the full simulation.
+
+   The gate's value proposition is that it runs in front of every
+   change-verification request; it is only free lunch if its wall time
+   is a small fraction of the simulation it guards.  This section
+   measures both halves on the WAN workload: the lint pass (split into
+   config rendering, which is cacheable, and the analysis itself) and
+   the sequential route + traffic simulation it would gate. *)
+
+open B_common
+module G = Hoyan_workload.Generator
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+module Lint = Hoyan_analysis.Lint
+module Diagnostics = Hoyan_analysis.Diagnostics
+
+type measurement = {
+  m_devices : int;
+  m_render_s : float; (* Lint.make: render configs back to dialect text *)
+  m_lint_s : float; (* Lint.run: the 19-check analysis pass *)
+  m_diags : int;
+  m_route_s : float;
+  m_traffic_s : float;
+}
+
+let m_sim_s m = m.m_route_s +. m.m_traffic_s
+
+let m_ratio m =
+  let sim = m_sim_s m in
+  if sim > 0. then (m.m_render_s +. m.m_lint_s) /. sim else nan
+
+let measure () : measurement =
+  let g = Lazy.force wan in
+  let model = g.G.model in
+  let input, t_render =
+    time (fun () -> Lint.make ~topo:model.Model.topo model.Model.configs)
+  in
+  let diags, t_lint = time (fun () -> Lint.run input) in
+  let direct, t_route =
+    time (fun () -> Route_sim.run model ~input_routes:g.G.input_routes ())
+  in
+  let _, t_traffic =
+    time (fun () ->
+        Traffic_sim.run model ~rib:direct.Route_sim.rib ~flows:g.G.flows ())
+  in
+  {
+    m_devices = G.device_count g;
+    m_render_s = t_render;
+    m_lint_s = t_lint;
+    m_diags = List.length diags;
+    m_route_s = t_route;
+    m_traffic_s = t_traffic;
+  }
+
+let run () =
+  header "static-analysis gate vs full simulation (wan workload)";
+  let m = measure () in
+  row "devices: %d   diagnostics on the clean corpus: %d (expected 0)"
+    m.m_devices m.m_diags;
+  row "lint: render %.4fs + analyse %.4fs = %.4fs" m.m_render_s m.m_lint_s
+    (m.m_render_s +. m.m_lint_s);
+  row "simulation: route %.2fs + traffic %.2fs = %.2fs" m.m_route_s
+    m.m_traffic_s (m_sim_s m);
+  let ratio = m_ratio m in
+  row "gate cost: %.2f%% of full simulation (target: < 10%%)"
+    (100. *. ratio);
+  if m.m_diags <> 0 then
+    row "WARNING: clean corpus produced diagnostics (false positives)";
+  if ratio >= 0.10 then
+    row "WARNING: gate costs more than 10%% of the simulation it guards"

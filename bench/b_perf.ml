@@ -21,7 +21,9 @@ module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
 module Parallel = Hoyan_dist.Parallel
 
-let output_file = "BENCH_PR1.json"
+(* Overridable via `--perf --out FILE` so the perf trajectory accumulates
+   one JSON per PR instead of overwriting a hardcoded name. *)
+let output_file = ref "BENCH_PR2.json"
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON emission (no external dependency)                      *)
@@ -141,7 +143,7 @@ let domain_counts () =
 (* ------------------------------------------------------------------ *)
 
 let perf () =
-  header "PR1 perf harness: multicore end-to-end pipeline";
+  header "perf harness: multicore end-to-end pipeline + lint gate";
   let g = Lazy.force wan in
   let route_subtasks = if !quick then 32 else 100 in
   let traffic_subtasks = if !quick then 32 else 128 in
@@ -261,6 +263,26 @@ let perf () =
   if not all_identical then
     failwith "perf harness: parallel results differ from sequential";
 
+  (* static-analysis gate cost vs the simulation it guards *)
+  sub "static-analysis gate";
+  let lint_input, t_lint_render =
+    time (fun () ->
+        Hoyan_analysis.Lint.make ~topo:g.G.model.Hoyan_sim.Model.topo
+          g.G.model.Hoyan_sim.Model.configs)
+  in
+  let lint_diags, t_lint_run =
+    time (fun () -> Hoyan_analysis.Lint.run lint_input)
+  in
+  let t_sim_seq = t_route_seq +. t_traffic_seq in
+  let lint_ratio =
+    if t_sim_seq > 0. then (t_lint_render +. t_lint_run) /. t_sim_seq else nan
+  in
+  row "lint: render %.4fs + analyse %.4fs; %d diagnostics; %.2f%% of \
+       sequential simulation"
+    t_lint_render t_lint_run
+    (List.length lint_diags)
+    (100. *. lint_ratio);
+
   let domain_row (d, t, ok) =
     J_obj
       [ ("domains", J_int d); ("wall_s", J_float t); ("identical", J_bool ok) ]
@@ -268,7 +290,7 @@ let perf () =
   let json =
     J_obj
       [
-        ("bench", J_str "PR1 multicore end-to-end pipeline");
+        ("bench", J_str "multicore end-to-end pipeline + lint gate");
         ("generated_unix", J_float (Unix.gettimeofday ()));
         ("cores_available", J_int (Domain.recommended_domain_count ()));
         ("quick", J_bool !quick);
@@ -310,9 +332,18 @@ let perf () =
               ("ec_key_union_trie_s", J_float t_key_pre);
               ("ec_key_speedup", J_float key_speedup);
             ] );
+        ( "lint_gate",
+          J_obj
+            [
+              ("render_wall_s", J_float t_lint_render);
+              ("lint_wall_s", J_float t_lint_run);
+              ("diagnostics", J_int (List.length lint_diags));
+              ("sim_sequential_wall_s", J_float t_sim_seq);
+              ("ratio_vs_sim", J_float lint_ratio);
+            ] );
         ("peak_rss_kb", J_int (peak_rss_kb ()));
         ("all_results_identical", J_bool all_identical);
       ]
   in
-  write_json output_file json;
-  row "wrote %s (peak RSS %d kB)" output_file (peak_rss_kb ())
+  write_json !output_file json;
+  row "wrote %s (peak RSS %d kB)" !output_file (peak_rss_kb ())

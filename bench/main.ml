@@ -8,8 +8,10 @@
      dune exec bench/main.exe -- --quick ...   # smaller workloads
      dune exec bench/main.exe -- --micro       # bechamel micro-benchmarks
      dune exec bench/main.exe -- --ablate      # design-choice ablations
-     dune exec bench/main.exe -- --perf        # multicore perf harness;
-                                               # writes BENCH_PR1.json *)
+     dune exec bench/main.exe -- --lint        # static-analysis gate cost
+     dune exec bench/main.exe -- --perf --out BENCH_PR2.json
+                                               # multicore perf harness;
+                                               # one JSON per PR *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -29,13 +31,23 @@ let sections : (string * string * (unit -> unit)) list =
     ("table6", "change-risk corpus", B_changes.table6);
   ]
 
+(* "--out FILE" takes a value; pull the pair out of argv before the
+   prefix-based flag/section partition would misroute FILE. *)
+let rec extract_out acc = function
+  | "--out" :: file :: rest -> (Some file, List.rev_append acc rest)
+  | a :: rest -> extract_out (a :: acc) rest
+  | [] -> (None, List.rev acc)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let out, args = extract_out [] args in
+  Option.iter (fun f -> B_perf.output_file := f) out;
   let flags, wanted = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
   if List.mem "--quick" flags then B_common.quick := true;
   let t0 = Unix.gettimeofday () in
   if List.mem "--micro" flags then B_micro.run ()
   else if List.mem "--ablate" flags then B_ablate.all ()
+  else if List.mem "--lint" flags then B_lint.run ()
   else if List.mem "--perf" flags then B_perf.perf ()
   else begin
     (* "fig5a" etc. are accepted as shorthand for "figure5a"; the alias

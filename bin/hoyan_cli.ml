@@ -6,6 +6,8 @@
 
      hoyan simulate  [--scale small|wan|wan-dcn] [--distributed N]
      hoyan verify    --plan FILE [--device NAME]... --intent SPEC...
+     hoyan lint      [--plan FILE --device NAME]... [--intent SPEC]...
+                     [--json] [--inject CLASS|all]
      hoyan rcl       --spec STRING [--explain]
      hoyan diagnose  [--fault agent-down|netflow|...]
      hoyan audit     [--scale ...]
@@ -15,7 +17,11 @@ open Cmdliner
 open Hoyan_net
 module G = Hoyan_workload.Generator
 module S = Hoyan_workload.Scenarios
+module Defects = Hoyan_workload.Defects
 module Cp = Hoyan_config.Change_plan
+module Types = Hoyan_config.Types
+module Lint = Hoyan_analysis.Lint
+module Diagnostics = Hoyan_analysis.Diagnostics
 module Preprocess = Hoyan_core.Preprocess
 module Intents = Hoyan_core.Intents
 module Verify_request = Hoyan_core.Verify_request
@@ -173,6 +179,114 @@ let verify_cmd =
     Term.(
       const verify $ scale_arg $ seed_arg $ plan $ devices $ intents
       $ distributed)
+
+(* ------------------------------------------------------------------ *)
+(* hoyan lint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let read_file f =
+  let ic = open_in f in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lint params seed plan_file devices intents json inject =
+  let g = gen params seed in
+  let model = g.G.model in
+  let configs = model.Hoyan_sim.Model.configs in
+  let topo = model.Hoyan_sim.Model.topo in
+  match inject with
+  | Some cls ->
+      (* plant defect(s) into the clean corpus and report whether the
+         expected diagnostic fires *)
+      let injected =
+        if String.equal cls "all" then Defects.inject_all g
+        else [ Defects.inject g cls ]
+      in
+      let ok =
+        List.for_all
+          (fun (inj : Defects.injected) ->
+            let diags = Lint.run inj.Defects.inj_input in
+            let fired =
+              List.exists
+                (fun (d : Diagnostics.t) ->
+                  String.equal d.Diagnostics.d_code inj.Defects.inj_code)
+                diags
+            in
+            Printf.printf "%-28s %s %s%s\n" inj.Defects.inj_class
+              inj.Defects.inj_code
+              (if fired then "DETECTED" else "MISSED")
+              (match inj.Defects.inj_device with
+              | Some dev -> Printf.sprintf " (on %s)" dev
+              | None -> "");
+            fired)
+          injected
+      in
+      if ok then 0 else 1
+  | None ->
+      let plan =
+        match plan_file with
+        | None -> None
+        | Some f ->
+            let block = read_file f in
+            Some (Cp.make "cli" ~commands:(List.map (fun d -> (d, block)) devices))
+      in
+      let specs =
+        List.mapi (fun i s -> (Printf.sprintf "intent-%d" i, s)) intents
+      in
+      let t0 = Unix.gettimeofday () in
+      let diags = Lint.run (Lint.make ~topo ?plan ~specs configs) in
+      let dt = Unix.gettimeofday () -. t0 in
+      if json then print_string (Diagnostics.list_to_json diags)
+      else begin
+        List.iter (fun d -> print_endline (Diagnostics.to_string d)) diags;
+        Printf.printf "lint: %d device(s), %s (%.3fs)\n"
+          (Types.Smap.cardinal configs)
+          (Diagnostics.summary diags)
+          dt
+      end;
+      if List.exists
+           (fun (d : Diagnostics.t) ->
+             d.Diagnostics.d_severity = Diagnostics.Error)
+           diags
+      then 1
+      else 0
+
+let lint_cmd =
+  let plan =
+    Arg.(value & opt (some file) None
+         & info [ "plan" ] ~docv:"FILE"
+             ~doc:"Change-plan command block to lint (applied to each \
+                   --device).")
+  in
+  let devices =
+    Arg.(value & opt_all string []
+         & info [ "device" ] ~docv:"NAME" ~doc:"Target device (repeatable).")
+  in
+  let intents =
+    Arg.(value & opt_all string []
+         & info [ "intent" ] ~docv:"RCL"
+             ~doc:"RCL specification to lint (repeatable).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Machine-readable JSON diagnostics output.")
+  in
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"CLASS"
+             ~doc:"Plant a lintable defect ($(b,all) or a check name, e.g. \
+                   $(b,undefined-prefix-list)) and report whether its \
+                   diagnostic fires.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyse configs, a change plan and RCL specs \
+             (no simulation)")
+    Term.(
+      const lint $ scale_arg $ seed_arg $ plan $ devices $ intents $ json
+      $ inject)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan rcl                                                           *)
@@ -359,6 +473,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            simulate_cmd; verify_cmd; rcl_cmd; diagnose_cmd; audit_cmd;
-            vsb_cmd; case_cmd;
+            simulate_cmd; verify_cmd; lint_cmd; rcl_cmd; diagnose_cmd;
+            audit_cmd; vsb_cmd; case_cmd;
           ]))

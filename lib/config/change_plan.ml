@@ -412,9 +412,14 @@ let apply_delete (cfg : Types.t) (tokens : string list) (raw : string) :
             fail (Printf.sprintf "static %s not found" (Prefix.to_string p))
           else Ok { cfg with Types.dc_statics = kept })
   | [ "ip"; "route-static"; addr; len ] -> (
-      match (Ip.of_string addr, L.int_opt len) with
-      | Some addr, Some len ->
-          let p = Prefix.make addr len in
+      match
+        (Option.bind
+           (match (Ip.of_string addr, L.int_opt len) with
+           | Some addr, Some len -> Some (addr, len)
+           | _ -> None)
+           (fun (addr, len) -> Prefix.make_opt addr len))
+      with
+      | Some p ->
           let kept =
             List.filter
               (fun (s : Types.static_route) ->

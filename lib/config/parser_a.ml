@@ -29,7 +29,8 @@ type flaw =
   | Ignore_additive
       (** "set community ... additive" mis-parsed as a plain replace. *)
   | Drop_ipv6_prefix_lists
-      (** ipv6 prefix-lists silently skipped (incomplete implementation). *)
+      (** ipv6 prefix-lists skipped (historical incomplete implementation);
+          the drop is reported as a parse error, never silent. *)
 
 let ( let* ) = Option.bind
 
@@ -257,7 +258,8 @@ let parse_interface st (header : L.line) (body : L.line list) =
                 L.int_opt (String.sub p (i + 1) (String.length p - i - 1))
               in
               match (addr, len) with
-              | Some a, Some l ->
+              | Some a, Some l when l >= 0 && l <= Ip.family_bits (Ip.family a)
+                ->
                   iface := { !iface with Types.if_addr = Some a; if_plen = l }
               | _ -> err st l.L.lnum "bad interface address %s" p)
           | None -> err st l.L.lnum "bad interface address %s" p)
@@ -581,7 +583,10 @@ let parse_top_line st (l : L.line) =
       | _ -> bad ())
   | "ipv6" :: "prefix-list" :: name :: "seq" :: seq :: action :: prefix :: rest
     -> (
-      if has_flaw st Drop_ipv6_prefix_lists then ()
+      if has_flaw st Drop_ipv6_prefix_lists then
+        (* the historical bug dropped the entry; it must at least not be
+           silent about it *)
+        err st l.L.lnum "ipv6 prefix-list %s not supported (dropped)" name
       else
         match
           (L.int_opt seq, parse_action action, Prefix.of_string prefix,

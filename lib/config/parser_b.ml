@@ -231,7 +231,8 @@ let parse_interface st (header : L.line) (body : L.line list) =
       match l.L.tokens with
       | [ "ip"; "address"; a; len ] | [ "ipv6"; "address"; a; len ] -> (
           match (Ip.of_string a, L.int_opt len) with
-          | Some a, Some len ->
+          | Some a, Some len when len >= 0 && len <= Ip.family_bits (Ip.family a)
+            ->
               iface := { !iface with Types.if_addr = Some a; if_plen = len }
           | _ -> err st l.L.lnum "bad interface address")
       | [ "bandwidth"; b ] -> (
@@ -351,15 +352,24 @@ let parse_bgp st (header : L.line) (body : L.line list) =
                     | _ -> None
                   in
                   match (Ip.of_string a, L.int_opt len, vrf) with
-                  | Some a, Some len, Some vrf ->
-                      bgp :=
-                        { !bgp with
-                          Types.bgp_networks =
-                            (Prefix.make a len, vrf) :: !bgp.Types.bgp_networks }
+                  | Some a, Some len, Some vrf -> (
+                      match Prefix.make_opt a len with
+                      | Some p ->
+                          bgp :=
+                            { !bgp with
+                              Types.bgp_networks =
+                                (p, vrf) :: !bgp.Types.bgp_networks }
+                      | None -> bad ())
                   | _ -> bad ())
               | "aggregate" :: a :: len :: opts -> (
-                  match (Ip.of_string a, L.int_opt len) with
-                  | Some a, Some len ->
+                  match
+                    (Option.bind
+                       (match (Ip.of_string a, L.int_opt len) with
+                       | Some a, Some len -> Some (a, len)
+                       | _ -> None)
+                       (fun (a, len) -> Prefix.make_opt a len))
+                  with
+                  | Some agg_prefix ->
                       let rec scan as_set summary vrf = function
                         | [] -> Some (as_set, summary, vrf)
                         | "as-set" :: r -> scan true summary vrf r
@@ -373,7 +383,7 @@ let parse_bgp st (header : L.line) (body : L.line list) =
                             { !bgp with
                               Types.bgp_aggregates =
                                 {
-                                  Types.ag_prefix = Prefix.make a len;
+                                  Types.ag_prefix = agg_prefix;
                                   ag_as_set = as_set;
                                   ag_summary_only = summary_only;
                                   ag_vrf = vrf;
@@ -607,10 +617,13 @@ let parse_top_line st (l : L.line) =
                         pl_entries = [] }
                       st.cfg.Types.dc_prefix_lists }
           end
-          else
-            add_prefix_list st name family
-              { Types.pe_seq = seq; pe_action = action;
-                pe_prefix = Prefix.make addr len; pe_ge = ge; pe_le = le }
+          else (
+            match Prefix.make_opt addr len with
+            | Some pe_prefix ->
+                add_prefix_list st name family
+                  { Types.pe_seq = seq; pe_action = action; pe_prefix;
+                    pe_ge = ge; pe_le = le }
+            | None -> bad ())
       | _ -> bad ())
   | "ip" :: "community-filter" :: name :: "index" :: seq :: action :: comms
     -> (
@@ -646,13 +659,13 @@ let parse_top_line st (l : L.line) =
                     match L.int_opt n with Some n -> scan pref n r | None -> None)
                 | _ -> None
               in
-              (match scan 60 0 opts with
-              | Some (pref, tag) ->
+              (match (scan 60 0 opts, Prefix.make_opt addr len) with
+              | Some (pref, tag), Some st_prefix ->
                   st.cfg <-
                     { st.cfg with
                       Types.dc_statics =
                         {
-                          Types.st_prefix = Prefix.make addr len;
+                          Types.st_prefix;
                           st_nexthop = nexthop;
                           st_iface = iface;
                           st_preference = pref;
@@ -660,7 +673,7 @@ let parse_top_line st (l : L.line) =
                           st_vrf = vrf;
                         }
                         :: st.cfg.Types.dc_statics }
-              | None -> bad ())
+              | _ -> bad ())
           | _ -> bad ())
       | _ -> bad ())
   | [ "traffic-policy"; "interface"; ifname; "acl"; acl; "redirect";

@@ -14,6 +14,8 @@ module Model = Hoyan_sim.Model
 module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
 module Framework = Hoyan_dist.Framework
+module Lint = Hoyan_analysis.Lint
+module Diagnostics = Hoyan_analysis.Diagnostics
 
 type request = {
   rq_name : string;
@@ -28,12 +30,23 @@ type result = {
   vr_plan_warnings : string list;
       (** parse/delete errors from applying the plan: risk signals on
           their own (Table 6 "incorrect commands") *)
+  vr_lint : Diagnostics.t list;
+      (** static-analysis findings from the pre-simulation gate *)
+  vr_gated : bool;
+      (** the fail-fast gate stopped the request before any simulation *)
   vr_updated_model : Model.t;
   vr_base_rib : Route.t list;
   vr_updated_rib : Route.t list;
   vr_updated_traffic : Traffic_sim.result Lazy.t;
   vr_sim_seconds : float;
 }
+
+(** How the static-analysis gate in front of the pipeline behaves. *)
+type lint_gate =
+  | Lint_off (* skip the analysis entirely *)
+  | Lint_warn (* record diagnostics; never block (the default) *)
+  | Lint_fail (* any error-severity diagnostic fails the request
+                 before the first fixpoint runs *)
 
 type sim_mode =
   | Direct (* in-process simulation *)
@@ -55,9 +68,47 @@ let plan_warnings (reports : Cp.apply_report list) : string list =
           r.Cp.ar_delete_errors)
     reports
 
+(** RCL specification sources carried by the request's intents, for the
+    static-analysis gate. *)
+let lint_specs (intents : Intents.t list) : (string * string) list =
+  List.mapi (fun i intent -> (i, intent)) intents
+  |> List.filter_map (function
+       | i, Intents.Route_change spec ->
+           Some (Printf.sprintf "intent-%d" i, spec)
+       | _ -> None)
+
 (** Run one change-verification request against the pre-processed base. *)
-let run ?(mode = Direct) (base : Preprocess.base) (rq : request) : result =
+let run ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
+    (rq : request) : result =
   let t0 = Unix.gettimeofday () in
+  (* 0. static-analysis gate: lint the base configs, the change plan and
+     the request's RCL specs before any fixpoint runs *)
+  let lint_diags =
+    match lint with
+    | Lint_off -> []
+    | Lint_warn | Lint_fail ->
+        let model = base.Preprocess.b_model in
+        Lint.run
+          (Lint.make ~topo:model.Model.topo ~plan:rq.rq_plan
+             ~specs:(lint_specs rq.rq_intents) model.Model.configs)
+  in
+  if lint = Lint_fail && Lint.has_errors lint_diags then
+    {
+      vr_request = rq.rq_name;
+      vr_ok = false;
+      vr_violations = [];
+      vr_plan_warnings = [];
+      vr_lint = lint_diags;
+      vr_gated = true;
+      vr_updated_model = base.Preprocess.b_model;
+      vr_base_rib = [];
+      vr_updated_rib = [];
+      vr_updated_traffic =
+        lazy
+          (Traffic_sim.run base.Preprocess.b_model ~rib:[] ~flows:[] ());
+      vr_sim_seconds = Unix.gettimeofday () -. t0;
+    }
+  else begin
   (* 1. incremental model update *)
   let updated_model, reports =
     Model.apply_change_plan base.Preprocess.b_model rq.rq_plan
@@ -109,21 +160,30 @@ let run ?(mode = Direct) (base : Preprocess.base) (rq : request) : result =
     vr_ok = violations = [] && warnings = [];
     vr_violations = violations;
     vr_plan_warnings = warnings;
+    vr_lint = lint_diags;
+    vr_gated = false;
     vr_updated_model = updated_model;
     vr_base_rib = base_rib;
     vr_updated_rib = updated_rib;
     vr_updated_traffic = updated_traffic;
     vr_sim_seconds = Unix.gettimeofday () -. t0;
   }
+  end
 
 let report (r : result) : string =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf "=== change verification: %s ===\n" r.vr_request);
   Buffer.add_string b
-    (Printf.sprintf "result: %s (%.2fs)\n"
+    (Printf.sprintf "result: %s (%.2fs)%s\n"
        (if r.vr_ok then "PASS" else "FAIL")
-       r.vr_sim_seconds);
+       r.vr_sim_seconds
+       (if r.vr_gated then " [stopped by the static-analysis gate]" else ""));
+  List.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf "lint: %s\n" (Diagnostics.to_string d)))
+    r.vr_lint;
   List.iter
     (fun w -> Buffer.add_string b (Printf.sprintf "plan warning: %s\n" w))
     r.vr_plan_warnings;

@@ -19,6 +19,10 @@ type result = {
   vr_plan_warnings : string list;
       (** parse/delete errors from applying the plan — risk signals on
           their own (Table 6 "incorrect commands") *)
+  vr_lint : Hoyan_analysis.Diagnostics.t list;
+      (** static-analysis findings from the pre-simulation gate *)
+  vr_gated : bool;
+      (** the fail-fast gate stopped the request before any simulation *)
   vr_updated_model : Hoyan_sim.Model.t;
   vr_base_rib : Route.t list;
   vr_updated_rib : Route.t list;
@@ -31,11 +35,22 @@ type sim_mode =
   | Distributed of { servers : int; subtasks : int }
       (** through the distributed framework (master/MQ/workers) *)
 
+(** How the static-analysis gate in front of the pipeline behaves:
+    skip it, record diagnostics without blocking (the default), or fail
+    the request on any error-severity diagnostic before the first
+    fixpoint runs. *)
+type lint_gate = Lint_off | Lint_warn | Lint_fail
+
 (** Run one change-verification request against the pre-processed base.
-    Traffic simulation is forced only when a traffic-level intent is
-    present.  Prefixes in the plan's [cp_withdraw] are removed from the
-    inputs; [cp_new_routes] are added (new prefix announcement). *)
-val run : ?mode:sim_mode -> Preprocess.base -> request -> result
+    The static-analysis gate ([?lint], default {!Lint_warn}) lints the
+    base configs, the change plan and the request's RCL specs first;
+    under {!Lint_fail} an error-severity diagnostic stops the request
+    before any simulation.  Traffic simulation is forced only when a
+    traffic-level intent is present.  Prefixes in the plan's
+    [cp_withdraw] are removed from the inputs; [cp_new_routes] are added
+    (new prefix announcement). *)
+val run :
+  ?mode:sim_mode -> ?lint:lint_gate -> Preprocess.base -> request -> result
 
 (** Human-readable report (PASS/FAIL, warnings, violations with their
     counterexamples). *)

@@ -22,6 +22,10 @@ let make ip len =
   if len < 0 || len > max_len then invalid_arg "Prefix.make: bad length"
   else { ip = normalize_ip ip len; len }
 
+let make_opt ip len =
+  if len < 0 || len > Ip.family_bits (Ip.family ip) then None
+  else Some (make ip len)
+
 let ip t = t.ip
 let len t = t.len
 let family t = Ip.family t.ip

@@ -7,6 +7,10 @@ type t
     @raise Invalid_argument when [len] exceeds the family width. *)
 val make : Ip.t -> int -> t
 
+(** [make_opt ip len] is [make] returning [None] on an out-of-range
+    length — for parser paths fed untrusted input. *)
+val make_opt : Ip.t -> int -> t option
+
 val ip : t -> Ip.t
 
 val len : t -> int

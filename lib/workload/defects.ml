@@ -1,0 +1,300 @@
+(** Lintable-defect injection.
+
+    Takes a clean generated workload and plants exactly one instance of
+    each defect class the static-analysis pass ({!Hoyan_analysis.Lint})
+    detects, so the test suite (and [hoyan lint --inject]) can assert
+    every check fires with its stable code on the right device.  One
+    class per {!inject} call; {!inject_all} covers the whole catalog. *)
+
+open Hoyan_net
+module G = Generator
+module Model = Hoyan_sim.Model
+module Types = Hoyan_config.Types
+module Cp = Hoyan_config.Change_plan
+module Lint = Hoyan_analysis.Lint
+module Smap = Types.Smap
+
+type injected = {
+  inj_class : string; (* kebab-case check name, as in the catalog *)
+  inj_code : string; (* the diagnostic code expected to fire *)
+  inj_device : string option; (* device the defect was planted on *)
+  inj_input : Lint.input; (* ready to pass to Lint.run *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_device (configs : Types.t Smap.t) pred : string =
+  match
+    Smap.fold
+      (fun dev cfg acc ->
+        match acc with Some _ -> acc | None -> if pred cfg then Some dev else None)
+      configs None
+  with
+  | Some dev -> dev
+  | None -> invalid_arg "Defects: no suitable device in the corpus"
+
+let update_config configs dev f = Smap.add dev (f (Smap.find dev configs)) configs
+
+let with_policy_nodes name f (cfg : Types.t) : Types.t =
+  match Types.find_policy cfg name with
+  | None -> invalid_arg (Printf.sprintf "Defects: policy %s missing" name)
+  | Some rp ->
+      {
+        cfg with
+        Types.dc_policies =
+          Smap.add name
+            { rp with Types.rp_nodes = f rp.Types.rp_nodes }
+            cfg.Types.dc_policies;
+      }
+
+let pe seq prefix ge le =
+  {
+    Types.pe_seq = seq;
+    pe_action = Types.Permit;
+    pe_prefix = Prefix.of_string_exn prefix;
+    pe_ge = ge;
+    pe_le = le;
+  }
+
+let match_all_node seq =
+  {
+    Types.pn_seq = seq;
+    pn_action = Some Types.Permit;
+    pn_matches = [];
+    pn_sets = [];
+    pn_goto_next = false;
+  }
+
+let catch_all_acl name =
+  {
+    Types.acl_name = name;
+    acl_entries =
+      [
+        {
+          Types.ace_seq = 10;
+          ace_action = Types.Permit;
+          ace_src = None;
+          ace_dst = None;
+          ace_proto = None;
+          ace_dport = None;
+        };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Injection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let classes =
+  [
+    "undefined-prefix-list";
+    "undefined-community-list";
+    "undefined-aspath-filter";
+    "undefined-route-policy";
+    "undefined-acl";
+    "ebgp-missing-policy";
+    "shadowed-policy-term";
+    "shadowed-prefix-entry";
+    "invalid-aspath-regex";
+    "vrf-import-no-exporter";
+    "vrf-export-no-importer";
+    "plan-unknown-device";
+    "plan-delete-error";
+    "plan-parse-error";
+    "rcl-parse-error";
+    "rcl-field-type";
+    "rcl-invalid-regex";
+    "rcl-unreachable-predicate";
+    "undefined-interface";
+  ]
+
+let inject (g : G.t) (cls : string) : injected =
+  let configs = g.G.model.Model.configs in
+  let topo = g.G.model.Model.topo in
+  let code =
+    match Hoyan_analysis.Diagnostics.code_of_check cls with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Defects.inject: unknown class %s" cls)
+  in
+  let mk ?plan ?(specs = []) ?device configs =
+    {
+      inj_class = cls;
+      inj_code = code;
+      inj_device = device;
+      inj_input = Lint.make ~topo ?plan ~specs configs;
+    }
+  in
+  let with_cfg dev f = mk ~device:dev (update_config configs dev f) in
+  let with_plan plan = mk ~plan configs in
+  let with_spec spec = mk ~specs:[ ("injected", spec) ] configs in
+  let has_policy name cfg = Types.find_policy cfg name <> None in
+  let vendor_a_dev = find_device configs (fun c -> c.Types.dc_vendor = "vendorA") in
+  match cls with
+  | "undefined-prefix-list" ->
+      let dev = find_device configs (has_policy "PASS") in
+      with_cfg dev
+        (with_policy_nodes "PASS" (fun nodes ->
+             List.map
+               (fun (n : Types.policy_node) ->
+                 {
+                   n with
+                   Types.pn_matches =
+                     Types.Match_prefix_list "NO_SUCH_PL" :: n.Types.pn_matches;
+                 })
+               nodes))
+  | "undefined-community-list" ->
+      (* the RRs' RR_OUT_CORE references the community list of every
+         region, including the device's own *)
+      let dev =
+        find_device configs (fun c ->
+            has_policy "RR_OUT_CORE" c
+            && Types.find_community_list c "ISP_R1" <> None)
+      in
+      with_cfg dev (fun c ->
+          {
+            c with
+            Types.dc_community_lists =
+              Smap.remove "ISP_R1" c.Types.dc_community_lists;
+          })
+  | "undefined-aspath-filter" ->
+      let dev =
+        find_device configs (fun c ->
+            has_policy "RR_OUT" c && Types.find_aspath_filter c "BOGON" <> None)
+      in
+      with_cfg dev (fun c ->
+          {
+            c with
+            Types.dc_aspath_filters = Smap.remove "BOGON" c.Types.dc_aspath_filters;
+          })
+  | "undefined-route-policy" ->
+      let dev =
+        find_device configs (fun c -> c.Types.dc_bgp.Types.bgp_neighbors <> [])
+      in
+      with_cfg dev (fun c ->
+          let bgp = c.Types.dc_bgp in
+          let neighbors =
+            match bgp.Types.bgp_neighbors with
+            | nb :: rest ->
+                { nb with Types.nb_import = Some "NO_SUCH_POLICY" } :: rest
+            | [] -> assert false
+          in
+          { c with Types.dc_bgp = { bgp with Types.bgp_neighbors = neighbors } })
+  | "undefined-acl" ->
+      let dev = find_device configs (fun c -> c.Types.dc_ifaces <> []) in
+      with_cfg dev (fun c ->
+          let ifaces =
+            match c.Types.dc_ifaces with
+            | i :: rest -> { i with Types.if_acl_in = Some "NO_SUCH_ACL" } :: rest
+            | [] -> assert false
+          in
+          { c with Types.dc_ifaces = ifaces })
+  | "ebgp-missing-policy" ->
+      (* a policy-less eBGP session on the strict vendor-B profile *)
+      let dev = find_device configs (fun c -> c.Types.dc_vendor = "vendorB") in
+      with_cfg dev (fun c ->
+          let bgp = c.Types.dc_bgp in
+          let nb =
+            {
+              Types.nb_addr = Ip.of_string_exn "192.0.2.1";
+              nb_remote_asn = bgp.Types.bgp_asn + 1;
+              nb_import = None;
+              nb_export = None;
+              nb_rr_client = false;
+              nb_next_hop_self = false;
+              nb_add_paths = 0;
+              nb_vrf = Route.default_vrf;
+            }
+          in
+          {
+            c with
+            Types.dc_bgp =
+              { bgp with Types.bgp_neighbors = bgp.Types.bgp_neighbors @ [ nb ] };
+          })
+  | "shadowed-policy-term" ->
+      (* PASS's single node matches everything; a node after it is dead *)
+      let dev = find_device configs (has_policy "PASS") in
+      with_cfg dev
+        (with_policy_nodes "PASS" (fun nodes -> nodes @ [ match_all_node 20 ]))
+  | "shadowed-prefix-entry" ->
+      with_cfg vendor_a_dev (fun c ->
+          let pl =
+            {
+              Types.pl_name = "SHADOW";
+              pl_family = Ip.Ipv4;
+              pl_entries =
+                [ pe 5 "10.0.0.0/8" None (Some 32); pe 10 "10.1.0.0/16" None (Some 24) ];
+            }
+          in
+          {
+            c with
+            Types.dc_prefix_lists = Smap.add "SHADOW" pl c.Types.dc_prefix_lists;
+          })
+  | "invalid-aspath-regex" ->
+      with_cfg vendor_a_dev (fun c ->
+          let af =
+            {
+              Types.af_name = "BADRE";
+              af_entries =
+                [ { Types.ae_seq = 10; ae_action = Types.Permit; ae_regex = "(" } ];
+            }
+          in
+          {
+            c with
+            Types.dc_aspath_filters = Smap.add "BADRE" af c.Types.dc_aspath_filters;
+          })
+  | "vrf-import-no-exporter" | "vrf-export-no-importer" ->
+      let importing = String.equal cls "vrf-import-no-exporter" in
+      with_cfg vendor_a_dev (fun c ->
+          let vd =
+            {
+              Types.vd_name = "VPN_TEST";
+              vd_rd = "64512:900";
+              vd_import_rts = (if importing then [ "64512:999" ] else []);
+              vd_export_rts = (if importing then [] else [ "64512:998" ]);
+              vd_export_policy = None;
+            }
+          in
+          let bgp = c.Types.dc_bgp in
+          {
+            c with
+            Types.dc_bgp = { bgp with Types.bgp_vrfs = bgp.Types.bgp_vrfs @ [ vd ] };
+          })
+  | "plan-unknown-device" ->
+      with_plan
+        (Cp.make "injected"
+           ~commands:[ ("no-such-device", "interface Eth0\n") ])
+  | "plan-delete-error" ->
+      with_plan
+        (Cp.make "injected"
+           ~commands:[ (vendor_a_dev, "no route-map NO_SUCH_RM 10\n") ])
+  | "plan-parse-error" ->
+      with_plan
+        (Cp.make "injected"
+           ~commands:[ (vendor_a_dev, "frobnicate 42 unknown keyword\n") ])
+  | "rcl-parse-error" -> with_spec "PRE = "
+  | "rcl-field-type" ->
+      with_spec "POST || localPref = \"high\" |> count() = 0"
+  | "rcl-invalid-regex" ->
+      with_spec "POST || aspath matches \"(\" |> count() = 0"
+  | "rcl-unreachable-predicate" ->
+      with_spec
+        "POST || (localPref = 100 and localPref = 200) |> count() = 0"
+  | "undefined-interface" ->
+      with_cfg vendor_a_dev (fun c ->
+          let rule =
+            {
+              Types.pbr_iface = "NoSuchEth99";
+              pbr_acl = "PBR_ACL";
+              pbr_nexthop = Ip.of_string_exn "192.0.2.254";
+            }
+          in
+          {
+            c with
+            Types.dc_acls = Smap.add "PBR_ACL" (catch_all_acl "PBR_ACL") c.Types.dc_acls;
+            dc_pbr = rule :: c.Types.dc_pbr;
+          })
+  | cls -> invalid_arg (Printf.sprintf "Defects.inject: unknown class %s" cls)
+
+let inject_all (g : G.t) : injected list = List.map (inject g) classes

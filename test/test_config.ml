@@ -399,14 +399,158 @@ let test_parser_flaws () =
       ()
   | _ -> Alcotest.fail "flaw not reproduced");
   let text6 = "ipv6 prefix-list P6 seq 5 permit 2001:db8::/32\n" in
-  let cfg6, _ =
+  let cfg6, errors6 =
     Parser_a.parse ~flaws:[ Parser_a.Drop_ipv6_prefix_lists ] ~device:"x" text6
   in
-  check tbool "v6 lists dropped" true (Types.find_prefix_list cfg6 "P6" = None)
+  check tbool "v6 lists dropped" true (Types.find_prefix_list cfg6 "P6" = None);
+  (* the drop must be reported, never silent *)
+  check tint "drop reported" 1 (List.length errors6);
+  let e = List.hd errors6 in
+  check tint "drop reported on its line" 1 e.Lexutil.err_line;
+  check tbool "drop message names the list" true
+    (let msg = e.Lexutil.err_msg in
+     let re = Str.regexp_string "P6" in
+     try ignore (Str.search_forward re msg 0); true with Not_found -> false)
+
+let test_ipv6_prefix_lists_both_dialects () =
+  (* vendor A *)
+  let cfg, errors =
+    Parser_a.parse ~device:"x"
+      "ipv6 prefix-list P6 seq 5 permit 2001:db8::/32 le 48\n"
+  in
+  check tint "A: parses clean" 0 (List.length errors);
+  let pl = Option.get (Types.find_prefix_list cfg "P6") in
+  check tbool "A: family is ipv6" true (pl.Types.pl_family = Ip.Ipv6);
+  (match pl.Types.pl_entries with
+  | [ e ] ->
+      check tstr "A: prefix" "2001:db8::/32" (Prefix.to_string e.Types.pe_prefix);
+      check tbool "A: le kept" true (e.Types.pe_le = Some 48)
+  | _ -> Alcotest.fail "A: expected one entry");
+  (* vendor B *)
+  let cfg, errors =
+    Parser_b.parse ~device:"x"
+      "ip ipv6-prefix P6 index 5 permit 2001:db8:: 32 less-equal 48\n"
+  in
+  check tint "B: parses clean" 0 (List.length errors);
+  let pl = Option.get (Types.find_prefix_list cfg "P6") in
+  check tbool "B: family is ipv6" true (pl.Types.pl_family = Ip.Ipv6);
+  (match pl.Types.pl_entries with
+  | [ e ] ->
+      check tstr "B: prefix" "2001:db8::/32" (Prefix.to_string e.Types.pe_prefix);
+      check tbool "B: le kept" true (e.Types.pe_le = Some 48)
+  | _ -> Alcotest.fail "B: expected one entry")
 
 let test_unknown_lines_reported () =
   let _, errors = Parser_a.parse ~device:"x" "frobnicate the network\n" in
   check tint "error recorded" 1 (List.length errors)
+
+(* --- parser error paths -------------------------------------------------- *)
+
+let test_error_line_numbers_a () =
+  (* a bad line sandwiched between good ones must be reported with its own
+     1-based line number, and parsing must continue past it *)
+  let text =
+    "hostname r1\n\
+     ip prefix-list PL seq 5 permit not-a-prefix\n\
+     ip prefix-list PL seq 10 permit 10.0.0.0/8\n\
+     frobnicate 42\n"
+  in
+  let cfg, errors = Parser_a.parse ~device:"x" text in
+  let lines = List.map (fun e -> e.Lexutil.err_line) errors |> List.sort compare in
+  check Alcotest.(list int) "bad lines located" [ 2; 4 ] lines;
+  let pl = Option.get (Types.find_prefix_list cfg "PL") in
+  check tint "good entry survives" 1 (List.length pl.Types.pl_entries)
+
+let test_error_line_numbers_b () =
+  let text =
+    "sysname r1\n\
+     ip ip-prefix PL index 5 permit 10.0.0.0 99\n\
+     ip ip-prefix PL index 10 permit 10.0.0.0 8\n\
+     frobnicate 42\n"
+  in
+  let cfg, errors = Parser_b.parse ~device:"x" text in
+  let lines = List.map (fun e -> e.Lexutil.err_line) errors |> List.sort compare in
+  check Alcotest.(list int) "bad lines located" [ 2; 4 ] lines;
+  let pl = Option.get (Types.find_prefix_list cfg "PL") in
+  check tint "good entry survives" 1 (List.length pl.Types.pl_entries)
+
+let test_malformed_stanzas_no_crash () =
+  (* truncated / garbled stanza headers and bodies: both parsers must
+     report rather than raise *)
+  let samples =
+    [
+      "route-map\n";
+      "route-map RM permit ten\n match\n";
+      "router bgp\n neighbor\n";
+      "interface\n ip address banana\n";
+      "ip prefix-list PL seq permit 10.0.0.0/8\n";
+      "ip community-list CL seq 5 permit not:a:community\n";
+      "vrf definition\n route-target import\n";
+      "route-policy RP permit node\n apply\n";
+      "bgp\n peer 1.2.3.4 as-number\n";
+      "ip ip-prefix PL index 5 allow 10.0.0.0 8\n";
+      "acl name\n rule 5 permit source\n";
+    ]
+  in
+  List.iter
+    (fun text ->
+      let _, ea = Parser_a.parse ~device:"x" text in
+      let _, eb = Parser_b.parse ~device:"x" text in
+      check tbool "some parser rejects it" true
+        (List.length ea > 0 || List.length eb > 0);
+      List.iter
+        (fun e -> check tbool "line in range" true (e.Lexutil.err_line >= 1))
+        (ea @ eb))
+    samples
+
+let fuzz_parsers_never_crash =
+  (* mutate lines of the known-good configs (token deletion, duplication,
+     swaps, injected garbage) and feed the result to both parsers: they
+     must never raise, and every reported error must carry a line number
+     inside the input *)
+  let mutate_line rand line =
+    let toks = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+    let n = List.length toks in
+    let drop i = List.filteri (fun j _ -> j <> i) toks in
+    let toks =
+      if n = 0 then [ "garbage" ]
+      else
+        match Random.State.int rand 5 with
+        | 0 -> drop (Random.State.int rand n)
+        | 1 -> List.nth toks (Random.State.int rand n) :: toks
+        | 2 -> List.rev toks
+        | 3 ->
+            List.mapi
+              (fun j t -> if j = Random.State.int rand n then "\xffgarbage" else t)
+              toks
+        | _ -> toks @ [ "9999999999999999999" ]
+    in
+    String.concat " " toks
+  in
+  let gen = QCheck.Gen.(pair (oneofl [ `A; `B ]) (int_bound 0x3FFFFFFF)) in
+  QCheck.Test.make ~name:"mutated configs never crash the parsers" ~count:200
+    (QCheck.make gen) (fun (vendor, seed) ->
+      let rand = Random.State.make [| seed |] in
+      let base =
+        match vendor with `A -> vendor_a_config | `B -> vendor_b_config
+      in
+      let lines = String.split_on_char '\n' base in
+      let nlines = List.length lines in
+      let mutated =
+        List.map
+          (fun l ->
+            if Random.State.int rand 3 = 0 then mutate_line rand l else l)
+          lines
+        |> String.concat "\n"
+      in
+      let _, errors =
+        match vendor with
+        | `A -> Parser_a.parse ~device:"x" mutated
+        | `B -> Parser_b.parse ~device:"x" mutated
+      in
+      List.for_all
+        (fun e -> e.Lexutil.err_line >= 1 && e.Lexutil.err_line <= nlines)
+        errors)
 
 (* --- change plans -------------------------------------------------------- *)
 
@@ -480,7 +624,15 @@ let suite =
     ("printer roundtrip A", `Quick, test_printer_roundtrip_a);
     ("printer roundtrip B", `Quick, test_printer_roundtrip_b);
     ("parser injected flaws", `Quick, test_parser_flaws);
+    ("ipv6 prefix lists, both dialects", `Quick,
+     test_ipv6_prefix_lists_both_dialects);
     ("unknown lines reported", `Quick, test_unknown_lines_reported);
+    ("error line numbers A", `Quick, test_error_line_numbers_a);
+    ("error line numbers B", `Quick, test_error_line_numbers_b);
+    ("malformed stanzas never crash", `Quick, test_malformed_stanzas_no_crash);
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| 4242 |])
+      fuzz_parsers_never_crash;
     ("change plan merge+delete", `Quick, test_change_plan_merge_and_delete);
     ("change plan wrong dialect", `Quick, test_change_plan_wrong_dialect);
     ("change plan delete typo", `Quick, test_change_plan_delete_typo);

@@ -15,5 +15,6 @@ let () =
       ("diagnosis", Test_diag.suite);
       ("scenarios", Test_scenarios.suite);
       ("workload", Test_workload.suite);
+      ("analysis", Test_analysis.suite);
       ("properties", Test_props.suite);
     ]
