@@ -1,6 +1,6 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
-.PHONY: all build test bench perf lint smoke clean
+.PHONY: all build test bench perf lint check telemetry-bench smoke clean
 
 all: build
 
@@ -24,6 +24,19 @@ lint:
 	dune build @all
 	dune exec bin/hoyan_cli.exe -- lint --scale small
 	dune exec bin/hoyan_cli.exe -- lint --scale wan
+
+# Everything a PR must keep green: strict-warning build of every
+# target (libs, bins, bench, tests), the full test suite, then the
+# static-analysis gate over the generated corpora.
+check:
+	dune build @all
+	dune runtest
+	$(MAKE) lint
+
+# Telemetry cost section: noop-guard microbench + live-handle overhead
+# on the full WAN simulation; writes BENCH_PR3.json (DESIGN.md §2.3).
+telemetry-bench:
+	dune exec bench/main.exe -- --telemetry
 
 # Tier-1 smoke: build, tests, and a quick perf-harness pass so the
 # multicore pipeline and its identity assertions are exercised in CI.

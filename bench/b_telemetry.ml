@@ -1,0 +1,163 @@
+(* The telemetry cost section (`--telemetry`, DESIGN.md §2.3).
+
+   Two claims are measured on the full WAN simulation (route fixpoint +
+   traffic walk, the pipeline the telemetry subsystem instruments):
+
+   - the default {!Hoyan_telemetry.Telemetry.noop} handle costs nothing
+     observable: every instrumented call site collapses to one branch.
+     The wall-clock delta between two noop runs is below measurement
+     noise, so the honest estimate multiplies a microbenchmarked
+     per-call guard cost by the number of instrumented calls the same
+     workload actually makes (counted from a live run's sinks);
+
+   - a live handle stays cheap enough to leave on in production-style
+     runs (enabled overhead is reported, not gated).
+
+   Writes BENCH_PR3.json so the perf trajectory has a machine-readable
+   record of both numbers. *)
+
+open B_common
+module G = Hoyan_workload.Generator
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+module Telemetry = Hoyan_telemetry.Telemetry
+module Metrics = Hoyan_telemetry.Metrics
+module Trace = Hoyan_telemetry.Trace
+module Journal = Hoyan_telemetry.Journal
+
+let output_file = ref "BENCH_PR3.json"
+
+(* One full simulation: route fixpoint to a global RIB, then the
+   traffic walk over every flow record.  [tm] is passed explicitly so
+   the run never depends on the process-global handle. *)
+let run_pipeline tm g =
+  let direct = Route_sim.run ~tm g.G.model ~input_routes:g.G.input_routes () in
+  let traffic =
+    Traffic_sim.run ~tm g.G.model ~rib:direct.Route_sim.rib ~flows:g.G.flows ()
+  in
+  (direct, traffic)
+
+(* Best-of-[n] wall time: the minimum is the least noisy estimator for
+   a deterministic workload on a shared machine. *)
+let best_of n f =
+  let rec go best i =
+    if i = 0 then best
+    else
+      let _, t = time f in
+      go (Float.min best t) (i - 1)
+  in
+  go Float.infinity n
+
+(* Per-call cost of one instrumented helper on the noop handle.  The
+   accumulator keeps the loop from being optimised away. *)
+let guard_ns_per_op () =
+  let tm = Telemetry.noop in
+  let iters = 5_000_000 in
+  let acc = ref 0 in
+  let (), t =
+    time (fun () ->
+        for i = 1 to iters do
+          Telemetry.count tm "noop_bench" 1;
+          acc := !acc + (i land 1)
+        done)
+  in
+  ignore (Sys.opaque_identity !acc);
+  t /. float_of_int iters *. 1e9
+
+let run () =
+  header "telemetry: noop guard cost + live-handle overhead";
+  let g = Lazy.force wan in
+  let reps = if !quick then 1 else 3 in
+  row "workload: wan  (%d devices, %d input routes, %d flow records; \
+       best of %d)"
+    (G.device_count g)
+    (List.length g.G.input_routes)
+    (List.length g.G.flows) reps;
+
+  (* Warm-up run (shared caches, lazy forcing) before any timing. *)
+  ignore (run_pipeline Telemetry.noop g);
+
+  let wall_noop = best_of reps (fun () -> run_pipeline Telemetry.noop g) in
+
+  (* The live run also yields the instrumented-call counts: how many
+     metric updates / spans / journal events this exact workload makes,
+     i.e. how many noop guards a disabled run executes. *)
+  let live = Telemetry.create () in
+  let wall_enabled = best_of 1 (fun () -> run_pipeline live g) in
+  let wall_enabled =
+    if reps > 1 then
+      Float.min wall_enabled
+        (best_of (reps - 1) (fun () -> run_pipeline (Telemetry.create ()) g))
+    else wall_enabled
+  in
+  let metric_ops = Metrics.ops live.Telemetry.metrics in
+  let trace_events = Trace.count live.Telemetry.trace in
+  let journal_events = Journal.count live.Telemetry.journal in
+  (* Spans cost two helper calls (open + finish). *)
+  let instrumented_calls = metric_ops + (2 * trace_events) + journal_events in
+
+  let ns_per_op = guard_ns_per_op () in
+  let noop_overhead_s = ns_per_op *. 1e-9 *. float_of_int instrumented_calls in
+  let noop_overhead_pct =
+    if wall_noop > 0. then 100. *. noop_overhead_s /. wall_noop else nan
+  in
+  let enabled_overhead_pct =
+    if wall_noop > 0. then 100. *. (wall_enabled -. wall_noop) /. wall_noop
+    else nan
+  in
+  let meets = Float.is_finite noop_overhead_pct && noop_overhead_pct < 2.0 in
+
+  sub "full simulation wall time";
+  row "noop handle:    %.3fs" wall_noop;
+  row "live handle:    %.3fs  (enabled overhead %+.1f%%)" wall_enabled
+    enabled_overhead_pct;
+  sub "noop guard";
+  row "per-call guard cost: %.1f ns" ns_per_op;
+  row "instrumented calls in one run: %d metric ops + 2x%d span events + \
+       %d journal events = %d"
+    metric_ops trace_events journal_events instrumented_calls;
+  row "estimated noop overhead: %.6fs = %.4f%% of the %.3fs simulation \
+       (target < 2%%: %b)"
+    noop_overhead_s noop_overhead_pct wall_noop meets;
+  if not meets then
+    failwith "telemetry bench: noop overhead exceeds the 2% target";
+
+  let json =
+    B_perf.J_obj
+      [
+        ("bench", B_perf.J_str "telemetry noop + live overhead");
+        ("generated_unix", B_perf.J_float (Unix.gettimeofday ()));
+        ("quick", B_perf.J_bool !quick);
+        ( "workload",
+          B_perf.J_obj
+            [
+              ("name", B_perf.J_str "wan");
+              ("devices", B_perf.J_int (G.device_count g));
+              ("input_routes", B_perf.J_int (List.length g.G.input_routes));
+              ("flow_records", B_perf.J_int (List.length g.G.flows));
+              ("reps", B_perf.J_int reps);
+            ] );
+        ("wall_noop_s", B_perf.J_float wall_noop);
+        ("wall_enabled_s", B_perf.J_float wall_enabled);
+        ("enabled_overhead_pct", B_perf.J_float enabled_overhead_pct);
+        ( "noop",
+          B_perf.J_obj
+            [
+              ("guard_ns_per_op", B_perf.J_float ns_per_op);
+              ( "instrumented_calls",
+                B_perf.J_obj
+                  [
+                    ("metric_ops", B_perf.J_int metric_ops);
+                    ("trace_events", B_perf.J_int trace_events);
+                    ("journal_events", B_perf.J_int journal_events);
+                    ("total", B_perf.J_int instrumented_calls);
+                  ] );
+              ("estimated_overhead_s", B_perf.J_float noop_overhead_s);
+              ("noop_overhead_pct", B_perf.J_float noop_overhead_pct);
+            ] );
+        ("meets_2pct_target", B_perf.J_bool meets);
+        ("peak_rss_kb", B_perf.J_int (B_perf.peak_rss_kb ()));
+      ]
+  in
+  B_perf.write_json !output_file json;
+  row "wrote %s" !output_file

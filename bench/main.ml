@@ -11,7 +11,9 @@
      dune exec bench/main.exe -- --lint        # static-analysis gate cost
      dune exec bench/main.exe -- --perf --out BENCH_PR2.json
                                                # multicore perf harness;
-                                               # one JSON per PR *)
+                                               # one JSON per PR
+     dune exec bench/main.exe -- --telemetry   # telemetry noop/live cost
+                                               # (writes BENCH_PR3.json) *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -41,7 +43,11 @@ let rec extract_out acc = function
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let out, args = extract_out [] args in
-  Option.iter (fun f -> B_perf.output_file := f) out;
+  Option.iter
+    (fun f ->
+      B_perf.output_file := f;
+      B_telemetry.output_file := f)
+    out;
   let flags, wanted = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
   if List.mem "--quick" flags then B_common.quick := true;
   let t0 = Unix.gettimeofday () in
@@ -49,6 +55,7 @@ let () =
   else if List.mem "--ablate" flags then B_ablate.all ()
   else if List.mem "--lint" flags then B_lint.run ()
   else if List.mem "--perf" flags then B_perf.perf ()
+  else if List.mem "--telemetry" flags then B_telemetry.run ()
   else begin
     (* "fig5a" etc. are accepted as shorthand for "figure5a"; the alias
        only applies to names actually prefixed with "figure" (a bare

@@ -11,7 +11,12 @@
      hoyan rcl       --spec STRING [--explain]
      hoyan diagnose  [--fault agent-down|netflow|...]
      hoyan audit     [--scale ...]
-     hoyan vsb                         # Table-5 differential sweep *)
+     hoyan vsb                         # Table-5 differential sweep
+     hoyan trace summarize FILE        # per-phase/per-subtask breakdown
+
+   simulate and verify accept --trace/--metrics/--journal FILE options
+   that install a live telemetry handle and write the Chrome trace JSON,
+   the Prometheus text exposition, and the JSONL event journal. *)
 
 open Cmdliner
 open Hoyan_net
@@ -29,6 +34,11 @@ module Audit = Hoyan_core.Audit
 module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
 module Bgp = Hoyan_proto.Bgp
+module Telemetry = Hoyan_telemetry.Telemetry
+module Trace = Hoyan_telemetry.Trace
+module Metrics = Hoyan_telemetry.Metrics
+module Journal = Hoyan_telemetry.Journal
+module Tjson = Hoyan_telemetry.Json
 
 (* ------------------------------------------------------------------ *)
 (* shared options                                                      *)
@@ -47,11 +57,66 @@ let seed_arg =
 
 let gen params seed = G.generate { params with G.g_seed = seed }
 
+(* telemetry output options shared by simulate and verify *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of the run to $(docv) \
+                 (load in chrome://tracing or Perfetto; summarize with \
+                 $(b,hoyan trace summarize)).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the run's metrics in Prometheus text exposition \
+                 format to $(docv).")
+
+let journal_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Write the structured pipeline event journal (JSONL) to \
+                 $(docv).")
+
+(** Install a live telemetry handle when any output file was requested,
+    run [f], then write the requested files. *)
+let with_telemetry ~trace_out ~metrics_out ~journal_out f =
+  match (trace_out, metrics_out, journal_out) with
+  | None, None, None -> f ()
+  | _ ->
+      let tm = Telemetry.create () in
+      Telemetry.set tm;
+      let code = f () in
+      Option.iter
+        (fun path ->
+          Trace.write_file tm.Telemetry.trace path;
+          Printf.printf "trace: %d events -> %s\n"
+            (Trace.count tm.Telemetry.trace)
+            path)
+        trace_out;
+      Option.iter
+        (fun path ->
+          Metrics.write_prometheus_file tm.Telemetry.metrics path;
+          Printf.printf "metrics: %d updates -> %s\n"
+            (Metrics.ops tm.Telemetry.metrics)
+            path)
+        metrics_out;
+      Option.iter
+        (fun path ->
+          Journal.write_file tm.Telemetry.journal path;
+          Printf.printf "journal: %d events -> %s\n"
+            (Journal.count tm.Telemetry.journal)
+            path)
+        journal_out;
+      Telemetry.set Telemetry.noop;
+      code
+
 (* ------------------------------------------------------------------ *)
 (* hoyan simulate                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let simulate params seed distributed =
+let simulate params seed distributed trace_out metrics_out journal_out =
+  with_telemetry ~trace_out ~metrics_out ~journal_out @@ fun () ->
   let g = gen params seed in
   Printf.printf "network: %s\n%!" (G.stats g);
   let t0 = Unix.gettimeofday () in
@@ -106,13 +171,17 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Generate a synthetic WAN and simulate it")
-    Term.(const simulate $ scale_arg $ seed_arg $ distributed)
+    Term.(
+      const simulate $ scale_arg $ seed_arg $ distributed $ trace_out_arg
+      $ metrics_out_arg $ journal_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan verify                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let verify params seed plan_file devices intents distributed =
+let verify params seed plan_file devices intents distributed trace_out
+    metrics_out journal_out =
+  with_telemetry ~trace_out ~metrics_out ~journal_out @@ fun () ->
   let g = gen params seed in
   let base =
     Preprocess.prepare g.G.model ~monitored_routes:g.G.input_routes
@@ -178,7 +247,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Verify a change plan against RCL intents")
     Term.(
       const verify $ scale_arg $ seed_arg $ plan $ devices $ intents
-      $ distributed)
+      $ distributed $ trace_out_arg $ metrics_out_arg $ journal_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan lint                                                          *)
@@ -465,6 +534,75 @@ let case_cmd =
     Term.(const case $ case_arg)
 
 (* ------------------------------------------------------------------ *)
+(* hoyan trace summarize                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_summary_table title (rows : Trace.summary_row list) =
+  if rows <> [] then begin
+    Printf.printf "%s\n" title;
+    Printf.printf "  %-28s %8s %12s %12s %12s\n" "name" "count" "total(ms)"
+      "mean(ms)" "max(ms)";
+    List.iter
+      (fun (r : Trace.summary_row) ->
+        Printf.printf "  %-28s %8d %12.3f %12.3f %12.3f\n" r.Trace.sr_name
+          r.Trace.sr_count r.Trace.sr_total_ms r.Trace.sr_mean_ms
+          r.Trace.sr_max_ms)
+      rows;
+    print_newline ()
+  end
+
+let trace_summarize file top =
+  match Tjson.of_string (read_file file) with
+  | Error msg ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+      1
+  | Ok json -> (
+      match Trace.events_of_json json with
+      | Error msg ->
+          Printf.eprintf "%s: not a trace file: %s\n" file msg;
+          1
+      | Ok events ->
+          Printf.printf "%s: %d events\n\n" file (List.length events);
+          print_summary_table "per-phase (by span name):"
+            (Trace.summarize events);
+          let steps =
+            List.filter
+              (fun (e : Trace.event) ->
+                String.equal e.Trace.te_name "worker.step")
+              events
+          in
+          let by_subtask = Trace.summarize_by_arg "id" steps in
+          let shown =
+            List.filteri (fun i _ -> i < top) by_subtask
+          in
+          print_summary_table
+            (Printf.sprintf "per-subtask (worker.step, top %d of %d by time):"
+               (List.length shown) (List.length by_subtask))
+            shown;
+          0)
+
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"A Chrome trace-event JSON written by $(b,--trace).")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Show the $(docv) most expensive subtasks.")
+  in
+  let summarize_cmd =
+    Cmd.v
+      (Cmd.info "summarize"
+         ~doc:"Print per-phase and per-subtask time breakdowns of a trace")
+      Term.(const trace_summarize $ file $ top)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect trace files written by --trace")
+    [ summarize_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Hoyan: global WAN change verification (SIGCOMM'25 reproduction)" in
@@ -474,5 +612,5 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; verify_cmd; lint_cmd; rcl_cmd; diagnose_cmd;
-            audit_cmd; vsb_cmd; case_cmd;
+            audit_cmd; vsb_cmd; case_cmd; trace_cmd;
           ]))

@@ -16,6 +16,8 @@ module Traffic_sim = Hoyan_sim.Traffic_sim
 module Framework = Hoyan_dist.Framework
 module Lint = Hoyan_analysis.Lint
 module Diagnostics = Hoyan_analysis.Diagnostics
+module Telemetry = Hoyan_telemetry.Telemetry
+module Journal = Hoyan_telemetry.Journal
 
 type request = {
   rq_name : string;
@@ -77,9 +79,17 @@ let lint_specs (intents : Intents.t list) : (string * string) list =
            Some (Printf.sprintf "intent-%d" i, spec)
        | _ -> None)
 
-(** Run one change-verification request against the pre-processed base. *)
-let run ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
+(** Run one change-verification request against the pre-processed base.
+    Each pipeline phase runs under its own telemetry span
+    ([verify.lint_gate] / [verify.model_update] / [verify.route_sim] /
+    [verify.traffic_sim] / [verify.intents]); the static-analysis gate
+    additionally journals its outcome as a [lint.gate] event. *)
+let run ?tm ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
     (rq : request) : result =
+  let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
+  let rq_sp =
+    Telemetry.span tm ~args:[ ("request", rq.rq_name) ] "verify.request"
+  in
   let t0 = Unix.gettimeofday () in
   (* 0. static-analysis gate: lint the base configs, the change plan and
      the request's RCL specs before any fixpoint runs *)
@@ -87,12 +97,23 @@ let run ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
     match lint with
     | Lint_off -> []
     | Lint_warn | Lint_fail ->
-        let model = base.Preprocess.b_model in
-        Lint.run
-          (Lint.make ~topo:model.Model.topo ~plan:rq.rq_plan
-             ~specs:(lint_specs rq.rq_intents) model.Model.configs)
+        Telemetry.with_span tm "verify.lint_gate" (fun () ->
+            let model = base.Preprocess.b_model in
+            Lint.run
+              (Lint.make ~topo:model.Model.topo ~plan:rq.rq_plan
+                 ~specs:(lint_specs rq.rq_intents) model.Model.configs))
   in
-  if lint = Lint_fail && Lint.has_errors lint_diags then
+  let gated = lint = Lint_fail && Lint.has_errors lint_diags in
+  if Telemetry.enabled tm && lint <> Lint_off then
+    Telemetry.event tm "lint.gate"
+      [
+        ("request", Journal.S rq.rq_name);
+        ("diagnostics", Journal.I (List.length lint_diags));
+        ("gated", Journal.B gated);
+      ];
+  if gated then begin
+    Telemetry.count tm "hoyan_verify_gated_total" 1;
+    Telemetry.finish tm rq_sp;
     {
       vr_request = rq.rq_name;
       vr_ok = false;
@@ -108,10 +129,12 @@ let run ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
           (Traffic_sim.run base.Preprocess.b_model ~rib:[] ~flows:[] ());
       vr_sim_seconds = Unix.gettimeofday () -. t0;
     }
+  end
   else begin
   (* 1. incremental model update *)
   let updated_model, reports =
-    Model.apply_change_plan base.Preprocess.b_model rq.rq_plan
+    Telemetry.with_span tm "verify.model_update" (fun () ->
+        Model.apply_change_plan base.Preprocess.b_model rq.rq_plan)
   in
   let warnings = plan_warnings reports in
   (* 2. route simulation on the updated model; reclaimed prefixes are
@@ -126,35 +149,46 @@ let run ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
           base.Preprocess.b_input_routes
   in
   let updated_rib =
-    match mode with
-    | Direct ->
-        (Route_sim.run updated_model ~input_routes
-           ~new_routes:rq.rq_plan.Cp.cp_new_routes ())
-          .Route_sim.rib
-    | Distributed { servers = _; subtasks } ->
-        let fw = Framework.create updated_model in
-        let phase =
-          Framework.run_route_phase ~subtasks fw
-            ~input_routes:(input_routes @ rq.rq_plan.Cp.cp_new_routes)
-        in
-        phase.Framework.rp_rib
+    Telemetry.with_span tm "verify.route_sim" (fun () ->
+        match mode with
+        | Direct ->
+            (Route_sim.run ~tm updated_model ~input_routes
+               ~new_routes:rq.rq_plan.Cp.cp_new_routes ())
+              .Route_sim.rib
+        | Distributed { servers = _; subtasks } ->
+            let fw = Framework.create ~tm updated_model in
+            let phase =
+              Framework.run_route_phase ~subtasks fw
+                ~input_routes:(input_routes @ rq.rq_plan.Cp.cp_new_routes)
+            in
+            phase.Framework.rp_rib)
   in
   (* 3. traffic simulation (lazy: only if an intent needs it) *)
   let updated_traffic =
     lazy
-      (Traffic_sim.run updated_model ~rib:updated_rib
-         ~flows:base.Preprocess.b_flows ())
+      (Telemetry.with_span tm "verify.traffic_sim" (fun () ->
+           Traffic_sim.run ~tm updated_model ~rib:updated_rib
+             ~flows:base.Preprocess.b_flows ()))
   in
   (* 4. intent verification *)
   let base_rib = Lazy.force base.Preprocess.b_rib in
   let violations =
-    List.concat_map
-      (fun intent ->
-        Intents.verify intent ~model:updated_model ~base_rib ~updated_rib
-          ~base_traffic:base.Preprocess.b_traffic
-          ~updated_traffic)
-      rq.rq_intents
+    Telemetry.with_span tm "verify.intents" (fun () ->
+        List.concat_map
+          (fun intent ->
+            Intents.verify intent ~model:updated_model ~base_rib ~updated_rib
+              ~base_traffic:base.Preprocess.b_traffic
+              ~updated_traffic)
+          rq.rq_intents)
   in
+  Telemetry.finish tm rq_sp;
+  if Telemetry.enabled tm then
+    Telemetry.event tm "verify.done"
+      [
+        ("request", Journal.S rq.rq_name);
+        ("ok", Journal.B (violations = [] && warnings = []));
+        ("violations", Journal.I (List.length violations));
+      ];
   {
     vr_request = rq.rq_name;
     vr_ok = violations = [] && warnings = [];

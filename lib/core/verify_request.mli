@@ -48,9 +48,15 @@ type lint_gate = Lint_off | Lint_warn | Lint_fail
     before any simulation.  Traffic simulation is forced only when a
     traffic-level intent is present.  Prefixes in the plan's
     [cp_withdraw] are removed from the inputs; [cp_new_routes] are added
-    (new prefix announcement). *)
+    (new prefix announcement).  [tm] (default: the process-global
+    telemetry handle) receives per-phase spans and gate events. *)
 val run :
-  ?mode:sim_mode -> ?lint:lint_gate -> Preprocess.base -> request -> result
+  ?tm:Hoyan_telemetry.Telemetry.t ->
+  ?mode:sim_mode ->
+  ?lint:lint_gate ->
+  Preprocess.base ->
+  request ->
+  result
 
 (** Human-readable report (PASS/FAIL, warnings, violations with their
     counterexamples). *)

@@ -40,4 +40,4 @@ let io_time (t : t) ~bytes ~files =
 
 (** Effective wall time of one subtask on a worker. *)
 let subtask_time (t : t) (e : Db.entry) =
-  e.Db.e_duration_s +. io_time t ~bytes:e.Db.e_io_bytes ~files:e.Db.e_io_files
+  Db.duration_s e +. io_time t ~bytes:(Db.io_bytes e) ~files:(Db.io_files e)

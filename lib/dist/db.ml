@@ -4,7 +4,13 @@
     monitors it and re-sends failed subtasks.  Route subtasks also record
     the range of addresses covered by their input routes, which is what a
     traffic subtask later consults to decide whether it depends on that
-    route subtask's RIB file. *)
+    route subtask's RIB file.
+
+    Entries are mutable but opaque: all reads and writes go through
+    accessor functions, each of which takes the entry's own mutex — so
+    one database can be shared by concurrent workers ({!Parallel}
+    domains) without races.  The table itself has a separate mutex for
+    registration and lookup. *)
 
 open Hoyan_net
 
@@ -17,6 +23,7 @@ let status_to_string = function
   | Failed m -> "failed: " ^ m
 
 type entry = {
+  e_mu : Mutex.t;
   mutable e_status : status;
   mutable e_range : (Ip.t * Ip.t) option; (* route subtasks: covered range *)
   mutable e_result_key : string option;
@@ -27,13 +34,18 @@ type entry = {
   mutable e_deps : string list; (* traffic subtasks: route results loaded *)
 }
 
-type t = (string, entry) Hashtbl.t
+type t = { mu : Mutex.t; tbl : (string, entry) Hashtbl.t }
 
-let create () : t = Hashtbl.create 256
+let create () : t = { mu = Mutex.create (); tbl = Hashtbl.create 256 }
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let register (t : t) id =
   let e =
     {
+      e_mu = Mutex.create ();
       e_status = Pending;
       e_range = None;
       e_result_key = None;
@@ -44,24 +56,74 @@ let register (t : t) id =
       e_deps = [];
     }
   in
-  Hashtbl.replace t id e;
+  locked t.mu (fun () -> Hashtbl.replace t.tbl id e);
   e
 
-let find (t : t) id = Hashtbl.find_opt t id
+let find (t : t) id = locked t.mu (fun () -> Hashtbl.find_opt t.tbl id)
 
 let find_exn (t : t) id =
   match find t id with
   | Some e -> e
   | None -> invalid_arg (Printf.sprintf "Db.find_exn: %s" id)
 
-let set_status (t : t) id status = (find_exn t id).e_status <- status
+(* ------------------------------------------------------------------ *)
+(* Entry accessors                                                     *)
+(* ------------------------------------------------------------------ *)
 
-let all (t : t) = Hashtbl.fold (fun id e acc -> (id, e) :: acc) t []
+let status (e : entry) = locked e.e_mu (fun () -> e.e_status)
+let range (e : entry) = locked e.e_mu (fun () -> e.e_range)
+let result_key (e : entry) = locked e.e_mu (fun () -> e.e_result_key)
+let attempts (e : entry) = locked e.e_mu (fun () -> e.e_attempts)
+let duration_s (e : entry) = locked e.e_mu (fun () -> e.e_duration_s)
+let io_bytes (e : entry) = locked e.e_mu (fun () -> e.e_io_bytes)
+let io_files (e : entry) = locked e.e_mu (fun () -> e.e_io_files)
+let deps (e : entry) = locked e.e_mu (fun () -> e.e_deps)
+
+let set_range (e : entry) r = locked e.e_mu (fun () -> e.e_range <- r)
+let set_deps (e : entry) ds = locked e.e_mu (fun () -> e.e_deps <- ds)
+
+(** Mark the entry [Running] and bump its attempt counter; returns the
+    new attempt number (the worker's crash-retry bookkeeping). *)
+let start_attempt (e : entry) : int =
+  locked e.e_mu (fun () ->
+      e.e_status <- Running;
+      e.e_attempts <- e.e_attempts + 1;
+      e.e_attempts)
+
+let record_failure (e : entry) (reason : string) : unit =
+  locked e.e_mu (fun () -> e.e_status <- Failed reason)
+
+(** Record a finished run: measured compute time and accounted I/O (and
+    the result file's key, when one was written); status becomes
+    [Done]. *)
+let complete (e : entry) ?result_key ~duration_s ~io_bytes ~io_files () : unit
+    =
+  locked e.e_mu (fun () ->
+      (match result_key with
+      | Some _ -> e.e_result_key <- result_key
+      | None -> ());
+      e.e_duration_s <- duration_s;
+      e.e_io_bytes <- io_bytes;
+      e.e_io_files <- io_files;
+      e.e_status <- Done)
+
+(* ------------------------------------------------------------------ *)
+(* Table-level queries                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let set_status (t : t) id s =
+  let e = find_exn t id in
+  locked e.e_mu (fun () -> e.e_status <- s)
+
+let all (t : t) =
+  locked t.mu (fun () ->
+      Hashtbl.fold (fun id e acc -> (id, e) :: acc) t.tbl [])
 
 let count_status (t : t) pred =
-  Hashtbl.fold (fun _ e n -> if pred e.e_status then n + 1 else n) t 0
+  all t
+  |> List.fold_left (fun n (_, e) -> if pred (status e) then n + 1 else n) 0
 
 let all_done (t : t) =
-  Hashtbl.fold
-    (fun _ e ok -> ok && (match e.e_status with Done -> true | _ -> false))
-    t true
+  all t
+  |> List.for_all (fun (_, e) ->
+         match status e with Done -> true | _ -> false)

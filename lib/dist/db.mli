@@ -1,0 +1,73 @@
+(** The subtask database (paper §3.2): workers record each subtask's
+    status, measured compute time and accounted I/O; the master monitors
+    it and re-sends failed subtasks.  Route subtasks record the address
+    range their inputs cover — the dependency test a traffic subtask
+    later consults.
+
+    Entries are opaque: reads and writes go through accessors, each
+    protected by the entry's own mutex, so one database is safe to share
+    across concurrent {!Parallel} workers. *)
+
+open Hoyan_net
+
+type status = Pending | Running | Done | Failed of string
+
+val status_to_string : status -> string
+
+type entry
+type t
+
+val create : unit -> t
+
+(** Register a fresh [Pending] entry under the given subtask id. *)
+val register : t -> string -> entry
+
+val find : t -> string -> entry option
+
+(** @raise Invalid_argument on an unknown id. *)
+val find_exn : t -> string -> entry
+
+(** {2 Entry reads} *)
+
+val status : entry -> status
+val range : entry -> (Ip.t * Ip.t) option
+val result_key : entry -> string option
+val attempts : entry -> int
+
+(** Measured compute seconds of the last run. *)
+val duration_s : entry -> float
+
+val io_bytes : entry -> int
+val io_files : entry -> int
+
+(** Traffic subtasks: the route result files loaded. *)
+val deps : entry -> string list
+
+(** {2 Entry writes} *)
+
+val set_range : entry -> (Ip.t * Ip.t) option -> unit
+val set_deps : entry -> string list -> unit
+
+(** Mark [Running] and bump the attempt counter; returns the new attempt
+    number. *)
+val start_attempt : entry -> int
+
+val record_failure : entry -> string -> unit
+
+(** Record a finished run (measured compute, accounted I/O, optionally
+    the result file's key); status becomes [Done]. *)
+val complete :
+  entry ->
+  ?result_key:string ->
+  duration_s:float ->
+  io_bytes:int ->
+  io_files:int ->
+  unit ->
+  unit
+
+(** {2 Table-level queries} *)
+
+val set_status : t -> string -> status -> unit
+val all : t -> (string * entry) list
+val count_status : t -> (status -> bool) -> int
+val all_done : t -> bool

@@ -12,9 +12,17 @@
     multi-server end-to-end time is then obtained by replaying the
     measured durations through {!Schedule} (see DESIGN.md §2 for why this
     substitution preserves the paper's scalability behaviour).  A real
-    multicore execution path is provided by {!Parallel}. *)
+    multicore execution path is provided by {!Parallel}.
+
+    Every phase is instrumented through {!Hoyan_telemetry.Telemetry}:
+    spans around the master's split/upload and each worker step, counters
+    for pushes/pops/retries/bytes, and journal events for the subtask
+    lifecycle.  With the default noop handle each site costs one
+    branch. *)
 
 open Hoyan_net
+module Telemetry = Hoyan_telemetry.Telemetry
+module Journal = Hoyan_telemetry.Journal
 module Model = Hoyan_sim.Model
 module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
@@ -29,9 +37,10 @@ type t = {
   fail_prob : float; (* injected worker failure probability *)
   rng : Random.State.t;
   max_attempts : int;
+  tm : Telemetry.t;
 }
 
-let create ?(fail_prob = 0.) ?(seed = 42) ?(snapshot = "base")
+let create ?tm ?(fail_prob = 0.) ?(seed = 42) ?(snapshot = "base")
     (model : Model.t) : t =
   {
     storage = Storage.create ();
@@ -42,7 +51,93 @@ let create ?(fail_prob = 0.) ?(seed = 42) ?(snapshot = "base")
     fail_prob;
     rng = Random.State.make [| seed |];
     max_attempts = 3;
+    tm = (match tm with Some tm -> tm | None -> Telemetry.get ());
   }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let phase_label = function
+  | Mq.Route_subtask -> "route"
+  | Mq.Traffic_subtask -> "traffic"
+
+let ev_enqueue (t : t) (msg : Mq.message) =
+  if Telemetry.enabled t.tm then begin
+    let phase = phase_label msg.Mq.m_kind in
+    Telemetry.count t.tm ~labels:[ ("phase", phase) ]
+      "hoyan_subtasks_enqueued_total" 1;
+    Telemetry.event t.tm "subtask.enqueue"
+      [
+        ("id", Journal.S msg.Mq.m_id);
+        ("phase", Journal.S phase);
+        ("attempt", Journal.I msg.Mq.m_attempt);
+      ]
+  end
+
+let ev_dequeue (t : t) (msg : Mq.message) ~attempt =
+  if Telemetry.enabled t.tm then begin
+    let phase = phase_label msg.Mq.m_kind in
+    Telemetry.count t.tm ~labels:[ ("phase", phase) ]
+      "hoyan_subtasks_dequeued_total" 1;
+    Telemetry.event t.tm "subtask.dequeue"
+      [
+        ("id", Journal.S msg.Mq.m_id);
+        ("phase", Journal.S phase);
+        ("attempt", Journal.I attempt);
+      ]
+  end
+
+(** The injected-failure path: record the failure, re-queue, count the
+    retry. *)
+let fail_and_retry (t : t) (msg : Mq.message) (entry : Db.entry) =
+  Db.record_failure entry "worker crashed";
+  Mq.push t.mq { msg with Mq.m_attempt = msg.Mq.m_attempt + 1 };
+  if Telemetry.enabled t.tm then begin
+    let phase = phase_label msg.Mq.m_kind in
+    Telemetry.count t.tm ~labels:[ ("phase", phase) ]
+      "hoyan_subtask_retries_total" 1;
+    Telemetry.event t.tm "subtask.failure"
+      [
+        ("id", Journal.S msg.Mq.m_id);
+        ("phase", Journal.S phase);
+        ("reason", Journal.S "worker crashed");
+        ("attempt", Journal.I (Db.attempts entry));
+      ];
+    Telemetry.event t.tm "subtask.retry"
+      [
+        ("id", Journal.S msg.Mq.m_id);
+        ("phase", Journal.S phase);
+        ("attempt", Journal.I (msg.Mq.m_attempt + 1));
+      ]
+  end
+
+let ev_done (t : t) (msg : Mq.message) ~duration_s ~io_bytes ~io_files =
+  if Telemetry.enabled t.tm then begin
+    let phase = phase_label msg.Mq.m_kind in
+    let labels = [ ("phase", phase) ] in
+    Telemetry.count t.tm ~labels "hoyan_subtasks_completed_total" 1;
+    Telemetry.count t.tm ~labels "hoyan_subtask_io_bytes_total" io_bytes;
+    Telemetry.count t.tm ~labels "hoyan_subtask_io_files_total" io_files;
+    Telemetry.observe t.tm ~labels "hoyan_subtask_duration_seconds" duration_s;
+    Telemetry.event t.tm "subtask.done"
+      [
+        ("id", Journal.S msg.Mq.m_id);
+        ("phase", Journal.S phase);
+        ("duration_s", Journal.F duration_s);
+        ("io_bytes", Journal.I io_bytes);
+        ("io_files", Journal.I io_files);
+      ]
+  end
+
+let ev_hard_failure (t : t) (msg : Mq.message) reason =
+  if Telemetry.enabled t.tm then
+    Telemetry.event t.tm "subtask.failure"
+      [
+        ("id", Journal.S msg.Mq.m_id);
+        ("phase", Journal.S (phase_label msg.Mq.m_kind));
+        ("reason", Journal.S reason);
+      ]
 
 (* ------------------------------------------------------------------ *)
 (* Route simulation phase                                              *)
@@ -93,26 +188,29 @@ let route_worker_step (t : t) ~(use_ecs : bool)
   | None -> false
   | Some msg ->
       let entry = Db.find_exn t.db msg.Mq.m_id in
-      entry.Db.e_status <- Db.Running;
-      entry.Db.e_attempts <- entry.Db.e_attempts + 1;
+      let attempt = Db.start_attempt entry in
+      ev_dequeue t msg ~attempt;
       (* injected worker failure: the master will re-send *)
       if
         t.fail_prob > 0.
         && Random.State.float t.rng 1.0 < t.fail_prob
-        && entry.Db.e_attempts < t.max_attempts
+        && attempt < t.max_attempts
       then begin
-        entry.Db.e_status <- Db.Failed "worker crashed";
-        (* master monitoring: resend *)
-        Mq.push t.mq { msg with Mq.m_attempt = msg.Mq.m_attempt + 1 };
+        fail_and_retry t msg entry;
         true
       end
       else begin
         match Storage.get t.storage ~key:msg.Mq.m_input_key with
         | Some (Storage.O_routes inputs) ->
+            let sp =
+              Telemetry.span t.tm
+                ~args:[ ("id", msg.Mq.m_id); ("phase", "route") ]
+                "worker.step"
+            in
             let t0 = Unix.gettimeofday () in
             let res =
-              Route_sim.run ~use_ecs ~include_locals:false ~originate:false
-                t.model ~input_routes:inputs ()
+              Route_sim.run ~tm:t.tm ~use_ecs ~include_locals:false
+                ~originate:false t.model ~input_routes:inputs ()
             in
             let dt = Unix.gettimeofday () -. t0 in
             let rows =
@@ -124,21 +222,20 @@ let route_worker_step (t : t) ~(use_ecs : bool)
             let result_key = msg.Mq.m_id ^ ".rib" in
             Storage.put t.storage ~key:result_key (Storage.O_rib rows);
             let input_range =
-              match entry.Db.e_range with
+              match Db.range entry with
               | Some r -> r
-              | None ->
-                  (Ip.zero Ip.Ipv4, Ip.zero Ip.Ipv4)
+              | None -> (Ip.zero Ip.Ipv4, Ip.zero Ip.Ipv4)
             in
-            entry.Db.e_range <- Some (range_of_rows input_range rows);
-            entry.Db.e_result_key <- Some result_key;
-            entry.Db.e_duration_s <- dt;
-            entry.Db.e_io_bytes <-
-              List.length inputs * Storage.bytes_per_route;
-            entry.Db.e_io_files <- 1;
-            entry.Db.e_status <- Db.Done;
+            Db.set_range entry (Some (range_of_rows input_range rows));
+            let io_bytes = List.length inputs * Storage.bytes_per_route in
+            Db.complete entry ~result_key ~duration_s:dt ~io_bytes
+              ~io_files:1 ();
+            Telemetry.finish t.tm sp;
+            ev_done t msg ~duration_s:dt ~io_bytes ~io_files:1;
             true
         | _ ->
-            entry.Db.e_status <- Db.Failed "missing input object";
+            Db.record_failure entry "missing input object";
+            ev_hard_failure t msg "missing input object";
             true
       end
 
@@ -146,8 +243,17 @@ let route_worker_step (t : t) ~(use_ecs : bool)
     measured durations). *)
 let run_route_phase ?(strategy = Split.Ordered) ?(subtasks = 100)
     ?(use_ecs = true) (t : t) ~(input_routes : Route.t list) : route_phase =
+  let phase_sp =
+    Telemetry.span t.tm
+      ~args:[ ("inputs", string_of_int (List.length input_routes)) ]
+      "route.phase"
+  in
   (* master: prepare subtasks *)
-  let splits = Split.split_routes ~strategy ~subtasks input_routes in
+  let splits =
+    Telemetry.with_span t.tm "master.split" (fun () ->
+        Split.split_routes ~strategy ~subtasks input_routes)
+  in
+  let upload_sp = Telemetry.span t.tm "master.upload" in
   let ids =
     List.mapi
       (fun i (routes, range) ->
@@ -155,18 +261,24 @@ let run_route_phase ?(strategy = Split.Ordered) ?(subtasks = 100)
         let input_key = id ^ ".in" in
         Storage.put t.storage ~key:input_key (Storage.O_routes routes);
         let entry = Db.register t.db id in
-        entry.Db.e_range <- Some range;
-        Mq.push t.mq
+        Db.set_range entry (Some range);
+        let msg =
           {
             Mq.m_id = id;
             m_kind = Mq.Route_subtask;
             m_input_key = input_key;
             m_snapshot = t.snapshot;
             m_attempt = 1;
-          };
+          }
+        in
+        Mq.push t.mq msg;
+        ev_enqueue t msg;
         id)
       splits
   in
+  Telemetry.finish t.tm
+    ~args:[ ("subtasks", string_of_int (List.length ids)) ]
+    upload_sp;
   let net_prefixes = network_prefixes t.model in
   (* workers drain the queue *)
   while route_worker_step t ~use_ecs ~net_prefixes do
@@ -175,7 +287,8 @@ let run_route_phase ?(strategy = Split.Ordered) ?(subtasks = 100)
   (* the shared base RIB: routes originated by network statements and
      their propagation, independent of the input routes *)
   let base_rows =
-    (Route_sim.run ~use_ecs ~include_locals:false t.model ~input_routes:[] ())
+    (Route_sim.run ~tm:t.tm ~use_ecs ~include_locals:false t.model
+       ~input_routes:[] ())
       .Route_sim.rib
   in
   Storage.put t.storage ~key:base_rib_key (Storage.O_rib base_rows);
@@ -184,17 +297,18 @@ let run_route_phase ?(strategy = Split.Ordered) ?(subtasks = 100)
      not depend on the subtask's inputs; the master deduplicates when
      merging. *)
   let rib =
-    List.concat_map
-      (fun id ->
-        match (Db.find_exn t.db id).Db.e_result_key with
-        | Some key -> (
-            match Storage.get t.storage ~key with
-            | Some (Storage.O_rib rows) -> rows
-            | _ -> [])
-        | None -> [])
-      ids
-    |> List.rev_append base_rows
-    |> List.sort_uniq Route.compare
+    Telemetry.with_span t.tm "master.collect" (fun () ->
+        List.concat_map
+          (fun id ->
+            match Db.result_key (Db.find_exn t.db id) with
+            | Some key -> (
+                match Storage.get t.storage ~key with
+                | Some (Storage.O_rib rows) -> rows
+                | _ -> [])
+            | None -> [])
+          ids
+        |> List.rev_append base_rows
+        |> List.sort_uniq Route.compare)
   in
   let locals =
     Smap.fold
@@ -202,8 +316,10 @@ let run_route_phase ?(strategy = Split.Ordered) ?(subtasks = 100)
       t.model.Model.local_tables []
   in
   let durations =
-    List.map (fun id -> (id, (Db.find_exn t.db id).Db.e_duration_s)) ids
+    List.map (fun id -> (id, Db.duration_s (Db.find_exn t.db id))) ids
   in
+  Telemetry.gauge t.tm "hoyan_route_rib_rows" (float_of_int (List.length rib));
+  Telemetry.finish t.tm phase_sp;
   {
     rp_subtasks = ids;
     rp_rib = rib @ locals;
@@ -236,35 +352,39 @@ let traffic_worker_step (t : t) ~(route_ids : string list)
   | None -> false
   | Some msg ->
       let entry = Db.find_exn t.db msg.Mq.m_id in
-      entry.Db.e_status <- Db.Running;
-      entry.Db.e_attempts <- entry.Db.e_attempts + 1;
+      let attempt = Db.start_attempt entry in
+      ev_dequeue t msg ~attempt;
       if
         t.fail_prob > 0.
         && Random.State.float t.rng 1.0 < t.fail_prob
-        && entry.Db.e_attempts < t.max_attempts
+        && attempt < t.max_attempts
       then begin
-        entry.Db.e_status <- Db.Failed "worker crashed";
-        Mq.push t.mq { msg with Mq.m_attempt = msg.Mq.m_attempt + 1 };
+        fail_and_retry t msg entry;
         true
       end
       else begin
         match Storage.get t.storage ~key:msg.Mq.m_input_key with
         | Some (Storage.O_flows flows) ->
+            let sp =
+              Telemetry.span t.tm
+                ~args:[ ("id", msg.Mq.m_id); ("phase", "traffic") ]
+                "worker.step"
+            in
             (* dependency resolution via the subtask DB ranges *)
-            let my_range = entry.Db.e_range in
+            let my_range = Db.range entry in
             let deps =
               match dep_mode with
               | Deps_all -> route_ids
               | Deps_ordered ->
                   List.filter
                     (fun rid ->
-                      match ((Db.find_exn t.db rid).Db.e_range, my_range) with
+                      match (Db.range (Db.find_exn t.db rid), my_range) with
                       | Some rrange, Some frange ->
                           Split.ranges_overlap frange rrange
                       | _ -> true)
                     route_ids
             in
-            entry.Db.e_deps <- deps;
+            Db.set_deps entry deps;
             (* load dependent RIB files, plus the shared base RIB *)
             let io_bytes = ref (List.length flows * Storage.bytes_per_flow) in
             let base_rows =
@@ -280,7 +400,7 @@ let traffic_worker_step (t : t) ~(route_ids : string list)
               base_rows
               @ List.concat_map
                   (fun rid ->
-                    match (Db.find_exn t.db rid).Db.e_result_key with
+                    match Db.result_key (Db.find_exn t.db rid) with
                     | Some key -> (
                         (match Storage.size_of t.storage ~key with
                         | Some sz -> io_bytes := !io_bytes + sz
@@ -298,7 +418,8 @@ let traffic_worker_step (t : t) ~(route_ids : string list)
             in
             let t0 = Unix.gettimeofday () in
             let res =
-              Traffic_sim.run ~use_ecs t.model ~rib:(rib @ locals) ~flows ()
+              Traffic_sim.run ~tm:t.tm ~use_ecs t.model ~rib:(rib @ locals)
+                ~flows ()
             in
             let dt = Unix.gettimeofday () -. t0 in
             let flow_summaries =
@@ -326,22 +447,32 @@ let traffic_worker_step (t : t) ~(route_ids : string list)
             let result_key = msg.Mq.m_id ^ ".out" in
             Storage.put t.storage ~key:result_key
               (Storage.O_traffic { t_loads = loads; t_flows = flow_summaries });
-            entry.Db.e_result_key <- Some result_key;
-            entry.Db.e_duration_s <- dt;
-            entry.Db.e_io_bytes <- !io_bytes;
-            entry.Db.e_io_files <- 2 + List.length deps;
-            entry.Db.e_status <- Db.Done;
+            let io_files = 2 + List.length deps in
+            Db.complete entry ~result_key ~duration_s:dt ~io_bytes:!io_bytes
+              ~io_files ();
+            Telemetry.finish t.tm sp;
+            ev_done t msg ~duration_s:dt ~io_bytes:!io_bytes ~io_files;
             true
         | _ ->
-            entry.Db.e_status <- Db.Failed "missing input object";
+            Db.record_failure entry "missing input object";
+            ev_hard_failure t msg "missing input object";
             true
       end
 
 let run_traffic_phase ?(strategy = Split.Ordered) ?(subtasks = 128)
     ?(dep_mode = Deps_ordered) ?(use_ecs = true) (t : t)
     ~(route_phase : route_phase) ~(flows : Flow.t list) : traffic_phase =
+  let phase_sp =
+    Telemetry.span t.tm
+      ~args:[ ("flows", string_of_int (List.length flows)) ]
+      "traffic.phase"
+  in
   let route_ids = route_phase.rp_subtasks in
-  let splits = Split.split_flows ~strategy ~subtasks flows in
+  let splits =
+    Telemetry.with_span t.tm "master.split" (fun () ->
+        Split.split_flows ~strategy ~subtasks flows)
+  in
+  let upload_sp = Telemetry.span t.tm "master.upload" in
   let ids =
     List.mapi
       (fun i (fs, range) ->
@@ -349,18 +480,24 @@ let run_traffic_phase ?(strategy = Split.Ordered) ?(subtasks = 128)
         let input_key = id ^ ".in" in
         Storage.put t.storage ~key:input_key (Storage.O_flows fs);
         let entry = Db.register t.db id in
-        entry.Db.e_range <- Some range;
-        Mq.push t.mq
+        Db.set_range entry (Some range);
+        let msg =
           {
             Mq.m_id = id;
             m_kind = Mq.Traffic_subtask;
             m_input_key = input_key;
             m_snapshot = t.snapshot;
             m_attempt = 1;
-          };
+          }
+        in
+        Mq.push t.mq msg;
+        ev_enqueue t msg;
         id)
       splits
   in
+  Telemetry.finish t.tm
+    ~args:[ ("subtasks", string_of_int (List.length ids)) ]
+    upload_sp;
   while traffic_worker_step t ~route_ids ~dep_mode ~use_ecs do
     ()
   done;
@@ -368,39 +505,46 @@ let run_traffic_phase ?(strategy = Split.Ordered) ?(subtasks = 128)
   let link_load = Hashtbl.create 1024 in
   let all_flows = ref [] in
   let ec_total = ref 0 in
-  List.iter
-    (fun id ->
-      match (Db.find_exn t.db id).Db.e_result_key with
-      | Some key -> (
-          match Storage.get t.storage ~key with
-          | Some (Storage.O_traffic { t_loads; t_flows }) ->
-              List.iter
-                (fun (k, v) ->
-                  let cur =
-                    Option.value (Hashtbl.find_opt link_load k) ~default:0.
-                  in
-                  Hashtbl.replace link_load k (cur +. v))
-                t_loads;
-              all_flows := List.rev_append t_flows !all_flows;
-              incr ec_total
-          | _ -> ())
-      | None -> ())
-    ids;
+  Telemetry.with_span t.tm "master.collect" (fun () ->
+      List.iter
+        (fun id ->
+          match Db.result_key (Db.find_exn t.db id) with
+          | Some key -> (
+              match Storage.get t.storage ~key with
+              | Some (Storage.O_traffic { t_loads; t_flows }) ->
+                  List.iter
+                    (fun (k, v) ->
+                      let cur =
+                        Option.value (Hashtbl.find_opt link_load k) ~default:0.
+                      in
+                      Hashtbl.replace link_load k (cur +. v))
+                    t_loads;
+                  all_flows := List.rev_append t_flows !all_flows;
+                  incr ec_total
+              | _ -> ())
+          | None -> ())
+        ids);
   let n_route = float_of_int (List.length route_ids) in
   let loaded_fracs =
     List.map
       (fun id ->
         ( id,
-          float_of_int (List.length (Db.find_exn t.db id).Db.e_deps) /. n_route
+          float_of_int (List.length (Db.deps (Db.find_exn t.db id))) /. n_route
         ))
       ids
   in
+  if Telemetry.enabled t.tm then
+    List.iter
+      (fun (_, frac) ->
+        Telemetry.observe t.tm "hoyan_traffic_loaded_rib_fraction" frac)
+      loaded_fracs;
+  Telemetry.finish t.tm phase_sp;
   {
     tp_subtasks = ids;
     tp_link_load = link_load;
     tp_flows = !all_flows;
     tp_durations =
-      List.map (fun id -> (id, (Db.find_exn t.db id).Db.e_duration_s)) ids;
+      List.map (fun id -> (id, Db.duration_s (Db.find_exn t.db id))) ids;
     tp_loaded_fracs = loaded_fracs;
     tp_ec_count = !ec_total;
   }

@@ -21,14 +21,21 @@ type t = {
   fail_prob : float;
   rng : Random.State.t;
   max_attempts : int;
+  tm : Hoyan_telemetry.Telemetry.t;
 }
 
 (** [create model] builds a framework instance.  [fail_prob] injects
     worker crashes (each subtask attempt fails with this probability,
     retried up to 3 times); [snapshot] names the network snapshot in the
-    subtask messages. *)
+    subtask messages; [tm] is the telemetry handle (defaults to the
+    process-global one). *)
 val create :
-  ?fail_prob:float -> ?seed:int -> ?snapshot:string -> Hoyan_sim.Model.t -> t
+  ?tm:Hoyan_telemetry.Telemetry.t ->
+  ?fail_prob:float ->
+  ?seed:int ->
+  ?snapshot:string ->
+  Hoyan_sim.Model.t ->
+  t
 
 (** Key of the shared base RIB file (network-statement routes and their
     propagation; independent of the subtask inputs). *)

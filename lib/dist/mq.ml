@@ -3,7 +3,11 @@
     The master pushes one message per subtask (its metadata plus a
     reference to the subtask's input file on the object store); each
     message is consumed by exactly one working server listening on the
-    queue.  Failed subtasks are re-queued by the master. *)
+    queue.  Failed subtasks are re-queued by the master.
+
+    All operations take the queue's mutex, so one instance can be shared
+    by genuinely concurrent workers ({!Parallel} domains): a message is
+    delivered to exactly one popper. *)
 
 type kind = Route_subtask | Traffic_subtask
 
@@ -19,21 +23,34 @@ type message = {
   m_attempt : int;
 }
 
-type t = { q : message Queue.t; mutable pushed : int; mutable consumed : int }
+type t = {
+  mu : Mutex.t;
+  q : message Queue.t;
+  mutable pushed : int;
+  mutable consumed : int;
+}
 
-let create () = { q = Queue.create (); pushed = 0; consumed = 0 }
+let create () =
+  { mu = Mutex.create (); q = Queue.create (); pushed = 0; consumed = 0 }
+
+let locked (t : t) f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let push (t : t) (m : message) =
-  Queue.push m t.q;
-  t.pushed <- t.pushed + 1
+  locked t (fun () ->
+      Queue.push m t.q;
+      t.pushed <- t.pushed + 1)
 
 let pop (t : t) : message option =
-  match Queue.take_opt t.q with
-  | Some m ->
-      t.consumed <- t.consumed + 1;
-      Some m
-  | None -> None
+  locked t (fun () ->
+      match Queue.take_opt t.q with
+      | Some m ->
+          t.consumed <- t.consumed + 1;
+          Some m
+      | None -> None)
 
-let length (t : t) = Queue.length t.q
-
-let is_empty (t : t) = Queue.is_empty t.q
+let length (t : t) = locked t (fun () -> Queue.length t.q)
+let is_empty (t : t) = locked t (fun () -> Queue.is_empty t.q)
+let pushed (t : t) = locked t (fun () -> t.pushed)
+let consumed (t : t) = locked t (fun () -> t.consumed)

@@ -7,13 +7,21 @@
     read-only during simulation, so workers share it; the work list is
     distributed via an atomic index. *)
 
+module Telemetry = Hoyan_telemetry.Telemetry
+
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
 (** Parallel map preserving order.  [f] must only read shared state.
     If [f] raises, the first exception (by claim order) is re-raised on
-    the caller after all domains have been joined. *)
-let map ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
+    the caller after all domains have been joined.
+
+    Each worker domain runs under one telemetry span ([parallel.domain],
+    tagged with the worker index and the number of items it claimed);
+    spans are recorded into per-domain shards, so tracing is safe across
+    domains. *)
+let map ?tm ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
     'b list =
+  let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
@@ -23,12 +31,21 @@ let map ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
       let results = Array.make n None in
       let next = Atomic.make 0 in
       let failure = Atomic.make None in
-      let worker () =
+      let worker wid () =
+        let sp =
+          if Telemetry.enabled tm then
+            Telemetry.span tm
+              ~args:[ ("worker", string_of_int wid) ]
+              "parallel.domain"
+          else Hoyan_telemetry.Trace.null_span
+        in
+        let claimed = ref 0 in
         let rec loop () =
           (* stop claiming work once any worker has failed *)
           if Atomic.get failure = None then begin
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
+              incr claimed;
               (match f arr.(i) with
               | v -> results.(i) <- Some v
               | exception e ->
@@ -38,12 +55,19 @@ let map ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
             end
           end
         in
-        loop ()
+        loop ();
+        if Telemetry.enabled tm then begin
+          Telemetry.finish tm
+            ~args:[ ("items", string_of_int !claimed) ]
+            sp;
+          Telemetry.count tm "hoyan_parallel_items_total" !claimed
+        end
       in
       let spawned =
-        List.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+        List.init (min domains n - 1) (fun i ->
+            Domain.spawn (fun () -> worker (i + 1) ()))
       in
-      worker ();
+      worker 0 ();
       List.iter Domain.join spawned;
       match Atomic.get failure with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -55,25 +79,28 @@ let map ?(domains = default_domains ()) (f : 'a -> 'b) (xs : 'a list) :
     global RIB (plus local tables).  Equivalent to
     {!Framework.run_route_phase} but with real concurrency; used by the
     distributed-vs-centralized equivalence tests and the parallel bench. *)
-let route_phase_rib ?(domains = default_domains ()) ?(use_ecs = true)
+let route_phase_rib ?tm ?(domains = default_domains ()) ?(use_ecs = true)
     ?(strategy = Split.Ordered) ?(subtasks = 32)
     (model : Hoyan_sim.Model.t) ~(input_routes : Hoyan_net.Route.t list) :
     Hoyan_net.Route.t list =
+  let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
+  let sp = Telemetry.span tm "parallel.route_phase" in
   let splits = Split.split_routes ~strategy ~subtasks input_routes in
   let base_rows =
-    (Hoyan_sim.Route_sim.run ~use_ecs ~include_locals:false model
+    (Hoyan_sim.Route_sim.run ~tm ~use_ecs ~include_locals:false model
        ~input_routes:[] ())
       .Hoyan_sim.Route_sim.rib
   in
   let ribs =
     base_rows
-    :: map ~domains
+    :: map ~tm ~domains
          (fun (routes, _range) ->
-           (Hoyan_sim.Route_sim.run ~use_ecs ~include_locals:false
+           (Hoyan_sim.Route_sim.run ~tm ~use_ecs ~include_locals:false
               ~originate:false model ~input_routes:routes ())
              .Hoyan_sim.Route_sim.rib)
          splits
   in
+  Telemetry.finish tm sp;
   let locals =
     Hoyan_sim.Model.Smap.fold
       (fun _ rs acc -> List.rev_append rs acc)
@@ -90,19 +117,25 @@ let route_phase_rib ?(domains = default_domains ()) ?(use_ecs = true)
     link-load table and the per-shard results are merged in shard order,
     so the output is a deterministic function of the inputs — identical
     whatever the domain count (including [domains = 1]). *)
-let traffic_phase ?(domains = default_domains ())
+let traffic_phase ?tm ?(domains = default_domains ())
     ?(strategy = Split.Ordered) ?(subtasks = 32) ?(use_ecs = true)
     (model : Hoyan_sim.Model.t) ~(rib : Hoyan_net.Route.t list)
     ~(flows : Hoyan_net.Flow.t list) () : Hoyan_sim.Traffic_sim.result =
   let module T = Hoyan_sim.Traffic_sim in
-  let fibs = T.build_fibs rib in
+  let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
+  let sp = Telemetry.span tm "parallel.traffic_phase" in
+  let fibs =
+    Telemetry.with_span tm "traffic.build_fibs" (fun () -> T.build_fibs rib)
+  in
   let ecx = T.ec_ctx model fibs in
   let shards = Split.split_flows ~strategy ~subtasks flows in
   let outs =
-    map ~domains
-      (fun (fs, _range) -> T.run ~use_ecs ~fibs ~ecx model ~rib:[] ~flows:fs ())
+    map ~tm ~domains
+      (fun (fs, _range) ->
+        T.run ~tm ~use_ecs ~fibs ~ecx model ~rib:[] ~flows:fs ())
       shards
   in
+  Telemetry.finish tm sp;
   (* merge in shard order: link loads sum associatively per shard table,
      flow results concatenate *)
   let link_load = Hashtbl.create 1024 in

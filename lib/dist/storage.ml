@@ -5,7 +5,11 @@
     route subtasks they depend on) and write their results back.  In this
     reproduction the store is in-memory but all transfers are accounted in
     bytes so the cost model can convert them into simulated I/O time —
-    which is exactly what the ordering heuristic of §3.2 optimizes. *)
+    which is exactly what the ordering heuristic of §3.2 optimizes.
+
+    All operations (including the read/write accounting) take the
+    store's mutex, so one instance can be shared by concurrent
+    {!Parallel} workers. *)
 
 open Hoyan_net
 
@@ -44,40 +48,61 @@ let obj_size = function
             n + bytes_per_flow + (List.length f.fs_paths * 32))
           0 t_flows
 
+(** Accumulated transfer accounting (an immutable snapshot). *)
 type stats = {
-  mutable bytes_written : int;
-  mutable bytes_read : int;
-  mutable files_written : int;
-  mutable files_read : int;
+  bytes_written : int;
+  bytes_read : int;
+  files_written : int;
+  files_read : int;
 }
 
-type t = { objects : (string, obj) Hashtbl.t; stats : stats }
+type t = {
+  mu : Mutex.t;
+  objects : (string, obj) Hashtbl.t;
+  mutable st : stats;
+}
 
 let create () =
   {
+    mu = Mutex.create ();
     objects = Hashtbl.create 256;
-    stats =
+    st =
       { bytes_written = 0; bytes_read = 0; files_written = 0; files_read = 0 };
   }
 
+let locked (t : t) f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
 let put (t : t) ~key (o : obj) =
-  Hashtbl.replace t.objects key o;
-  t.stats.bytes_written <- t.stats.bytes_written + obj_size o;
-  t.stats.files_written <- t.stats.files_written + 1
+  locked t (fun () ->
+      Hashtbl.replace t.objects key o;
+      t.st <-
+        {
+          t.st with
+          bytes_written = t.st.bytes_written + obj_size o;
+          files_written = t.st.files_written + 1;
+        })
 
 let get (t : t) ~key : obj option =
-  match Hashtbl.find_opt t.objects key with
-  | Some o ->
-      t.stats.bytes_read <- t.stats.bytes_read + obj_size o;
-      t.stats.files_read <- t.stats.files_read + 1;
-      Some o
-  | None -> None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.objects key with
+      | Some o ->
+          t.st <-
+            {
+              t.st with
+              bytes_read = t.st.bytes_read + obj_size o;
+              files_read = t.st.files_read + 1;
+            };
+          Some o
+      | None -> None)
 
 let size_of (t : t) ~key =
-  Option.map obj_size (Hashtbl.find_opt t.objects key)
+  locked t (fun () -> Option.map obj_size (Hashtbl.find_opt t.objects key))
 
-let mem (t : t) ~key = Hashtbl.mem t.objects key
+let mem (t : t) ~key = locked t (fun () -> Hashtbl.mem t.objects key)
 
-let keys (t : t) = Hashtbl.fold (fun k _ acc -> k :: acc) t.objects []
+let keys (t : t) =
+  locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.objects [])
 
-let stats (t : t) = t.stats
+let stats (t : t) = locked t (fun () -> t.st)

@@ -684,9 +684,16 @@ let max_rounds = 64
 (** Run the fixpoint and return (global RIB of BGP routes, stats).
     [originate=false] skips network statements and redistribution — used
     by distributed subtask workers, whose shared base RIB file carries
-    those input-independent routes. *)
-let run ?(originate = true) (net : network) (input : input) :
+    those input-independent routes.  [tm] (default: the process-global
+    telemetry handle) receives per-round journal events and
+    decision-process counters. *)
+let run ?tm ?(originate = true) (net : network) (input : input) :
     Route.t list * stats =
+  let tm =
+    match tm with
+    | Some tm -> tm
+    | None -> Hoyan_telemetry.Telemetry.get ()
+  in
   let sim =
     { net; states = Hashtbl.create 64; peers_idx = Hashtbl.create 64;
       messages = 0 }
@@ -738,6 +745,22 @@ let run ?(originate = true) (net : network) (input : input) :
         sim.states []
     in
     if work <> [] then continue_ := true;
+    (* one journal row per fixpoint round: the convergence delta is the
+       number of devices with dirty prefixes still to settle *)
+    if Hoyan_telemetry.Telemetry.enabled tm then begin
+      let dirty_prefixes =
+        List.fold_left (fun n (_, d) -> n + List.length d) 0 work
+      in
+      Hoyan_telemetry.Telemetry.count tm "hoyan_bgp_decisions_total"
+        dirty_prefixes;
+      Hoyan_telemetry.Telemetry.event tm "bgp.round"
+        [
+          ("round", Hoyan_telemetry.Journal.I !rounds);
+          ("dirty_devices", Hoyan_telemetry.Journal.I (List.length work));
+          ("dirty_prefixes", Hoyan_telemetry.Journal.I dirty_prefixes);
+          ("messages", Hoyan_telemetry.Journal.I sim.messages);
+        ]
+    end;
     let outgoing = ref [] in
     List.iter
       (fun (dev, dirty) ->
@@ -808,6 +831,12 @@ let run ?(originate = true) (net : network) (input : input) :
           routes := List.rev_append rs !routes)
         st.loc_rib)
     sim.states;
+  if Hoyan_telemetry.Telemetry.enabled tm then begin
+    Hoyan_telemetry.Telemetry.count tm "hoyan_bgp_rounds_total" !rounds;
+    Hoyan_telemetry.Telemetry.count tm "hoyan_bgp_messages_total" sim.messages;
+    Hoyan_telemetry.Telemetry.count tm "hoyan_bgp_selected_total"
+      !selected_count
+  end;
   ( !routes,
     { st_rounds = !rounds; st_messages = sim.messages;
       st_selected = !selected_count } )

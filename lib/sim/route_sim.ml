@@ -10,6 +10,8 @@
 open Hoyan_net
 module Smap = Map.Make (String)
 module Bgp = Hoyan_proto.Bgp
+module Telemetry = Hoyan_telemetry.Telemetry
+module Journal = Hoyan_telemetry.Journal
 
 type result = {
   rib : Route.t list; (* the global RIB: BGP + local-table routes *)
@@ -29,14 +31,32 @@ let expand_rows (rows : Route.t list) (member : Prefix.t) : Route.t list =
     [use_ecs=false] disables EC compression (ablation).  [new_routes] are
     additional input routes from the change plan (e.g. a new prefix
     announcement); they are simulated alongside the pre-computed inputs. *)
-let run ?(use_ecs = true) ?(include_locals = true) ?(originate = true)
+let ev_result (tm : Telemetry.t) (r : result) =
+  if Telemetry.enabled tm then begin
+    Telemetry.count tm "hoyan_route_fixpoint_rounds_total"
+      r.bgp_stats.Bgp.st_rounds;
+    Telemetry.observe tm ~labels:[ ("phase", "route") ]
+      "hoyan_ec_compression_ratio" r.compression;
+    Telemetry.event tm "route_sim.done"
+      [
+        ("inputs", Journal.I r.input_count);
+        ("ecs", Journal.I r.ec_count);
+        ("compression", Journal.F r.compression);
+        ("rounds", Journal.I r.bgp_stats.Bgp.st_rounds);
+        ("messages", Journal.I r.bgp_stats.Bgp.st_messages);
+        ("rib_rows", Journal.I (List.length r.rib));
+      ]
+  end
+
+let run ?tm ?(use_ecs = true) ?(include_locals = true) ?(originate = true)
     (model : Model.t) ~(input_routes : Route.t list) ?(new_routes = []) () :
     result =
+  let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
   let all_inputs = input_routes @ new_routes in
   let input_count = List.length all_inputs in
   if not use_ecs then begin
     let rib, stats =
-      Bgp.run ~originate model.Model.net
+      Bgp.run ~tm ~originate model.Model.net
         { Bgp.in_routes = all_inputs; in_local_tables = model.Model.local_tables }
     in
     let locals =
@@ -46,21 +66,29 @@ let run ?(use_ecs = true) ?(include_locals = true) ?(originate = true)
           (fun _ rs acc -> List.rev_append rs acc)
           model.Model.local_tables []
     in
-    {
-      rib = rib @ locals;
-      bgp_stats = stats;
-      input_count;
-      ec_count = input_count;
-      compression = 1.0;
-    }
+    let res =
+      {
+        rib = rib @ locals;
+        bgp_stats = stats;
+        input_count;
+        ec_count = input_count;
+        compression = 1.0;
+      }
+    in
+    ev_result tm res;
+    res
   end
   else begin
-    let sig_ctx = Ec.signature_ctx model.Model.configs in
+    let sig_ctx =
+      Telemetry.with_span tm "route.ec_group" (fun () ->
+          Ec.signature_ctx model.Model.configs)
+    in
     let groups = Ec.group_routes sig_ctx all_inputs in
     let reps = Ec.simulated_routes groups in
     let rib, stats =
-      Bgp.run ~originate model.Model.net
-        { Bgp.in_routes = reps; in_local_tables = model.Model.local_tables }
+      Telemetry.with_span tm "route.fixpoint" (fun () ->
+          Bgp.run ~tm ~originate model.Model.net
+            { Bgp.in_routes = reps; in_local_tables = model.Model.local_tables })
     in
     (* index resulting rows by prefix for expansion *)
     let rows_by_prefix = Hashtbl.create 1024 in
@@ -93,11 +121,15 @@ let run ?(use_ecs = true) ?(include_locals = true) ?(originate = true)
           (fun _ rs acc -> List.rev_append rs acc)
           model.Model.local_tables []
     in
-    {
-      rib = rib @ expanded @ locals;
-      bgp_stats = stats;
-      input_count;
-      ec_count = List.length groups;
-      compression = Ec.compression groups;
-    }
+    let res =
+      {
+        rib = rib @ expanded @ locals;
+        bgp_stats = stats;
+        input_count;
+        ec_count = List.length groups;
+        compression = Ec.compression groups;
+      }
+    in
+    ev_result tm res;
+    res
   end

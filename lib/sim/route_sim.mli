@@ -24,8 +24,11 @@ type result = {
     - [originate=false] also skips network statements and redistribution
       (again for subtask workers).
     - [new_routes] are additional inputs from the change plan, e.g. a new
-      prefix announcement. *)
+      prefix announcement.
+    - [tm] (default: the process-global handle) receives EC-compression
+      and fixpoint telemetry. *)
 val run :
+  ?tm:Hoyan_telemetry.Telemetry.t ->
   ?use_ecs:bool ->
   ?include_locals:bool ->
   ?originate:bool ->

@@ -17,6 +17,8 @@ open Hoyan_net
 module Types = Hoyan_config.Types
 module Isis = Hoyan_proto.Isis
 module Sr = Hoyan_proto.Sr
+module Telemetry = Hoyan_telemetry.Telemetry
+module Journal = Hoyan_telemetry.Journal
 module Smap = Map.Make (String)
 
 (* ------------------------------------------------------------------ *)
@@ -483,9 +485,31 @@ type result = {
   compression : float;
 }
 
-let run ?(use_ecs = true) ?fibs ?ecx (model : Model.t) ~(rib : Route.t list)
-    ~(flows : Flow.t list) () : result =
-  let fibs = match fibs with Some f -> f | None -> build_fibs rib in
+let ev_result (tm : Telemetry.t) (r : result) =
+  if Telemetry.enabled tm then begin
+    Telemetry.observe tm ~labels:[ ("phase", "traffic") ]
+      "hoyan_ec_compression_ratio" r.compression;
+    Telemetry.event tm "traffic_sim.done"
+      [
+        ("flows", Journal.I (List.length r.flow_results));
+        ("ecs", Journal.I r.ec_count);
+        ("compression", Journal.F r.compression);
+        ("links_loaded", Journal.I (Hashtbl.length r.link_load));
+      ]
+  end
+
+let run ?tm ?(use_ecs = true) ?fibs ?ecx (model : Model.t)
+    ~(rib : Route.t list) ~(flows : Flow.t list) () : result =
+  let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
+  let fibs =
+    match fibs with
+    | Some f -> f
+    | None ->
+        Telemetry.with_span tm
+          ~args:[ ("rib_rows", string_of_int (List.length rib)) ]
+          "traffic.build_fibs"
+          (fun () -> build_fibs rib)
+  in
   let link_load : (string * string, float) Hashtbl.t = Hashtbl.create 1024 in
   let add_load edges volume =
     List.iter
@@ -512,13 +536,17 @@ let run ?(use_ecs = true) ?fibs ?ecx (model : Model.t) ~(rib : Route.t list)
           })
         flows
     in
-    {
-      flow_results;
-      link_load;
-      flow_count = total_population;
-      ec_count = List.length flows;
-      compression = 1.0;
-    }
+    let res =
+      {
+        flow_results;
+        link_load;
+        flow_count = total_population;
+        ec_count = List.length flows;
+        compression = 1.0;
+      }
+    in
+    ev_result tm res;
+    res
   end
   else begin
     (* group flows into ECs (one union-trie LPM per flow, not one walk
@@ -556,15 +584,19 @@ let run ?(use_ecs = true) ?fibs ?ecx (model : Model.t) ~(rib : Route.t list)
         (List.rev !order)
     in
     let ec_count = Hashtbl.length groups in
-    {
-      flow_results;
-      link_load;
-      flow_count = total_population;
-      ec_count;
-      compression =
-        (if ec_count = 0 then 1.0
-         else float_of_int (List.length flows) /. float_of_int ec_count);
-    }
+    let res =
+      {
+        flow_results;
+        link_load;
+        flow_count = total_population;
+        ec_count;
+        compression =
+          (if ec_count = 0 then 1.0
+           else float_of_int (List.length flows) /. float_of_int ec_count);
+      }
+    in
+    ev_result tm res;
+    res
   end
 
 (** Utilization of each directed link: load / bandwidth. *)

@@ -73,6 +73,7 @@ type result = {
     ignored) — used by the domain-parallel traffic phase to build both
     once and share them read-only across workers. *)
 val run :
+  ?tm:Hoyan_telemetry.Telemetry.t ->
   ?use_ecs:bool ->
   ?fibs:fib ->
   ?ecx:ec_ctx ->

@@ -1,0 +1,26 @@
+(** Monotonic process clock for the telemetry layer.
+
+    The stdlib exposes no CLOCK_MONOTONIC; [Unix.gettimeofday] is wall
+    time and may step backwards under clock adjustment.  Span durations
+    must never be negative, so the reading is clamped to be non-
+    decreasing across all domains through an atomic high-water mark (the
+    CAS loop only retries under a concurrent advance, and telemetry
+    reads the clock only on enabled paths). *)
+
+let t0 = Unix.gettimeofday ()
+let last : int64 Atomic.t = Atomic.make 0L
+
+(** Nanoseconds since process start; non-decreasing across domains. *)
+let now_ns () : int64 =
+  let raw = Int64.of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if Int64.compare raw prev <= 0 then prev
+    else if Atomic.compare_and_set last prev raw then raw
+    else clamp ()
+  in
+  clamp ()
+
+let ns_to_us ns = Int64.to_float ns /. 1e3
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_s ns = Int64.to_float ns /. 1e9

@@ -1,0 +1,100 @@
+(** Structured event journal: pipeline-level events as JSONL.
+
+    The production system's operators debug runs through the subtask DB
+    and run-time curves (paper §3.2, Figure 5); the journal is that
+    record for this reproduction — subtask lifecycle, fixpoint rounds,
+    EC compression, gate outcomes — one JSON object per line, in a
+    stable schema ({v {"seq":…,"ts_us":…,"ev":…,"fields":{…}} v}).
+
+    Events land in per-domain shards; a global atomic sequence number
+    gives the merged stream a total order that is deterministic for a
+    deterministic workload (timestamps are not). *)
+
+type field =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+type event = {
+  ev_seq : int;
+  ev_ts_ns : int64;
+  ev_name : string;
+  ev_fields : (string * field) list;
+}
+
+let shard_count = 64
+
+type shard = { sh_mu : Mutex.t; mutable sh_events : event list }
+
+type t = { shards : shard array; seq : int Atomic.t }
+
+let create () =
+  {
+    shards =
+      Array.init shard_count (fun _ ->
+          { sh_mu = Mutex.create (); sh_events = [] });
+    seq = Atomic.make 0;
+  }
+
+let event (t : t) (name : string) (fields : (string * field) list) : unit =
+  let ev =
+    {
+      ev_seq = Atomic.fetch_and_add t.seq 1;
+      ev_ts_ns = Clock.now_ns ();
+      ev_name = name;
+      ev_fields = fields;
+    }
+  in
+  let shard = t.shards.((Domain.self () :> int) mod shard_count) in
+  Mutex.lock shard.sh_mu;
+  shard.sh_events <- ev :: shard.sh_events;
+  Mutex.unlock shard.sh_mu
+
+(** All events, merged across shards, in sequence order. *)
+let events (t : t) : event list =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.sh_mu;
+      let evs = shard.sh_events in
+      Mutex.unlock shard.sh_mu;
+      List.rev_append evs acc)
+    [] t.shards
+  |> List.sort (fun a b -> Int.compare a.ev_seq b.ev_seq)
+
+let count (t : t) = List.length (events t)
+
+let field_to_json = function
+  | S s -> Json.String s
+  | I n -> Json.Int n
+  | F f -> Json.Float f
+  | B b -> Json.Bool b
+
+let event_to_json (ev : event) : Json.t =
+  Json.Obj
+    [
+      ("seq", Json.Int ev.ev_seq);
+      ("ts_us", Json.Float (Clock.ns_to_us ev.ev_ts_ns));
+      ("ev", Json.String ev.ev_name);
+      ( "fields",
+        Json.Obj (List.map (fun (k, v) -> (k, field_to_json v)) ev.ev_fields)
+      );
+    ]
+
+let to_jsonl (t : t) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Json.to_string (event_to_json ev));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let write_file (t : t) (path : string) : unit =
+  let oc = open_out path in
+  output_string oc (to_jsonl t);
+  close_out oc
+
+(** Events with the given name, in sequence order (test helper). *)
+let find (t : t) (name : string) : event list =
+  List.filter (fun ev -> String.equal ev.ev_name name) (events t)

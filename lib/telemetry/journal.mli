@@ -1,0 +1,31 @@
+(** Structured event journal: pipeline-level events as JSONL
+    ({v {"seq":…,"ts_us":…,"ev":…,"fields":{…}} v}, one per line).
+
+    Per-domain shards with a global atomic sequence number: the merged
+    stream has a total order that is deterministic for a deterministic
+    workload. *)
+
+type field = S of string | I of int | F of float | B of bool
+
+type event = {
+  ev_seq : int;
+  ev_ts_ns : int64;
+  ev_name : string;
+  ev_fields : (string * field) list;
+}
+
+type t
+
+val create : unit -> t
+val event : t -> string -> (string * field) list -> unit
+
+(** All events, merged across shards, in sequence order. *)
+val events : t -> event list
+
+val count : t -> int
+val event_to_json : event -> Json.t
+val to_jsonl : t -> string
+val write_file : t -> string -> unit
+
+(** Events with the given name, in sequence order. *)
+val find : t -> string -> event list

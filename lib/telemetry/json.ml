@@ -1,0 +1,268 @@
+(** Minimal JSON values: emission and parsing.
+
+    The telemetry layer renders three artifact kinds — Chrome trace-event
+    JSON, Prometheus/JSON metric snapshots and the JSONL event journal —
+    and `hoyan trace summarize` parses trace files back.  The repo has no
+    JSON dependency, so this is a small self-contained implementation;
+    the round trip (emit then parse) is property-tested in the suite. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* keep integral floats round-trippable without a trailing ".0" mess *)
+    Printf.sprintf "%.1f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else "null"
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string (j : t) : string =
+  let buf = Buffer.create 256 in
+  emit buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent)                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when Char.equal c c' -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.equal (String.sub st.src st.pos n) word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail st "bad \\u escape"
+            in
+            st.pos <- st.pos + 4;
+            (* ASCII range only; telemetry strings are ASCII *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+            go ()
+        | _ -> fail st "bad escape")
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub st.src start (st.pos - start) in
+  if String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st "bad number"
+  else
+    match int_of_string_opt s with
+    | Some n -> Int n
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev ((k, v) :: acc)
+          | _ -> fail st "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> fail st "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected '%c'" c)
+
+let of_string (s : string) : (t, string) result =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos = String.length s then Ok v
+      else Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member (key : string) = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_int_opt = function
+  | Int n -> Some n
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None

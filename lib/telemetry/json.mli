@@ -1,0 +1,31 @@
+(** Minimal JSON values: emission and parsing (no external dependency).
+
+    Used for every telemetry artifact — Chrome trace-event files, metric
+    snapshots, the JSONL journal — and by [hoyan trace summarize] to read
+    trace files back.  The emit/parse round trip is tested in the suite. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering.  Non-finite floats render as
+    [null], as JSON has no representation for them. *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+(** [member key j] is the field [key] of an object, [None] otherwise. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+
+(** Numeric accessor accepting both [Int] and [Float]. *)
+val to_float_opt : t -> float option
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

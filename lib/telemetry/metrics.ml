@@ -1,0 +1,388 @@
+(** Metrics registry: counters, gauges and log-scale histograms.
+
+    Counters and histogram observations land in per-domain shards
+    (slot = domain id mod shard count): a domain's update locks only its
+    own shard's mutex, which is uncontended unless two domains share a
+    slot, so the hot path is lock-cheap; shards are merged on read.
+    Gauges (set rarely — compression ratios, queue depths) live in one
+    global table under a single mutex, because last-write-wins is the
+    only sensible merge for a gauge.
+
+    Histograms use log-scale buckets (factor-2 boundaries from 1 µs),
+    matching the paper's heavily skewed subtask run times (Figure 5c):
+    linear buckets would waste resolution at the short end.
+
+    Rendering: Prometheus text exposition and JSON, both with a
+    deterministic sort order so fixed workloads produce byte-identical
+    counter sections. *)
+
+type labels = (string * string) list
+
+(* canonical label rendering: sorted by key, Prometheus syntax *)
+let render_labels (labels : labels) : string =
+  match labels with
+  | [] -> ""
+  | _ ->
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+      in
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) sorted)
+      ^ "}"
+
+let key name labels = name ^ render_labels labels
+
+(* ------------------------------------------------------------------ *)
+(* Histogram buckets                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_lo = 1e-6
+let bucket_factor = 2.0
+let bucket_n = 40 (* 1 µs * 2^39 ≈ 5.5e5 s upper boundary *)
+
+(** Upper boundary of bucket [i] (the last bucket is +inf). *)
+let bucket_bound i =
+  if i >= bucket_n - 1 then infinity
+  else bucket_lo *. (bucket_factor ** float_of_int i)
+
+let bucket_index (v : float) : int =
+  if v <= bucket_lo then 0
+  else
+    let i =
+      int_of_float (Float.ceil (Float.log (v /. bucket_lo) /. Float.log bucket_factor))
+    in
+    if i >= bucket_n then bucket_n - 1 else i
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_buckets : int array; (* per-bucket (non-cumulative) counts *)
+}
+
+let hist_create () =
+  { h_count = 0; h_sum = 0.; h_buckets = Array.make bucket_n 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Shards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { m_name : string; m_labels : labels; m_kind : kind }
+and kind = Counter of int ref | Hist of hist
+
+type shard = {
+  sh_mu : Mutex.t;
+  sh_entries : (string, entry) Hashtbl.t;
+  mutable sh_ops : int; (* update operations, for overhead accounting *)
+}
+
+let shard_count = 64
+
+type t = {
+  shards : shard array;
+  g_mu : Mutex.t;
+  gauges : (string, string * labels * float ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    shards =
+      Array.init shard_count (fun _ ->
+          {
+            sh_mu = Mutex.create ();
+            sh_entries = Hashtbl.create 32;
+            sh_ops = 0;
+          });
+    g_mu = Mutex.create ();
+    gauges = Hashtbl.create 16;
+  }
+
+let my_shard t = t.shards.((Domain.self () :> int) mod shard_count)
+
+let incr (t : t) ?(labels = []) (name : string) (n : int) : unit =
+  let shard = my_shard t in
+  Mutex.lock shard.sh_mu;
+  shard.sh_ops <- shard.sh_ops + 1;
+  let k = key name labels in
+  (match Hashtbl.find_opt shard.sh_entries k with
+  | Some { m_kind = Counter r; _ } -> r := !r + n
+  | Some _ -> () (* name reused with another kind: drop rather than raise *)
+  | None ->
+      Hashtbl.add shard.sh_entries k
+        { m_name = name; m_labels = labels; m_kind = Counter (ref n) });
+  Mutex.unlock shard.sh_mu
+
+let observe (t : t) ?(labels = []) (name : string) (v : float) : unit =
+  let shard = my_shard t in
+  Mutex.lock shard.sh_mu;
+  shard.sh_ops <- shard.sh_ops + 1;
+  let k = key name labels in
+  let h =
+    match Hashtbl.find_opt shard.sh_entries k with
+    | Some { m_kind = Hist h; _ } -> Some h
+    | Some _ -> None
+    | None ->
+        let h = hist_create () in
+        Hashtbl.add shard.sh_entries k
+          { m_name = name; m_labels = labels; m_kind = Hist h };
+        Some h
+  in
+  (match h with
+  | Some h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      let i = bucket_index v in
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  | None -> ());
+  Mutex.unlock shard.sh_mu
+
+let gauge_set (t : t) ?(labels = []) (name : string) (v : float) : unit =
+  Mutex.lock t.g_mu;
+  let k = key name labels in
+  (match Hashtbl.find_opt t.gauges k with
+  | Some (_, _, r) -> r := v
+  | None -> Hashtbl.add t.gauges k (name, labels, ref v));
+  Mutex.unlock t.g_mu
+
+(** Total update operations across shards (overhead accounting). *)
+let ops (t : t) : int =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.sh_mu;
+      let n = shard.sh_ops in
+      Mutex.unlock shard.sh_mu;
+      acc + n)
+    0 t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Merged snapshot                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_buckets : (float * int) list; (* upper bound, cumulative count *)
+}
+
+type snapshot = {
+  counters : (string * labels * int) list; (* sorted by canonical key *)
+  gauges : (string * labels * float) list;
+  hists : (string * labels * hist_view) list;
+}
+
+let snapshot (t : t) : snapshot =
+  let counters : (string, string * labels * int ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let hists : (string, string * labels * hist) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.sh_mu;
+      Hashtbl.iter
+        (fun k e ->
+          match e.m_kind with
+          | Counter r -> (
+              match Hashtbl.find_opt counters k with
+              | Some (_, _, acc) -> acc := !acc + !r
+              | None ->
+                  Hashtbl.add counters k (e.m_name, e.m_labels, ref !r))
+          | Hist h -> (
+              match Hashtbl.find_opt hists k with
+              | Some (_, _, acc) ->
+                  acc.h_count <- acc.h_count + h.h_count;
+                  acc.h_sum <- acc.h_sum +. h.h_sum;
+                  Array.iteri
+                    (fun i n -> acc.h_buckets.(i) <- acc.h_buckets.(i) + n)
+                    h.h_buckets
+              | None ->
+                  let copy =
+                    {
+                      h_count = h.h_count;
+                      h_sum = h.h_sum;
+                      h_buckets = Array.copy h.h_buckets;
+                    }
+                  in
+                  Hashtbl.add hists k (e.m_name, e.m_labels, copy)))
+        shard.sh_entries;
+      Mutex.unlock shard.sh_mu)
+    t.shards;
+  let sorted_fold tbl f =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map f
+  in
+  let gauges =
+    Mutex.lock t.g_mu;
+    let gs =
+      Hashtbl.fold (fun k (n, l, r) acc -> (k, (n, l, !r)) :: acc) t.gauges []
+    in
+    Mutex.unlock t.g_mu;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) gs
+    |> List.map (fun (_, (n, l, v)) -> (n, l, v))
+  in
+  {
+    counters = sorted_fold counters (fun (_, (n, l, r)) -> (n, l, !r));
+    gauges;
+    hists =
+      sorted_fold hists (fun (_, (n, l, h)) ->
+          let cum = ref 0 in
+          let buckets =
+            Array.to_list
+              (Array.mapi
+                 (fun i cnt ->
+                   cum := !cum + cnt;
+                   (bucket_bound i, !cum))
+                 h.h_buckets)
+          in
+          (n, l, { hv_count = h.h_count; hv_sum = h.h_sum; hv_buckets = buckets }));
+  }
+
+(** Merged value of one counter (0 when never incremented) — the test
+    hook for asserting deterministic counts. *)
+let counter_value (t : t) ?(labels = []) (name : string) : int =
+  let k = key name labels in
+  let s = snapshot t in
+  List.fold_left
+    (fun acc (n, l, v) -> if String.equal (key n l) k then acc + v else acc)
+    0 s.counters
+
+let gauge_value (t : t) ?(labels = []) (name : string) : float option =
+  let k = key name labels in
+  let s = snapshot t in
+  List.find_map
+    (fun (n, l, v) -> if String.equal (key n l) k then Some v else None)
+    s.gauges
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prom_bound f = if f = infinity then "+Inf" else prom_float f
+
+(** Prometheus text exposition format.  Counters, gauges, then
+    histograms, each group sorted by name/labels. *)
+let to_prometheus (t : t) : string =
+  let s = snapshot t in
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (name, labels, v) ->
+      type_line name "counter";
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n" name (render_labels labels) v))
+    s.counters;
+  List.iter
+    (fun (name, labels, v) ->
+      type_line name "gauge";
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" name (render_labels labels) (prom_float v)))
+    s.gauges;
+  List.iter
+    (fun (name, labels, hv) ->
+      type_line name "histogram";
+      let with_le le =
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> String.compare a b)
+            (("le", le) :: labels)
+        in
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) sorted)
+        ^ "}"
+      in
+      (* only emit buckets up to the first one holding every observation:
+         40 factor-2 buckets would be noise in the exposition *)
+      let rec emit_buckets = function
+        | [] -> ()
+        | (bound, cum) :: rest ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (with_le (prom_bound bound))
+                 cum);
+            if cum < hv.hv_count then emit_buckets rest
+      in
+      emit_buckets hv.hv_buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" name (with_le "+Inf") hv.hv_count);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels)
+           (prom_float hv.hv_sum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" name (render_labels labels)
+           hv.hv_count))
+    s.hists;
+  Buffer.contents buf
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let to_json (t : t) : Json.t =
+  let s = snapshot t in
+  Json.Obj
+    [
+      ( "counters",
+        Json.List
+          (List.map
+             (fun (n, l, v) ->
+               Json.Obj
+                 [
+                   ("name", Json.String n);
+                   ("labels", labels_json l);
+                   ("value", Json.Int v);
+                 ])
+             s.counters) );
+      ( "gauges",
+        Json.List
+          (List.map
+             (fun (n, l, v) ->
+               Json.Obj
+                 [
+                   ("name", Json.String n);
+                   ("labels", labels_json l);
+                   ("value", Json.Float v);
+                 ])
+             s.gauges) );
+      ( "histograms",
+        Json.List
+          (List.map
+             (fun (n, l, hv) ->
+               Json.Obj
+                 [
+                   ("name", Json.String n);
+                   ("labels", labels_json l);
+                   ("count", Json.Int hv.hv_count);
+                   ("sum", Json.Float hv.hv_sum);
+                   ( "buckets",
+                     Json.List
+                       (List.filter_map
+                          (fun (bound, cum) ->
+                            if cum = 0 then None
+                            else
+                              Some
+                                (Json.Obj
+                                   [
+                                     ( "le",
+                                       if bound = infinity then
+                                         Json.String "+Inf"
+                                       else Json.Float bound );
+                                     ("cumulative", Json.Int cum);
+                                   ]))
+                          hv.hv_buckets) );
+                 ])
+             s.hists) );
+    ]
+
+let write_prometheus_file (t : t) (path : string) : unit =
+  let oc = open_out path in
+  output_string oc (to_prometheus t);
+  close_out oc

@@ -1,0 +1,52 @@
+(** Metrics registry: counters, gauges and log-scale histograms.
+
+    Counter increments and histogram observations go to per-domain
+    shards (lock-cheap on the hot path: a domain locks only its own
+    shard's mutex) and are merged on read.  Gauges live in one global
+    table — last-write-wins is the only sensible merge for a gauge.
+    Histograms use factor-2 log-scale buckets from 1 µs, matching the
+    heavy skew of subtask run times (paper Figure 5c). *)
+
+type labels = (string * string) list
+
+type t
+
+val create : unit -> t
+
+(** [incr t name n] adds [n] to a counter. *)
+val incr : t -> ?labels:labels -> string -> int -> unit
+
+(** Record one histogram observation (e.g. a duration in seconds). *)
+val observe : t -> ?labels:labels -> string -> float -> unit
+
+val gauge_set : t -> ?labels:labels -> string -> float -> unit
+
+(** Total update operations recorded (overhead accounting in the bench). *)
+val ops : t -> int
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_buckets : (float * int) list;  (** upper bound, cumulative count *)
+}
+
+(** A merged snapshot; every list is sorted by name/labels, so fixed
+    workloads render byte-identical counter sections. *)
+type snapshot = {
+  counters : (string * labels * int) list;
+  gauges : (string * labels * float) list;
+  hists : (string * labels * hist_view) list;
+}
+
+val snapshot : t -> snapshot
+
+(** Merged value of one counter; 0 when never incremented. *)
+val counter_value : t -> ?labels:labels -> string -> int
+
+val gauge_value : t -> ?labels:labels -> string -> float option
+
+(** Prometheus text exposition format. *)
+val to_prometheus : t -> string
+
+val to_json : t -> Json.t
+val write_prometheus_file : t -> string -> unit

@@ -154,7 +154,7 @@ let test_failure_retry () =
   (* at least one retry actually happened *)
   let retried =
     Db.all fw.Framework.db
-    |> List.exists (fun (_, e) -> e.Db.e_attempts > 1)
+    |> List.exists (fun (_, e) -> Db.attempts e > 1)
   in
   check tbool "some subtask was retried" true retried
 
@@ -176,6 +176,59 @@ let test_schedule_makespan () =
        (fun (a, _) (b, _) -> a <= b)
        (List.filteri (fun i _ -> i < 7) cdf)
        (List.tl cdf))
+
+let test_schedule_lpt () =
+  (* LPT processes the longest job first: on 2 servers the FIFO order
+     [3;3;4;2] packs to 7 while LPT's [4;3;3;2] packs to 6 *)
+  let durations = [ 3.; 3.; 4.; 2. ] in
+  let fifo, _ = Schedule.makespan ~policy:Schedule.Fifo ~servers:2 durations in
+  let lpt, _ = Schedule.makespan ~policy:Schedule.Lpt ~servers:2 durations in
+  check (Alcotest.float 0.001) "fifo packs to 7" 7.0 fifo;
+  check (Alcotest.float 0.001) "lpt packs to 6" 6.0 lpt;
+  (* on 1 server the policy cannot matter: both are the sum *)
+  let f1, _ = Schedule.makespan ~policy:Schedule.Fifo ~servers:1 durations in
+  let l1, _ = Schedule.makespan ~policy:Schedule.Lpt ~servers:1 durations in
+  check (Alcotest.float 0.001) "1 server fifo = sum" 12.0 f1;
+  check (Alcotest.float 0.001) "1 server lpt = sum" 12.0 l1
+
+let test_schedule_edge_cases () =
+  (* empty job list: zero makespan, no busy servers *)
+  let m0, busy0 = Schedule.makespan ~servers:4 [] in
+  check (Alcotest.float 0.001) "empty makespan" 0.0 m0;
+  check tint "empty busy array sized by servers" 4 (Array.length busy0);
+  Array.iter (fun b -> check (Alcotest.float 0.001) "idle server" 0.0 b) busy0;
+  let l0, _ = Schedule.makespan ~policy:Schedule.Lpt ~servers:4 [] in
+  check (Alcotest.float 0.001) "empty lpt makespan" 0.0 l0;
+  (* a single job occupies exactly one server for its duration *)
+  let m1, _ = Schedule.makespan ~servers:8 [ 2.5 ] in
+  check (Alcotest.float 0.001) "single job" 2.5 m1;
+  (* the empty CDF is the empty list *)
+  check tint "empty cdf" 0 (List.length (Schedule.cdf []))
+
+(* property: under LPT, adding servers never increases the makespan.
+   (Not true of FIFO in general — a queue-order anomaly can make a
+   wider pool slower — but LPT's longest-first order is anomaly-free
+   under the earliest-free-server replay.) *)
+let prop_lpt_sweep_monotone =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 12)
+           (map (fun n -> float_of_int (1 + (n mod 997)) /. 100.) nat))
+        (int_range 1 6) (int_range 1 3))
+  in
+  QCheck.Test.make ~name:"LPT sweep: more servers never hurt" ~count:500
+    (QCheck.make gen)
+    (fun (durations, servers, extra) ->
+      let m_few =
+        fst (Schedule.makespan ~policy:Schedule.Lpt ~servers durations)
+      in
+      let m_more =
+        fst
+          (Schedule.makespan ~policy:Schedule.Lpt ~servers:(servers + extra)
+             durations)
+      in
+      m_more <= m_few +. 1e-9)
 
 let test_parallel_executor () =
   let g = Lazy.force scenario in
@@ -341,6 +394,8 @@ let suite =
     ("random split loads all", `Slow, test_random_split_loads_everything);
     ("failure injection + retry", `Slow, test_failure_retry);
     ("schedule makespan", `Quick, test_schedule_makespan);
+    ("schedule LPT vs FIFO", `Quick, test_schedule_lpt);
+    ("schedule edge cases", `Quick, test_schedule_edge_cases);
     ("parallel executor equivalence", `Slow, test_parallel_executor);
     ("parallel map", `Quick, test_parallel_map);
     ("parallel map sizes + domains=1", `Quick, test_parallel_map_sizes);
@@ -349,4 +404,5 @@ let suite =
       `Slow,
       test_parallel_pipeline_equals_centralized );
     qtest prop_dependency_soundness;
+    qtest prop_lpt_sweep_monotone;
   ]

@@ -62,7 +62,7 @@ let test_mq () =
 let test_db () =
   let db = Db.create () in
   let e = Db.register db "t-1" in
-  check tbool "pending" true (e.Db.e_status = Db.Pending);
+  check tbool "pending" true (Db.status e = Db.Pending);
   Db.set_status db "t-1" Db.Running;
   check tbool "not all done" false (Db.all_done db);
   Db.set_status db "t-1" Db.Done;
@@ -80,9 +80,7 @@ let test_costmodel () =
   (* 10 * 20ms + 1s transfer *)
   check (Alcotest.float 0.01) "io time" 1.2 t;
   let e = Db.register (Db.create ()) "x" in
-  e.Db.e_duration_s <- 2.0;
-  e.Db.e_io_bytes <- 500_000_000;
-  e.Db.e_io_files <- 10;
+  Db.complete e ~duration_s:2.0 ~io_bytes:500_000_000 ~io_files:10 ();
   check (Alcotest.float 0.01) "subtask time" 3.2 (Costmodel.subtask_time c e)
 
 let test_change_plan_line_count () =

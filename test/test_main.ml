@@ -11,6 +11,7 @@ let () =
       ("rcl", Test_rcl.suite);
       ("dist", Test_dist.suite);
       ("infra", Test_infra.suite);
+      ("telemetry", Test_telemetry.suite);
       ("pipeline", Test_pipeline.suite);
       ("diagnosis", Test_diag.suite);
       ("scenarios", Test_scenarios.suite);
