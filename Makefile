@@ -1,6 +1,7 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
-.PHONY: all build test bench perf lint check telemetry-bench smoke clean
+.PHONY: all build test bench perf lint analyze check telemetry-bench \
+	semantic-bench smoke clean
 
 all: build
 
@@ -22,8 +23,16 @@ perf:
 # error-severity diagnostic; the corpus must come out clean).
 lint:
 	dune build @all
-	dune exec bin/hoyan_cli.exe -- lint --scale small
-	dune exec bin/hoyan_cli.exe -- lint --scale wan
+	dune exec bin/hoyan_cli.exe -- lint --deep --scale small
+	dune exec bin/hoyan_cli.exe -- lint --deep --scale wan
+
+# Cross-device semantic pass on its own: control-plane graph + the
+# HOY020-HOY028 checks over the generated corpora (exit-code contract:
+# 0 clean, 1 over the warning budget, 2 on any error).
+analyze:
+	dune build @all
+	dune exec bin/hoyan_cli.exe -- analyze --scale small
+	dune exec bin/hoyan_cli.exe -- analyze --scale wan
 
 # Everything a PR must keep green: strict-warning build of every
 # target (libs, bins, bench, tests), the full test suite, then the
@@ -32,11 +41,17 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) lint
+	$(MAKE) analyze
 
 # Telemetry cost section: noop-guard microbench + live-handle overhead
 # on the full WAN simulation; writes BENCH_PR3.json (DESIGN.md §2.3).
 telemetry-bench:
 	dune exec bench/main.exe -- --telemetry
+
+# Semantic gate cost: the cross-device pass + static intent pre-checker
+# vs the full WAN simulation; writes BENCH_PR4.json (DESIGN.md §2.4).
+semantic-bench:
+	dune exec bench/main.exe -- --semantic
 
 # Tier-1 smoke: build, tests, and a quick perf-harness pass so the
 # multicore pipeline and its identity assertions are exercised in CI.

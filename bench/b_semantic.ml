@@ -1,0 +1,206 @@
+(* --semantic: cost of the cross-device semantic pass and the static
+   intent pre-checker vs the full WAN simulation (writes BENCH_PR4.json).
+
+   The pre-checker's value proposition is that statically resolved
+   intents skip the route/traffic fixpoints entirely; it is only worth
+   wiring in front of every request if (a) its own wall time is a tiny
+   fraction of the simulation it can skip and (b) it actually resolves a
+   useful share of realistic intents.  This section measures both on the
+   WAN workload with a mixed intent batch:
+
+     - "input prefix present at its entry device"  -> statically proved
+     - "originless prefix present at device X"     -> statically refuted
+     - "input prefix present at a remote device"   -> needs simulation
+       (in the propagation closure but not an exact origin) *)
+
+open B_common
+open Hoyan_net
+module G = Hoyan_workload.Generator
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+module Lint = Hoyan_analysis.Lint
+module Semantic = Hoyan_analysis.Semantic
+
+let output_file = ref "BENCH_PR4.json"
+
+type measurement = {
+  m_devices : int;
+  m_intents : int;
+  m_proved : int;
+  m_refuted : int;
+  m_needs_sim : int;
+  m_make_s : float; (* Lint.make ~render:false: the analysis input *)
+  m_build_s : float; (* Semantic.build: the control-plane graph *)
+  m_check_s : float; (* Semantic.check: the HOY02x pass *)
+  m_precheck_s : float; (* the whole intent batch *)
+  m_diags : int;
+  m_route_s : float;
+  m_traffic_s : float;
+}
+
+let m_sim_s m = m.m_route_s +. m.m_traffic_s
+let m_gate_s m = m.m_make_s +. m.m_build_s +. m.m_check_s +. m.m_precheck_s
+
+let m_ratio m =
+  let sim = m_sim_s m in
+  if sim > 0. then m_gate_s m /. sim else nan
+
+let m_resolved_frac m =
+  if m.m_intents > 0 then
+    float_of_int (m.m_proved + m.m_refuted) /. float_of_int m.m_intents
+  else nan
+
+(* A mixed batch: one provable, one refutable and one needs-simulation
+   intent per sampled input route (capped so the batch stays the same
+   size under --quick). *)
+let intent_batch (g : G.t) =
+  let devices =
+    List.sort String.compare
+      (List.map
+         (fun (d : Hoyan_net.Topology.device) -> d.Hoyan_net.Topology.name)
+         (Hoyan_net.Topology.devices g.G.model.Model.topo))
+  in
+  let other dev =
+    match List.find_opt (fun d -> not (String.equal d dev)) devices with
+    | Some d -> d
+    | None -> dev
+  in
+  let originless = Prefix.of_string_exn "203.0.113.0/24" in
+  let sample =
+    List.filteri (fun i _ -> i < 100) g.G.input_routes
+  in
+  List.concat
+    (List.mapi
+       (fun i (r : Route.t) ->
+         [
+           {
+             Semantic.ri_name = Printf.sprintf "proved-%d" i;
+             ri_prefix = r.Route.prefix;
+             ri_devices = [ r.Route.device ];
+             ri_expect = true;
+           };
+           {
+             Semantic.ri_name = Printf.sprintf "refuted-%d" i;
+             ri_prefix = originless;
+             ri_devices = [ r.Route.device ];
+             ri_expect = true;
+           };
+           {
+             Semantic.ri_name = Printf.sprintf "needs-sim-%d" i;
+             ri_prefix = r.Route.prefix;
+             ri_devices = [ other r.Route.device ];
+             ri_expect = true;
+           };
+         ])
+       sample)
+
+let measure () : measurement =
+  let g = Lazy.force wan in
+  let model = g.G.model in
+  let input, t_make =
+    time (fun () ->
+        Lint.make ~topo:model.Model.topo ~render:false model.Model.configs)
+  in
+  let graph, t_build = time (fun () -> Semantic.build input) in
+  let diags, t_check = time (fun () -> Semantic.check graph) in
+  let intents = intent_batch g in
+  let verdicts, t_precheck =
+    time (fun () ->
+        List.map snd
+          (Semantic.precheck_batch graph ~input_routes:g.G.input_routes
+             intents))
+  in
+  let count p = List.length (List.filter p verdicts) in
+  let direct, t_route =
+    time (fun () -> Route_sim.run model ~input_routes:g.G.input_routes ())
+  in
+  let _, t_traffic =
+    time (fun () ->
+        Traffic_sim.run model ~rib:direct.Route_sim.rib ~flows:g.G.flows ())
+  in
+  {
+    m_devices = G.device_count g;
+    m_intents = List.length intents;
+    m_proved = count (fun v -> v = Semantic.Proved);
+    m_refuted =
+      count (fun v -> match v with Semantic.Refuted _ -> true | _ -> false);
+    m_needs_sim = count (fun v -> v = Semantic.Needs_simulation);
+    m_make_s = t_make;
+    m_build_s = t_build;
+    m_check_s = t_check;
+    m_precheck_s = t_precheck;
+    m_diags = List.length diags;
+    m_route_s = t_route;
+    m_traffic_s = t_traffic;
+  }
+
+let run () =
+  header "semantic pass + static intent pre-checker vs full simulation (wan)";
+  let m = measure () in
+  row "devices: %d   semantic diagnostics on the clean corpus: %d \
+       (expected 0)"
+    m.m_devices m.m_diags;
+  row "gate: make %.4fs + graph %.4fs + checks %.4fs + precheck(%d \
+       intents) %.4fs = %.4fs"
+    m.m_make_s m.m_build_s m.m_check_s m.m_intents m.m_precheck_s
+    (m_gate_s m);
+  row "verdicts: %d proved, %d refuted, %d need simulation (%.1f%% \
+       resolved statically)"
+    m.m_proved m.m_refuted m.m_needs_sim
+    (100. *. m_resolved_frac m);
+  row "simulation: route %.2fs + traffic %.2fs = %.2fs" m.m_route_s
+    m.m_traffic_s (m_sim_s m);
+  let ratio = m_ratio m in
+  row "gate cost: %.3f%% of full simulation (target: < 1%%)"
+    (100. *. ratio);
+  if m.m_diags <> 0 then
+    row "WARNING: clean corpus produced semantic diagnostics (false \
+         positives)";
+  if ratio >= 0.01 then
+    row "WARNING: semantic gate costs more than 1%% of the simulation";
+  let json =
+    B_perf.J_obj
+      [
+        ("bench", B_perf.J_str "semantic pass + static intent pre-checker");
+        ("generated_unix", B_perf.J_float (Unix.gettimeofday ()));
+        ("quick", B_perf.J_bool !quick);
+        ( "workload",
+          B_perf.J_obj
+            [
+              ("name", B_perf.J_str "wan");
+              ("devices", B_perf.J_int m.m_devices);
+            ] );
+        ( "gate",
+          B_perf.J_obj
+            [
+              ("make_s", B_perf.J_float m.m_make_s);
+              ("graph_build_s", B_perf.J_float m.m_build_s);
+              ("checks_s", B_perf.J_float m.m_check_s);
+              ("precheck_s", B_perf.J_float m.m_precheck_s);
+              ("total_s", B_perf.J_float (m_gate_s m));
+              ("clean_corpus_diags", B_perf.J_int m.m_diags);
+            ] );
+        ( "precheck",
+          B_perf.J_obj
+            [
+              ("intents", B_perf.J_int m.m_intents);
+              ("proved", B_perf.J_int m.m_proved);
+              ("refuted", B_perf.J_int m.m_refuted);
+              ("needs_simulation", B_perf.J_int m.m_needs_sim);
+              ("resolved_fraction", B_perf.J_float (m_resolved_frac m));
+            ] );
+        ( "simulation",
+          B_perf.J_obj
+            [
+              ("route_s", B_perf.J_float m.m_route_s);
+              ("traffic_s", B_perf.J_float m.m_traffic_s);
+              ("total_s", B_perf.J_float (m_sim_s m));
+            ] );
+        ("gate_cost_fraction_of_simulation", B_perf.J_float (m_ratio m));
+        ("meets_1pct_target", B_perf.J_bool (m_ratio m < 0.01));
+        ("peak_rss_kb", B_perf.J_int (B_perf.peak_rss_kb ()));
+      ]
+  in
+  B_perf.write_json !output_file json;
+  row "wrote %s" !output_file

@@ -13,7 +13,10 @@
                                                # multicore perf harness;
                                                # one JSON per PR
      dune exec bench/main.exe -- --telemetry   # telemetry noop/live cost
-                                               # (writes BENCH_PR3.json) *)
+                                               # (writes BENCH_PR3.json)
+     dune exec bench/main.exe -- --semantic    # semantic pass + intent
+                                               # pre-checker vs simulation
+                                               # (writes BENCH_PR4.json) *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -46,7 +49,8 @@ let () =
   Option.iter
     (fun f ->
       B_perf.output_file := f;
-      B_telemetry.output_file := f)
+      B_telemetry.output_file := f;
+      B_semantic.output_file := f)
     out;
   let flags, wanted = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
   if List.mem "--quick" flags then B_common.quick := true;
@@ -56,6 +60,7 @@ let () =
   else if List.mem "--lint" flags then B_lint.run ()
   else if List.mem "--perf" flags then B_perf.perf ()
   else if List.mem "--telemetry" flags then B_telemetry.run ()
+  else if List.mem "--semantic" flags then B_semantic.run ()
   else begin
     (* "fig5a" etc. are accepted as shorthand for "figure5a"; the alias
        only applies to names actually prefixed with "figure" (a bare

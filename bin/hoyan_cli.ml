@@ -7,7 +7,9 @@
      hoyan simulate  [--scale small|wan|wan-dcn] [--distributed N]
      hoyan verify    --plan FILE [--device NAME]... --intent SPEC...
      hoyan lint      [--plan FILE --device NAME]... [--intent SPEC]...
-                     [--json] [--inject CLASS|all]
+                     [--json] [--inject CLASS|all] [--deep]
+                     [--max-warnings N] [--baseline FILE]
+     hoyan analyze   [--scale ...]     # cross-device semantic pass only
      hoyan rcl       --spec STRING [--explain]
      hoyan diagnose  [--fault agent-down|netflow|...]
      hoyan audit     [--scale ...]
@@ -26,6 +28,7 @@ module Defects = Hoyan_workload.Defects
 module Cp = Hoyan_config.Change_plan
 module Types = Hoyan_config.Types
 module Lint = Hoyan_analysis.Lint
+module Semantic = Hoyan_analysis.Semantic
 module Diagnostics = Hoyan_analysis.Diagnostics
 module Preprocess = Hoyan_core.Preprocess
 module Intents = Hoyan_core.Intents
@@ -260,7 +263,37 @@ let read_file f =
   close_in ic;
   s
 
-let lint params seed plan_file devices intents json inject =
+(* Shared tail of `hoyan lint` / `hoyan analyze`: optional baseline
+   suppression, optional baseline recording, rendering, and the CLI
+   exit-code contract (0 clean, 1 warnings over --max-warnings, 2 any
+   error). *)
+let finish_diags ~json ~max_warnings ~baseline ~write_baseline ~label diags =
+  match write_baseline with
+  | Some f ->
+      let oc = open_out f in
+      output_string oc (Diagnostics.to_baseline diags);
+      close_out oc;
+      Printf.printf "%s: recorded %d finding(s) into baseline %s\n" label
+        (List.length diags) f;
+      0
+  | None ->
+      let diags =
+        match baseline with
+        | None -> diags
+        | Some f ->
+            Diagnostics.apply_baseline
+              ~baseline:(Diagnostics.parse_baseline (read_file f))
+              diags
+      in
+      if json then print_string (Diagnostics.list_to_json diags)
+      else begin
+        List.iter (fun d -> print_endline (Diagnostics.to_string d)) diags;
+        Printf.printf "%s: %s\n" label (Diagnostics.summary diags)
+      end;
+      Diagnostics.exit_code ~max_warnings diags
+
+let lint params seed plan_file devices intents json inject deep max_warnings
+    baseline write_baseline =
   let g = gen params seed in
   let model = g.G.model in
   let configs = model.Hoyan_sim.Model.configs in
@@ -268,7 +301,8 @@ let lint params seed plan_file devices intents json inject =
   match inject with
   | Some cls ->
       (* plant defect(s) into the clean corpus and report whether the
-         expected diagnostic fires *)
+         expected diagnostic fires (through the full static-analysis
+         stack: per-device lint + cross-device semantic pass) *)
       let injected =
         if String.equal cls "all" then Defects.inject_all g
         else [ Defects.inject g cls ]
@@ -276,7 +310,7 @@ let lint params seed plan_file devices intents json inject =
       let ok =
         List.for_all
           (fun (inj : Defects.injected) ->
-            let diags = Lint.run inj.Defects.inj_input in
+            let diags = Defects.detect inj in
             let fired =
               List.exists
                 (fun (d : Diagnostics.t) ->
@@ -305,22 +339,71 @@ let lint params seed plan_file devices intents json inject =
         List.mapi (fun i s -> (Printf.sprintf "intent-%d" i, s)) intents
       in
       let t0 = Unix.gettimeofday () in
-      let diags = Lint.run (Lint.make ~topo ?plan ~specs configs) in
+      let input = Lint.make ~topo ?plan ~specs configs in
+      let diags =
+        Lint.run input @ (if deep then Semantic.analyze input else [])
+      in
       let dt = Unix.gettimeofday () -. t0 in
-      if json then print_string (Diagnostics.list_to_json diags)
-      else begin
-        List.iter (fun d -> print_endline (Diagnostics.to_string d)) diags;
-        Printf.printf "lint: %d device(s), %s (%.3fs)\n"
+      let code =
+        finish_diags ~json ~max_warnings ~baseline ~write_baseline
+          ~label:"lint" diags
+      in
+      if not json then
+        Printf.printf "lint: %d device(s) in %.3fs%s\n"
           (Types.Smap.cardinal configs)
-          (Diagnostics.summary diags)
           dt
-      end;
-      if List.exists
-           (fun (d : Diagnostics.t) ->
-             d.Diagnostics.d_severity = Diagnostics.Error)
-           diags
-      then 1
-      else 0
+          (if deep then " (with the semantic pass)" else "");
+      code
+
+(* ------------------------------------------------------------------ *)
+(* hoyan analyze: the cross-device semantic pass on its own             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze params seed json max_warnings baseline write_baseline =
+  let g = gen params seed in
+  let model = g.G.model in
+  let configs = model.Hoyan_sim.Model.configs in
+  let topo = model.Hoyan_sim.Model.topo in
+  let t0 = Unix.gettimeofday () in
+  let input = Lint.make ~topo ~render:false configs in
+  let graph = Semantic.build input in
+  let diags = Semantic.check graph in
+  let dt = Unix.gettimeofday () -. t0 in
+  let code =
+    finish_diags ~json ~max_warnings ~baseline ~write_baseline
+      ~label:"analyze" diags
+  in
+  if not json then
+    Printf.printf "analyze: control-plane graph %s (%.3fs)\n"
+      (Semantic.stats_to_string graph.Semantic.g_stats)
+      dt;
+  code
+
+let deep_arg =
+  Arg.(value & flag
+       & info [ "deep" ]
+           ~doc:"Also run the cross-device semantic pass (control-plane \
+                 graph + symbolic policy dataflow, HOY020-HOY028) on top \
+                 of the per-device lint.")
+
+let max_warnings_arg =
+  Arg.(value & opt int 0
+       & info [ "max-warnings" ] ~docv:"N"
+           ~doc:"Tolerate up to $(docv) warning-severity findings before \
+                 exiting 1 (errors always exit 2).")
+
+let baseline_arg =
+  Arg.(value & opt (some file) None
+       & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Suppress findings recorded in $(docv) (see \
+                 $(b,--write-baseline)); only new findings count toward \
+                 the exit code.")
+
+let write_baseline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "write-baseline" ] ~docv:"FILE"
+           ~doc:"Record the current findings into $(docv) and exit 0; \
+                 pass the file back via $(b,--baseline) to ratchet.")
 
 let lint_cmd =
   let plan =
@@ -355,7 +438,27 @@ let lint_cmd =
              (no simulation)")
     Term.(
       const lint $ scale_arg $ seed_arg $ plan $ devices $ intents $ json
-      $ inject)
+      $ inject $ deep_arg $ max_warnings_arg $ baseline_arg
+      $ write_baseline_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hoyan analyze                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Machine-readable JSON diagnostics output.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Whole-network semantic analysis: build the control-plane \
+             graph (BGP sessions, IS-IS adjacencies, redistribution and \
+             VRF leak edges) and run the cross-device checks \
+             (HOY020-HOY028), without simulating")
+    Term.(
+      const analyze $ scale_arg $ seed_arg $ json $ max_warnings_arg
+      $ baseline_arg $ write_baseline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan rcl                                                           *)
@@ -611,6 +714,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            simulate_cmd; verify_cmd; lint_cmd; rcl_cmd; diagnose_cmd;
-            audit_cmd; vsb_cmd; case_cmd; trace_cmd;
+            simulate_cmd; verify_cmd; lint_cmd; analyze_cmd; rcl_cmd;
+            diagnose_cmd; audit_cmd; vsb_cmd; case_cmd; trace_cmd;
           ]))

@@ -89,6 +89,44 @@ let catalog : (string * string * severity * string) list =
     ( "HOY019", "undefined-interface", Error,
       "a PBR rule or IS-IS stanza references an interface the device does \
        not define" );
+    ( "HOY020", "bgp-session-unidirectional", Error,
+      "a BGP neighbor stanza points at an address owned by a managed \
+       device that has no reciprocal stanza back (half-configured \
+       session)" );
+    ( "HOY021", "bgp-session-as-mismatch", Error,
+      "a BGP neighbor stanza's remote-as does not match the peer \
+       device's configured local AS" );
+    ( "HOY022", "redistribution-loop", Warning,
+      "redistribution and VRF route-target edges form a cycle on one \
+       device, so routes can be re-injected into the protocol or VRF \
+       they came from" );
+    ( "HOY023", "vrf-route-leak", Warning,
+      "routes can leak across VRF or AS boundaries without any policy: a \
+       cross-VRF route-target export carries no export policy, or a \
+       device transits between distinct external ASes with neither \
+       import nor export policies" );
+    ( "HOY024", "dead-policy-term", Warning,
+      "a route-policy node is dead under all inputs: the union of \
+       earlier terminating nodes already covers every prefix the node \
+       could match (generalises the pairwise shadowing check)" );
+    ( "HOY025", "ibgp-propagation-gap", Warning,
+      "the iBGP session graph of an AS cannot deliver routes from some \
+       member to every other member (incomplete mesh / missing \
+       route-reflector client coverage)" );
+    ( "HOY026", "dangling-static-nexthop", Warning,
+      "a static route's next hop is not on any connected subnet, not \
+       covered by another route, and not a reachable managed device \
+       address" );
+    ( "HOY027", "bgp-session-family-mismatch", Error,
+      "the two stanzas of a BGP session disagree on address family (one \
+       side speaks IPv4, the other IPv6)" );
+    ( "HOY028", "isis-adjacency-mismatch", Warning,
+      "a physical link between two IS-IS enabled devices has IS-IS \
+       configured on exactly one end, so no adjacency can form" );
+    ( "HOY029", "intent-statically-refuted", Warning,
+      "a reachability intent is refuted by the static control-plane \
+       closure: no propagation path can deliver (or originate) the \
+       expected route" );
   ]
 
 let find_code code =
@@ -224,3 +262,56 @@ let list_to_json ds =
        "  \"counts\": {\"error\": %d, \"warning\": %d, \"info\": %d}\n}\n"
        (count Error ds) (count Warning ds) (count Info ds));
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Baselines and the exit-code contract                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Stable identity of a finding for baseline matching.  Deliberately
+    excludes the message text and line number: both shift under
+    unrelated edits, while code + device + object pin down the same
+    logical finding across runs. *)
+let key d =
+  let part = function None -> "" | Some s -> s in
+  Printf.sprintf "%s|%s|%s" d.d_code
+    (part d.d_loc.loc_device)
+    (part d.d_loc.loc_object)
+
+(** Render diagnostics as a baseline file: one {!key} per line, sorted
+    and deduplicated, with a comment header.  Re-recording a baseline on
+    an unchanged corpus yields a byte-identical file. *)
+let to_baseline ds =
+  let keys = List.sort_uniq String.compare (List.map key ds) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "# hoyan lint baseline: one suppressed finding per line\n";
+  Buffer.add_string buf "# format: CODE|device|object\n";
+  List.iter
+    (fun k ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\n')
+    keys;
+  Buffer.contents buf
+
+(** Parse baseline file contents into the set of suppressed keys.
+    Blank lines and [#] comments are ignored. *)
+let parse_baseline contents =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some line)
+
+(** Drop diagnostics whose {!key} appears in the baseline. *)
+let apply_baseline ~baseline ds =
+  let suppressed = List.sort_uniq String.compare baseline in
+  List.filter
+    (fun d -> not (List.mem (key d) suppressed))
+    ds
+
+(** The CLI exit-code contract shared by [hoyan lint] and
+    [hoyan analyze]: 2 if any error survives, 1 if more than
+    [max_warnings] warnings survive, 0 otherwise. *)
+let exit_code ?(max_warnings = 0) ds =
+  if count Error ds > 0 then 2
+  else if count Warning ds > max_warnings then 1
+  else 0

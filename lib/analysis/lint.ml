@@ -39,10 +39,14 @@ let render_texts (configs : Types.t Smap.t) : string Smap.t =
       | exception Invalid_argument _ -> acc (* unknown vendor: no text *))
     configs Smap.empty
 
-let make ?topo ?plan ?(specs = []) (configs : Types.t Smap.t) : input =
+let make ?topo ?plan ?(specs = []) ?(render = true) (configs : Types.t Smap.t)
+    : input =
   {
     li_configs = configs;
-    li_texts = render_texts configs;
+    (* Rendering every device through Printer dominates gate cost; callers
+       that only need IR-level checks (the verify pre-checker) skip it and
+       lose nothing but line numbers in locations. *)
+    li_texts = (if render then render_texts configs else Smap.empty);
     li_topo = topo;
     li_plan = plan;
     li_specs = specs;

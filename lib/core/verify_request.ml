@@ -16,6 +16,7 @@ module Traffic_sim = Hoyan_sim.Traffic_sim
 module Framework = Hoyan_dist.Framework
 module Lint = Hoyan_analysis.Lint
 module Diagnostics = Hoyan_analysis.Diagnostics
+module Semantic = Hoyan_analysis.Semantic
 module Telemetry = Hoyan_telemetry.Telemetry
 module Journal = Hoyan_telemetry.Journal
 
@@ -36,6 +37,10 @@ type result = {
       (** static-analysis findings from the pre-simulation gate *)
   vr_gated : bool;
       (** the fail-fast gate stopped the request before any simulation *)
+  vr_precheck : (Intents.t * Semantic.verdict) list;
+      (** the static pre-checker's verdict for every intent *)
+  vr_sim_skipped : bool;
+      (** every intent was resolved statically; no fixpoint ran *)
   vr_updated_model : Model.t;
   vr_base_rib : Route.t list;
   vr_updated_rib : Route.t list;
@@ -84,8 +89,8 @@ let lint_specs (intents : Intents.t list) : (string * string) list =
     ([verify.lint_gate] / [verify.model_update] / [verify.route_sim] /
     [verify.traffic_sim] / [verify.intents]); the static-analysis gate
     additionally journals its outcome as a [lint.gate] event. *)
-let run ?tm ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
-    (rq : request) : result =
+let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
+    (base : Preprocess.base) (rq : request) : result =
   let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
   let rq_sp =
     Telemetry.span tm ~args:[ ("request", rq.rq_name) ] "verify.request"
@@ -121,6 +126,8 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
       vr_plan_warnings = [];
       vr_lint = lint_diags;
       vr_gated = true;
+      vr_precheck = [];
+      vr_sim_skipped = false;
       vr_updated_model = base.Preprocess.b_model;
       vr_base_rib = [];
       vr_updated_rib = [];
@@ -148,39 +155,123 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
             not (List.exists (Prefix.equal r.Route.prefix) withdrawn))
           base.Preprocess.b_input_routes
   in
-  let updated_rib =
-    Telemetry.with_span tm "verify.route_sim" (fun () ->
-        match mode with
-        | Direct ->
-            (Route_sim.run ~tm updated_model ~input_routes
-               ~new_routes:rq.rq_plan.Cp.cp_new_routes ())
-              .Route_sim.rib
-        | Distributed { servers = _; subtasks } ->
-            let fw = Framework.create ~tm updated_model in
-            let phase =
-              Framework.run_route_phase ~subtasks fw
-                ~input_routes:(input_routes @ rq.rq_plan.Cp.cp_new_routes)
-            in
-            phase.Framework.rp_rib)
+  (* 2. static intent pre-check on the updated model: classify each
+     reachability intent against the control-plane graph; refuted intents
+     become violations with a static witness, and when nothing is left
+     for the simulator the fixpoints below are skipped entirely *)
+  let precheck_results =
+    if (not precheck) || rq.rq_intents = [] then []
+    else
+      Telemetry.with_span tm "verify.precheck" (fun () ->
+          let g =
+            Semantic.build ~tm
+              (Lint.make ~topo:updated_model.Model.topo ~render:false
+                 updated_model.Model.configs)
+          in
+          let sim_inputs = input_routes @ rq.rq_plan.Cp.cp_new_routes in
+          (* batch the reachability intents (per-prefix closures are
+             shared); anything the pre-checker has no theory for goes
+             straight to the simulator *)
+          let tagged =
+            List.mapi
+              (fun i intent ->
+                match intent with
+                | Intents.Route_reach { rr_prefix; rr_devices; rr_expect } ->
+                    ( intent,
+                      Some
+                        {
+                          Semantic.ri_name = Printf.sprintf "intent-%d" i;
+                          ri_prefix = rr_prefix;
+                          ri_devices = rr_devices;
+                          ri_expect = rr_expect;
+                        } )
+                | _ -> (intent, None))
+              rq.rq_intents
+          in
+          let verdicts =
+            Semantic.precheck_batch ~tm g ~input_routes:sim_inputs
+              (List.filter_map snd tagged)
+          in
+          let rec zip tagged verdicts =
+            match (tagged, verdicts) with
+            | [], _ -> []
+            | (intent, None) :: rest, vs ->
+                (intent, Semantic.Needs_simulation) :: zip rest vs
+            | (intent, Some _) :: rest, (_, v) :: vs ->
+                (intent, v) :: zip rest vs
+            | (intent, Some _) :: rest, [] ->
+                (intent, Semantic.Needs_simulation) :: zip rest []
+          in
+          zip tagged verdicts)
   in
-  (* 3. traffic simulation (lazy: only if an intent needs it) *)
+  let static_violations =
+    List.filter_map
+      (function
+        | intent, Semantic.Refuted why ->
+            Some (Intents.violation intent ("statically refuted: " ^ why))
+        | _ -> None)
+      precheck_results
+  in
+  let sim_intents =
+    if precheck_results = [] then rq.rq_intents
+    else
+      List.filter_map
+        (function
+          | intent, Semantic.Needs_simulation -> Some intent | _ -> None)
+        precheck_results
+  in
+  let resolved = List.length rq.rq_intents - List.length sim_intents in
+  if Telemetry.enabled tm && precheck_results <> [] then begin
+    Telemetry.count tm "hoyan_precheck_resolved_total" resolved;
+    Telemetry.event tm "verify.precheck"
+      [
+        ("request", Journal.S rq.rq_name);
+        ("intents", Journal.I (List.length rq.rq_intents));
+        ("resolved", Journal.I resolved);
+        ("refuted", Journal.I (List.length static_violations));
+      ]
+  end;
+  let sim_skipped = precheck && rq.rq_intents <> [] && sim_intents = [] in
+  (* 3. route simulation on the updated model; reclaimed prefixes were
+     removed from the inputs above, announced ones are added here *)
+  let updated_rib =
+    if sim_skipped then []
+    else
+      Telemetry.with_span tm "verify.route_sim" (fun () ->
+          match mode with
+          | Direct ->
+              (Route_sim.run ~tm updated_model ~input_routes
+                 ~new_routes:rq.rq_plan.Cp.cp_new_routes ())
+                .Route_sim.rib
+          | Distributed { servers = _; subtasks } ->
+              let fw = Framework.create ~tm updated_model in
+              let phase =
+                Framework.run_route_phase ~subtasks fw
+                  ~input_routes:(input_routes @ rq.rq_plan.Cp.cp_new_routes)
+              in
+              phase.Framework.rp_rib)
+  in
+  (* 4. traffic simulation (lazy: only if an intent needs it) *)
   let updated_traffic =
     lazy
       (Telemetry.with_span tm "verify.traffic_sim" (fun () ->
            Traffic_sim.run ~tm updated_model ~rib:updated_rib
              ~flows:base.Preprocess.b_flows ()))
   in
-  (* 4. intent verification *)
-  let base_rib = Lazy.force base.Preprocess.b_rib in
-  let violations =
-    Telemetry.with_span tm "verify.intents" (fun () ->
-        List.concat_map
-          (fun intent ->
-            Intents.verify intent ~model:updated_model ~base_rib ~updated_rib
-              ~base_traffic:base.Preprocess.b_traffic
-              ~updated_traffic)
-          rq.rq_intents)
+  (* 5. intent verification for whatever the pre-checker left open *)
+  let base_rib = if sim_skipped then [] else Lazy.force base.Preprocess.b_rib in
+  let sim_violations =
+    if sim_intents = [] then []
+    else
+      Telemetry.with_span tm "verify.intents" (fun () ->
+          List.concat_map
+            (fun intent ->
+              Intents.verify intent ~model:updated_model ~base_rib
+                ~updated_rib ~base_traffic:base.Preprocess.b_traffic
+                ~updated_traffic)
+            sim_intents)
   in
+  let violations = static_violations @ sim_violations in
   Telemetry.finish tm rq_sp;
   if Telemetry.enabled tm then
     Telemetry.event tm "verify.done"
@@ -188,6 +279,7 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
         ("request", Journal.S rq.rq_name);
         ("ok", Journal.B (violations = [] && warnings = []));
         ("violations", Journal.I (List.length violations));
+        ("sim_skipped", Journal.B sim_skipped);
       ];
   {
     vr_request = rq.rq_name;
@@ -196,6 +288,8 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) (base : Preprocess.base)
     vr_plan_warnings = warnings;
     vr_lint = lint_diags;
     vr_gated = false;
+    vr_precheck = precheck_results;
+    vr_sim_skipped = sim_skipped;
     vr_updated_model = updated_model;
     vr_base_rib = base_rib;
     vr_updated_rib = updated_rib;
@@ -209,10 +303,23 @@ let report (r : result) : string =
   Buffer.add_string b
     (Printf.sprintf "=== change verification: %s ===\n" r.vr_request);
   Buffer.add_string b
-    (Printf.sprintf "result: %s (%.2fs)%s\n"
+    (Printf.sprintf "result: %s (%.2fs)%s%s\n"
        (if r.vr_ok then "PASS" else "FAIL")
        r.vr_sim_seconds
-       (if r.vr_gated then " [stopped by the static-analysis gate]" else ""));
+       (if r.vr_gated then " [stopped by the static-analysis gate]" else "")
+       (if r.vr_sim_skipped then
+          " [all intents resolved statically; simulation skipped]"
+        else ""));
+  List.iter
+    (fun (intent, verdict) ->
+      match verdict with
+      | Hoyan_analysis.Semantic.Needs_simulation -> ()
+      | v ->
+          Buffer.add_string b
+            (Printf.sprintf "precheck: %s -> %s\n"
+               (Intents.to_string intent)
+               (Hoyan_analysis.Semantic.verdict_to_string v)))
+    r.vr_precheck;
   List.iter
     (fun d ->
       Buffer.add_string b

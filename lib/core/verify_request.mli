@@ -23,6 +23,11 @@ type result = {
       (** static-analysis findings from the pre-simulation gate *)
   vr_gated : bool;
       (** the fail-fast gate stopped the request before any simulation *)
+  vr_precheck : (Intents.t * Hoyan_analysis.Semantic.verdict) list;
+      (** the static pre-checker's verdict for every intent *)
+  vr_sim_skipped : bool;
+      (** the pre-checker resolved every intent statically, so no
+          simulation ran (the RIB fields are then empty) *)
   vr_updated_model : Hoyan_sim.Model.t;
   vr_base_rib : Route.t list;
   vr_updated_rib : Route.t list;
@@ -49,11 +54,19 @@ type lint_gate = Lint_off | Lint_warn | Lint_fail
     traffic-level intent is present.  Prefixes in the plan's
     [cp_withdraw] are removed from the inputs; [cp_new_routes] are added
     (new prefix announcement).  [tm] (default: the process-global
-    telemetry handle) receives per-phase spans and gate events. *)
+    telemetry handle) receives per-phase spans and gate events.
+
+    [precheck] (default [true]) runs the static intent pre-checker
+    ({!Hoyan_analysis.Semantic}) on the updated model before simulating:
+    statically refuted intents become violations with a static witness,
+    and when every intent of a non-empty request is proved or refuted the
+    route/traffic fixpoints are skipped entirely
+    ([vr_sim_skipped = true]). *)
 val run :
   ?tm:Hoyan_telemetry.Telemetry.t ->
   ?mode:sim_mode ->
   ?lint:lint_gate ->
+  ?precheck:bool ->
   Preprocess.base ->
   request ->
   result

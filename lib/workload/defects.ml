@@ -12,14 +12,24 @@ module Model = Hoyan_sim.Model
 module Types = Hoyan_config.Types
 module Cp = Hoyan_config.Change_plan
 module Lint = Hoyan_analysis.Lint
+module Semantic = Hoyan_analysis.Semantic
 module Smap = Types.Smap
 
 type injected = {
   inj_class : string; (* kebab-case check name, as in the catalog *)
   inj_code : string; (* the diagnostic code expected to fire *)
   inj_device : string option; (* device the defect was planted on *)
-  inj_input : Lint.input; (* ready to pass to Lint.run *)
+  inj_input : Lint.input; (* ready to pass to {!detect} *)
+  inj_intents : Semantic.reach_intent list;
+      (* reachability intents the semantic pre-checker should refute *)
 }
+
+(** Run the full static-analysis stack (per-device lint + cross-device
+    semantic pass) over an injected corpus — the union every HOY0xx
+    class is detectable in. *)
+let detect (inj : injected) : Hoyan_analysis.Diagnostics.t list =
+  Lint.run inj.inj_input
+  @ Semantic.analyze ~intents:inj.inj_intents inj.inj_input
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -108,6 +118,16 @@ let classes =
     "rcl-invalid-regex";
     "rcl-unreachable-predicate";
     "undefined-interface";
+    "bgp-session-unidirectional";
+    "bgp-session-as-mismatch";
+    "redistribution-loop";
+    "vrf-route-leak";
+    "dead-policy-term";
+    "ibgp-propagation-gap";
+    "dangling-static-nexthop";
+    "bgp-session-family-mismatch";
+    "isis-adjacency-mismatch";
+    "intent-statically-refuted";
   ]
 
 let inject (g : G.t) (cls : string) : injected =
@@ -118,12 +138,13 @@ let inject (g : G.t) (cls : string) : injected =
     | Some c -> c
     | None -> invalid_arg (Printf.sprintf "Defects.inject: unknown class %s" cls)
   in
-  let mk ?plan ?(specs = []) ?device configs =
+  let mk ?plan ?(specs = []) ?(intents = []) ?device configs =
     {
       inj_class = cls;
       inj_code = code;
       inj_device = device;
       inj_input = Lint.make ~topo ?plan ~specs configs;
+      inj_intents = intents;
     }
   in
   let with_cfg dev f = mk ~device:dev (update_config configs dev f) in
@@ -131,6 +152,40 @@ let inject (g : G.t) (cls : string) : injected =
   let with_spec spec = mk ~specs:[ ("injected", spec) ] configs in
   let has_policy name cfg = Types.find_policy cfg name <> None in
   let vendor_a_dev = find_device configs (fun c -> c.Types.dc_vendor = "vendorA") in
+  let with_bgp f (c : Types.t) =
+    { c with Types.dc_bgp = f c.Types.dc_bgp }
+  in
+  let mk_nb addr remote_asn =
+    {
+      Types.nb_addr = addr;
+      nb_remote_asn = remote_asn;
+      nb_import = Some "PASS";
+      nb_export = Some "PASS";
+      nb_rr_client = false;
+      nb_next_hop_self = false;
+      nb_add_paths = 0;
+      nb_vrf = Route.default_vrf;
+    }
+  in
+  let role_names role =
+    List.filter_map
+      (fun (d : Topology.device) ->
+        if d.Topology.role = role && Smap.mem d.Topology.name configs then
+          Some d.Topology.name
+        else None)
+      (Topology.devices topo)
+    |> List.sort String.compare
+  in
+  let router_id dev = (Topology.device_exn topo dev).Topology.router_id in
+  let mk_vrf name ~imports ~exports ~policy =
+    {
+      Types.vd_name = name;
+      vd_rd = Printf.sprintf "64512:%s" name;
+      vd_import_rts = imports;
+      vd_export_rts = exports;
+      vd_export_policy = policy;
+    }
+  in
   match cls with
   | "undefined-prefix-list" ->
       let dev = find_device configs (has_policy "PASS") in
@@ -295,6 +350,259 @@ let inject (g : G.t) (cls : string) : injected =
             Types.dc_acls = Smap.add "PBR_ACL" (catch_all_acl "PBR_ACL") c.Types.dc_acls;
             dc_pbr = rule :: c.Types.dc_pbr;
           })
+  | "bgp-session-unidirectional" -> (
+      (* a stanza towards another border's loopback with nothing back *)
+      match role_names Topology.Wan_border with
+      | b1 :: b2 :: _ ->
+          with_cfg b1
+            (with_bgp (fun bgp ->
+                 {
+                   bgp with
+                   Types.bgp_neighbors =
+                     bgp.Types.bgp_neighbors
+                     @ [ mk_nb (router_id b2) bgp.Types.bgp_asn ];
+                 }))
+      | _ -> invalid_arg "Defects: needs two WAN borders")
+  | "bgp-session-as-mismatch" ->
+      (* corrupt the remote-as of an existing reciprocal RR session *)
+      let rr_rids = List.map router_id (role_names Topology.Rr) in
+      let border = List.hd (role_names Topology.Wan_border) in
+      with_cfg border
+        (with_bgp (fun bgp ->
+             let corrupted = ref false in
+             let neighbors =
+               List.map
+                 (fun (nb : Types.neighbor) ->
+                   if
+                     (not !corrupted)
+                     && List.exists (Ip.equal nb.Types.nb_addr) rr_rids
+                   then begin
+                     corrupted := true;
+                     { nb with Types.nb_remote_asn = nb.Types.nb_remote_asn + 1000 }
+                   end
+                   else nb)
+                 bgp.Types.bgp_neighbors
+             in
+             if not !corrupted then
+               invalid_arg "Defects: border has no RR session";
+             { bgp with Types.bgp_neighbors = neighbors }))
+  | "redistribution-loop" ->
+      (* two VRFs importing each other's exports: a cycle, but with export
+         policies so no leak finding rides along *)
+      let dev =
+        find_device configs (fun c ->
+            c.Types.dc_vendor = "vendorA" && has_policy "PASS" c)
+      in
+      with_cfg dev
+        (with_bgp (fun bgp ->
+             {
+               bgp with
+               Types.bgp_vrfs =
+                 bgp.Types.bgp_vrfs
+                 @ [
+                     mk_vrf "VPN_A" ~imports:[ "64512:801" ]
+                       ~exports:[ "64512:802" ] ~policy:(Some "PASS");
+                     mk_vrf "VPN_B" ~imports:[ "64512:802" ]
+                       ~exports:[ "64512:801" ] ~policy:(Some "PASS");
+                   ];
+             }))
+  | "vrf-route-leak" ->
+      (* a one-way cross-VRF route-target edge with no export policy *)
+      let dev =
+        find_device configs (fun c ->
+            c.Types.dc_vendor = "vendorA" && has_policy "PASS" c)
+      in
+      with_cfg dev
+        (with_bgp (fun bgp ->
+             {
+               bgp with
+               Types.bgp_vrfs =
+                 bgp.Types.bgp_vrfs
+                 @ [
+                     mk_vrf "VPN_SRC" ~imports:[] ~exports:[ "64512:810" ]
+                       ~policy:None;
+                     mk_vrf "VPN_DST" ~imports:[ "64512:810" ] ~exports:[]
+                       ~policy:(Some "PASS");
+                   ];
+             }))
+  | "dead-policy-term" ->
+      (* node 20's /9 range is exactly the union of node 10's two /10
+         guarantee regions — dead, but invisible to the pairwise check *)
+      with_cfg vendor_a_dev (fun c ->
+          let cover =
+            {
+              Types.pl_name = "PL_COVER";
+              pl_family = Ip.Ipv4;
+              pl_entries =
+                [
+                  pe 5 "10.0.0.0/10" None (Some 24);
+                  pe 10 "10.64.0.0/10" None (Some 24);
+                ];
+            }
+          in
+          let dead =
+            {
+              Types.pl_name = "PL_DEAD";
+              pl_family = Ip.Ipv4;
+              pl_entries = [ pe 5 "10.0.0.0/9" (Some 10) (Some 24) ];
+            }
+          in
+          let node seq pl =
+            {
+              Types.pn_seq = seq;
+              pn_action = Some Types.Permit;
+              pn_matches = [ Types.Match_prefix_list pl ];
+              pn_sets = [];
+              pn_goto_next = false;
+            }
+          in
+          let policy =
+            {
+              Types.rp_name = "DEAD_TEST";
+              rp_nodes = [ node 10 "PL_COVER"; node 20 "PL_DEAD" ];
+            }
+          in
+          {
+            c with
+            Types.dc_prefix_lists =
+              Smap.add "PL_COVER" cover
+                (Smap.add "PL_DEAD" dead c.Types.dc_prefix_lists);
+            dc_policies = Smap.add "DEAD_TEST" policy c.Types.dc_policies;
+          })
+  | "ibgp-propagation-gap" ->
+      (* no route reflector treats anyone as a client any more: iBGP
+         routes arrive at the RRs and die there *)
+      let rr_names = role_names Topology.Rr in
+      if rr_names = [] then invalid_arg "Defects: corpus has no RRs";
+      let configs' =
+        List.fold_left
+          (fun cs rr ->
+            update_config cs rr
+              (with_bgp (fun bgp ->
+                   {
+                     bgp with
+                     Types.bgp_neighbors =
+                       List.map
+                         (fun (nb : Types.neighbor) ->
+                           { nb with Types.nb_rr_client = false })
+                         bgp.Types.bgp_neighbors;
+                   })))
+          configs rr_names
+      in
+      let wan_asn =
+        (Smap.find (List.hd rr_names) configs).Types.dc_bgp.Types.bgp_asn
+      in
+      let first_member =
+        Smap.fold
+          (fun dev (cfg : Types.t) acc ->
+            if
+              acc = None
+              && cfg.Types.dc_bgp.Types.bgp_asn = wan_asn
+              && cfg.Types.dc_bgp.Types.bgp_neighbors <> []
+            then Some dev
+            else acc)
+          configs' None
+      in
+      mk ?device:first_member configs'
+  | "dangling-static-nexthop" ->
+      with_cfg vendor_a_dev (fun c ->
+          let st =
+            {
+              Types.st_prefix = Prefix.of_string_exn "203.0.113.0/24";
+              st_nexthop = Some (Ip.of_string_exn "198.51.100.1");
+              st_iface = None;
+              st_preference = 1;
+              st_tag = 0;
+              st_vrf = Route.default_vrf;
+            }
+          in
+          { c with Types.dc_statics = st :: c.Types.dc_statics })
+  | "bgp-session-family-mismatch" ->
+      (* repoint the RR's stanza for a border at a freshly added IPv6
+         loopback of that border: reciprocity holds, families disagree *)
+      let border = List.hd (role_names Topology.Wan_border) in
+      let rr =
+        match role_names Topology.Rr with
+        | rr :: _ -> rr
+        | [] -> invalid_arg "Defects: corpus has no RRs"
+      in
+      let v6 = Ip.of_string_exn "2001:db8::99" in
+      let border_rid = router_id border in
+      let configs' =
+        update_config configs border (fun c ->
+            let lo6 =
+              {
+                Types.if_name = "Loopback6";
+                if_addr = Some v6;
+                if_plen = 128;
+                if_bandwidth = 1e9;
+                if_acl_in = None;
+              }
+            in
+            { c with Types.dc_ifaces = c.Types.dc_ifaces @ [ lo6 ] })
+      in
+      let configs' =
+        update_config configs' rr
+          (with_bgp (fun bgp ->
+               {
+                 bgp with
+                 Types.bgp_neighbors =
+                   List.map
+                     (fun (nb : Types.neighbor) ->
+                       if Ip.equal nb.Types.nb_addr border_rid then
+                         { nb with Types.nb_addr = v6 }
+                       else nb)
+                     bgp.Types.bgp_neighbors;
+               }))
+      in
+      mk ~device:border configs'
+  | "isis-adjacency-mismatch" ->
+      let e =
+        List.find
+          (fun (e : Topology.edge) ->
+            match
+              ( Smap.find_opt e.Topology.src configs,
+                Smap.find_opt e.Topology.dst configs )
+            with
+            | Some sc, Some dc ->
+                sc.Types.dc_isis.Types.isis_enabled
+                && dc.Types.dc_isis.Types.isis_enabled
+                && List.exists
+                     (fun (ii : Types.isis_iface) ->
+                       String.equal ii.Types.ii_name e.Topology.src_if)
+                     sc.Types.dc_isis.Types.isis_ifaces
+            | _ -> false)
+          (Topology.edges topo)
+      in
+      with_cfg e.Topology.src (fun c ->
+          let isis = c.Types.dc_isis in
+          {
+            c with
+            Types.dc_isis =
+              {
+                isis with
+                Types.isis_ifaces =
+                  List.filter
+                    (fun (ii : Types.isis_iface) ->
+                      not (String.equal ii.Types.ii_name e.Topology.src_if))
+                    isis.Types.isis_ifaces;
+              };
+          })
+  | "intent-statically-refuted" ->
+      (* nobody originates this prefix, so expecting it present anywhere
+         is statically refutable *)
+      let dev = List.hd (role_names Topology.Wan_border) in
+      mk ~device:dev
+        ~intents:
+          [
+            {
+              Semantic.ri_name = "injected-intent";
+              ri_prefix = Prefix.of_string_exn "203.0.113.0/24";
+              ri_devices = [ dev ];
+              ri_expect = true;
+            };
+          ]
+        configs
   | cls -> invalid_arg (Printf.sprintf "Defects.inject: unknown class %s" cls)
 
 let inject_all (g : G.t) : injected list = List.map (inject g) classes

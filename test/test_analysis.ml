@@ -36,7 +36,7 @@ let test_injections () =
   let g = Lazy.force small in
   List.iter
     (fun (inj : Defects.injected) ->
-      let diags = Lint.run inj.Defects.inj_input in
+      let diags = Defects.detect inj in
       let fired =
         List.filter
           (fun (d : D.t) -> String.equal d.D.d_code inj.Defects.inj_code)

@@ -17,5 +17,6 @@ let () =
       ("scenarios", Test_scenarios.suite);
       ("workload", Test_workload.suite);
       ("analysis", Test_analysis.suite);
+      ("semantic", Test_semantic.suite);
       ("properties", Test_props.suite);
     ]

@@ -1,0 +1,350 @@
+(* The cross-device semantic analysis (lib/analysis/semantic.ml): the
+   control-plane graph, the propagation closure, and the static intent
+   pre-checker.  The soundness contract under test: presence is proved
+   only from exact origins (unconditional installs), absence only from
+   the over-approximate closure — so every static verdict must agree
+   with the full simulation on the same network. *)
+
+open Hoyan_net
+module B = Hoyan_workload.Builder
+module G = Hoyan_workload.Generator
+module Types = Hoyan_config.Types
+module Cp = Hoyan_config.Change_plan
+module D = Hoyan_analysis.Diagnostics
+module Lint = Hoyan_analysis.Lint
+module Semantic = Hoyan_analysis.Semantic
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Intents = Hoyan_core.Intents
+module VR = Hoyan_core.Verify_request
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let pfx = Prefix.of_string_exn
+
+let small = lazy (G.generate G.small)
+
+let input_of (b : B.t) =
+  Lint.make ~topo:(B.topo b) ~render:false (B.configs b)
+
+let graph_of b = Semantic.build (input_of b)
+
+(* --- clean generated corpus: zero semantic false positives ---------- *)
+
+let test_clean_corpus () =
+  let g = Lazy.force small in
+  let diags =
+    Semantic.analyze
+      (Lint.make ~topo:g.G.model.Model.topo ~render:false
+         g.G.model.Model.configs)
+  in
+  check
+    Alcotest.(list string)
+    "clean small corpus has zero semantic findings" []
+    (List.map D.to_string diags)
+
+let test_graph_stats () =
+  let g = Lazy.force small in
+  let graph =
+    Semantic.build
+      (Lint.make ~topo:g.G.model.Model.topo ~render:false
+         g.G.model.Model.configs)
+  in
+  let s = graph.Semantic.g_stats in
+  check tint "every topology device is a graph node"
+    (List.length (Topology.devices g.G.model.Model.topo))
+    s.Semantic.st_devices;
+  check tbool "the corpus has reciprocal BGP sessions" true
+    (s.Semantic.st_sessions > 0);
+  check tint "no half-configured sessions" 0 s.Semantic.st_half_sessions;
+  check tbool "the corpus has IS-IS adjacencies" true
+    (s.Semantic.st_isis_adjacencies > 0);
+  check tint "no VRF route-target edges" 0 s.Semantic.st_rt_edges
+
+(* --- closure + pre-checker on a hand-built iBGP line ---------------- *)
+
+(* X -- Y -- Z, one AS.  Without a route reflector, a route learned by Y
+   from non-client X must not be re-advertised to Z. *)
+let ibgp_line ?(rr = false) ?(block_export = false) () =
+  let b = B.create () in
+  List.iter
+    (fun (name, rid) ->
+      B.add_device b ~name ~vendor:"vendorA" ~asn:65000
+        ~router_id:(B.ip rid) ())
+    [ ("X", "1.1.1.1"); ("Y", "2.2.2.2"); ("Z", "3.3.3.3") ];
+  let axy, bxy = B.link b ~a:"X" ~b:"Y" ~subnet:(pfx "10.1.0.0/31") () in
+  let ayz, byz = B.link b ~a:"Y" ~b:"Z" ~subnet:(pfx "10.2.0.0/31") () in
+  if block_export then begin
+    B.add_prefix_list b "X"
+      (B.prefix_list "P99" [ (Types.Permit, "99.0.0.0/24", None, None) ]);
+    B.add_policy b "X"
+      (B.policy "BLOCK"
+         [
+           B.node ~action:(Some Types.Deny)
+             ~matches:[ Types.Match_prefix_list "P99" ]
+             10;
+           B.node 20;
+         ])
+  end;
+  B.bgp_session b ~a:"X" ~b:"Y" ~a_addr:axy ~b_addr:bxy
+    ?a_export:(if block_export then Some "BLOCK" else None)
+    ();
+  (* rr=true makes Z a client of Y, so Y may reflect X's routes on *)
+  B.bgp_session b ~a:"Y" ~b:"Z" ~a_addr:ayz ~b_addr:byz ~a_rr_client:rr ();
+  b
+
+let input_99 = [ B.input_route ~device:"X" ~prefix:"99.0.0.0/24" () ]
+let p99 = pfx "99.0.0.0/24"
+
+let intent ~name ~devices ~expect =
+  {
+    Semantic.ri_name = name;
+    ri_prefix = p99;
+    ri_devices = devices;
+    ri_expect = expect;
+  }
+
+let test_closure () =
+  let cl b =
+    let g = graph_of b in
+    Semantic.closure g ~input_routes:input_99 p99
+  in
+  let members = cl (ibgp_line ()) in
+  check tbool "origin X is in the closure" true (Hashtbl.mem members "X");
+  check tbool "direct iBGP peer Y is in the closure" true
+    (Hashtbl.mem members "Y");
+  check tbool "non-client Z is NOT in the closure (no reflector)" false
+    (Hashtbl.mem members "Z");
+  (* making Z a route-reflector client of Y opens the Y->Z hop *)
+  let members = cl (ibgp_line ~rr:true ()) in
+  check tbool "client Z is in the closure under a reflector" true
+    (Hashtbl.mem members "Z");
+  (* a definite Deny on X's export prunes the very first hop *)
+  let members = cl (ibgp_line ~block_export:true ()) in
+  check tbool "origin survives its own export policy" true
+    (Hashtbl.mem members "X");
+  check tbool "denied export prunes Y from the closure" false
+    (Hashtbl.mem members "Y")
+
+let test_precheck_verdicts () =
+  let g = graph_of (ibgp_line ()) in
+  let verdict ri = Semantic.precheck g ~input_routes:input_99 ri in
+  check tbool "expected-present at the origin is proved" true
+    (verdict (intent ~name:"i1" ~devices:[ "X" ] ~expect:true)
+    = Semantic.Proved);
+  check tbool "expected-present at reachable non-origin needs simulation"
+    true
+    (verdict (intent ~name:"i2" ~devices:[ "Y" ] ~expect:true)
+    = Semantic.Needs_simulation);
+  check tbool "expected-present outside the closure is refuted" true
+    (match verdict (intent ~name:"i3" ~devices:[ "Z" ] ~expect:true) with
+    | Semantic.Refuted _ -> true
+    | _ -> false);
+  check tbool "expected-absent at the origin is refuted" true
+    (match verdict (intent ~name:"i4" ~devices:[ "X" ] ~expect:false) with
+    | Semantic.Refuted _ -> true
+    | _ -> false);
+  check tbool "expected-absent outside the closure is proved" true
+    (verdict (intent ~name:"i5" ~devices:[ "Z" ] ~expect:false)
+    = Semantic.Proved);
+  check tbool "expected-absent inside the closure needs simulation" true
+    (verdict (intent ~name:"i6" ~devices:[ "Y" ] ~expect:false)
+    = Semantic.Needs_simulation);
+  (* the batch API returns the same verdicts, in order *)
+  let ris =
+    [
+      intent ~name:"i1" ~devices:[ "X" ] ~expect:true;
+      intent ~name:"i3" ~devices:[ "Z" ] ~expect:true;
+      intent ~name:"i2" ~devices:[ "Y" ] ~expect:true;
+    ]
+  in
+  let batch = Semantic.precheck_batch g ~input_routes:input_99 ris in
+  check tint "batch preserves length" 3 (List.length batch);
+  List.iter
+    (fun (ri, v) ->
+      check tbool
+        (Printf.sprintf "batch verdict for %s matches single"
+           ri.Semantic.ri_name)
+        true
+        (v = verdict ri))
+    batch
+
+(* --- static verdicts agree with the full simulation ----------------- *)
+
+let sim_present b ~device =
+  let model = B.build b in
+  let rib = (Route_sim.run model ~input_routes:input_99 ()).Route_sim.rib in
+  List.exists
+    (fun (r : Route.t) ->
+      String.equal r.Route.device device && Prefix.equal r.Route.prefix p99)
+    rib
+
+let test_sim_crosscheck () =
+  (* every (network, device) the pre-checker gives a definite verdict on
+     must agree with what the simulator actually computes *)
+  List.iter
+    (fun (label, b) ->
+      let g = graph_of b in
+      List.iter
+        (fun dev ->
+          let sim = sim_present b ~device:dev in
+          (match
+             Semantic.precheck g ~input_routes:input_99
+               (intent ~name:("present-" ^ dev) ~devices:[ dev ]
+                  ~expect:true)
+           with
+          | Semantic.Proved ->
+              check tbool
+                (Printf.sprintf "%s: proved-present on %s holds in sim"
+                   label dev)
+                true sim
+          | Semantic.Refuted _ ->
+              check tbool
+                (Printf.sprintf "%s: refuted-present on %s holds in sim"
+                   label dev)
+                false sim
+          | Semantic.Needs_simulation -> ());
+          match
+            Semantic.precheck g ~input_routes:input_99
+              (intent ~name:("absent-" ^ dev) ~devices:[ dev ]
+                 ~expect:false)
+          with
+          | Semantic.Proved ->
+              check tbool
+                (Printf.sprintf "%s: proved-absent on %s holds in sim"
+                   label dev)
+                false sim
+          | Semantic.Refuted _ ->
+              check tbool
+                (Printf.sprintf "%s: refuted-absent on %s holds in sim"
+                   label dev)
+                true sim
+          | Semantic.Needs_simulation -> ())
+        [ "X"; "Y"; "Z" ])
+    [
+      ("plain", ibgp_line ());
+      ("reflector", ibgp_line ~rr:true ());
+      ("blocked", ibgp_line ~block_export:true ());
+    ]
+
+(* --- the pre-checker inside Verify_request -------------------------- *)
+
+let test_verify_request_skip () =
+  let g = Lazy.force small in
+  let base =
+    Hoyan_core.Preprocess.prepare g.G.model
+      ~monitored_routes:g.G.input_routes ~monitored_flows:g.G.flows
+  in
+  let border =
+    (* any device present in both configs and topology *)
+    match Types.Smap.min_binding_opt g.G.model.Model.configs with
+    | Some (d, _) -> d
+    | None -> Alcotest.fail "corpus has no devices"
+  in
+  (* 203.0.113.0/24 is originated nowhere in the generated corpus, so
+     both intents resolve statically: one refuted, one proved *)
+  let originless = pfx "203.0.113.0/24" in
+  let refuted =
+    Intents.Route_reach
+      { rr_prefix = originless; rr_devices = [ border ]; rr_expect = true }
+  in
+  let proved =
+    Intents.Route_reach
+      { rr_prefix = originless; rr_devices = [ border ]; rr_expect = false }
+  in
+  let rq =
+    {
+      VR.rq_name = "static";
+      rq_plan = Cp.make "noop";
+      rq_intents = [ refuted; proved ];
+    }
+  in
+  let r = VR.run base rq in
+  check tbool "all intents resolved: simulation skipped" true
+    r.VR.vr_sim_skipped;
+  check tint "skipped run computes no RIB" 0 (List.length r.VR.vr_updated_rib);
+  check tint "both intents carry a verdict" 2 (List.length r.VR.vr_precheck);
+  check tint "the refuted intent is the one violation" 1
+    (List.length r.VR.vr_violations);
+  check tbool "the violation names the refuted intent" true
+    (String.equal (List.hd r.VR.vr_violations).Intents.v_intent
+       (Intents.to_string refuted));
+  check tbool "request fails" false r.VR.vr_ok;
+  (* cross-check: with the pre-checker off, the full simulation reaches
+     the same verdict on both intents *)
+  let r_sim = VR.run ~precheck:false base rq in
+  check tbool "precheck off: simulation runs" false r_sim.VR.vr_sim_skipped;
+  check tbool "precheck off: no verdicts recorded" true
+    (r_sim.VR.vr_precheck = []);
+  check tint "simulation also finds exactly one violation" 1
+    (List.length r_sim.VR.vr_violations);
+  check tbool "simulation violates the same intent" true
+    (String.equal
+       (List.hd r_sim.VR.vr_violations).Intents.v_intent
+       (Intents.to_string refuted));
+  (* a mixed request must still simulate the unresolved intent *)
+  let needs_sim =
+    match g.G.input_routes with
+    | (r : Route.t) :: _ ->
+        Intents.Route_reach
+          {
+            rr_prefix = r.Route.prefix;
+            rr_devices = [ border ];
+            rr_expect = true;
+          }
+    | [] -> Alcotest.fail "corpus has no input routes"
+  in
+  let r =
+    VR.run base { rq with VR.rq_intents = [ refuted; needs_sim ] }
+  in
+  check tbool "unresolved intent forces simulation" false r.VR.vr_sim_skipped;
+  check tbool "mixed run still computed a RIB" true
+    (r.VR.vr_updated_rib <> [])
+
+(* --- exit-code contract and baselines ------------------------------- *)
+
+let err () = D.make ~code:"HOY020" ~device:"X" ~obj:"peer 10.0.0.1" "one way"
+let warn () = D.make ~code:"HOY026" ~device:"Y" ~obj:"static" "dangling"
+
+let test_exit_code () =
+  check tint "clean is 0" 0 (D.exit_code []);
+  check tint "a warning is 1" 1 (D.exit_code [ warn () ]);
+  check tint "warnings under the budget are 0" 0
+    (D.exit_code ~max_warnings:1 [ warn () ]);
+  check tint "an error is 2" 2 (D.exit_code [ err () ]);
+  check tint "errors trump the warning budget" 2
+    (D.exit_code ~max_warnings:99 [ err (); warn () ])
+
+let test_baseline_roundtrip () =
+  let ds = [ err (); warn () ] in
+  let recorded = D.parse_baseline (D.to_baseline ds) in
+  check tint "baseline records each finding once" 2 (List.length recorded);
+  check
+    Alcotest.(list string)
+    "recorded findings are fully suppressed" []
+    (List.map D.to_string (D.apply_baseline ~baseline:recorded ds));
+  (* a new finding on another device survives the baseline *)
+  let fresh = D.make ~code:"HOY020" ~device:"Z" ~obj:"peer 10.0.0.9" "new" in
+  check tint "new findings are not suppressed" 1
+    (List.length (D.apply_baseline ~baseline:recorded (fresh :: ds)));
+  check tint "suppressed-and-new exits on the new error" 2
+    (D.exit_code (D.apply_baseline ~baseline:recorded (fresh :: ds)))
+
+let suite =
+  [
+    Alcotest.test_case "clean corpus: zero semantic findings" `Quick
+      test_clean_corpus;
+    Alcotest.test_case "control-plane graph statistics" `Quick
+      test_graph_stats;
+    Alcotest.test_case "propagation closure on an iBGP line" `Quick
+      test_closure;
+    Alcotest.test_case "pre-checker verdicts" `Quick test_precheck_verdicts;
+    Alcotest.test_case "static verdicts agree with simulation" `Quick
+      test_sim_crosscheck;
+    Alcotest.test_case "pre-checker wired into Verify_request" `Quick
+      test_verify_request_skip;
+    Alcotest.test_case "lint exit-code contract" `Quick test_exit_code;
+    Alcotest.test_case "baseline suppression round-trip" `Quick
+      test_baseline_roundtrip;
+  ]
