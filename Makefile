@@ -1,7 +1,7 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
 .PHONY: all build test bench perf lint analyze check telemetry-bench \
-	semantic-bench smoke clean
+	semantic-bench chaos smoke clean
 
 all: build
 
@@ -52,6 +52,15 @@ telemetry-bench:
 # vs the full WAN simulation; writes BENCH_PR4.json (DESIGN.md §2.4).
 semantic-bench:
 	dune exec bench/main.exe -- --semantic
+
+# Fault-tolerance gate: the dist test suite (fault matrix, named-victim
+# regressions, chaos determinism) plus a quick chaos bench asserting the
+# monitor-loop overhead and the recovery contract (completed phases are
+# identical to the failure-free run); writes BENCH_PR5.json at --quick
+# scale (DESIGN.md §2.5).
+chaos:
+	dune exec test/test_main.exe -- test dist
+	dune exec bench/main.exe -- --chaos --quick --out /tmp/BENCH_PR5_quick.json
 
 # Tier-1 smoke: build, tests, and a quick perf-harness pass so the
 # multicore pipeline and its identity assertions are exercised in CI.

@@ -1,0 +1,201 @@
+(* The chaos bench (`--chaos`): cost and coverage of the fault-tolerant
+   subtask lifecycle.
+
+   Two questions, answered machine-readably in BENCH_PR5.json:
+
+   1. What does the master's monitor loop cost when nothing fails?
+      Route + traffic phases at fail_prob = 0 are timed with the monitor
+      in the loop; its scan time is reported as a fraction of the phase
+      wall time (target: < 1%).
+
+   2. Does the recovery machinery hold under the fault matrix?  For each
+      (mode, prob) cell the phases run under the seeded chaos plan; the
+      JSON records re-sends, lease expiries, re-uploads, terminal
+      failures and whether the completed results were identical to the
+      failure-free run — the same invariants test/test_dist.ml enforces,
+      measured at bench scale. *)
+
+open B_common
+module G = Hoyan_workload.Generator
+module Framework = Hoyan_dist.Framework
+module Chaos = Hoyan_dist.Chaos
+module Db = Hoyan_dist.Db
+module Mq = Hoyan_dist.Mq
+module Faultplan = Hoyan_workload.Faultplan
+open B_perf
+
+let output_file = ref "BENCH_PR5.json"
+
+let sorted_tbl tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+type cell = {
+  c_mode : string;
+  c_prob : float;
+  c_complete : bool;
+  c_identical : bool; (* results byte-identical to the failure-free run *)
+  c_failed : int;
+  c_resends : int;
+  c_lease_expired : int;
+  c_reuploads : int;
+  c_stale : int;
+  c_dropped : int;
+  c_duplicated : int;
+  c_wall_s : float;
+}
+
+let run_cell g ~rib0 ~loads0 (mode : Faultplan.mode) prob : cell =
+  let chaos = Faultplan.plan ~seed:7 ~prob mode in
+  let fw = Framework.create ~chaos ~max_attempts:5 g.G.model in
+  let (rp, tp), wall =
+    time (fun () ->
+        let rp =
+          Framework.run_route_phase ~subtasks:50 fw
+            ~input_routes:g.G.input_routes
+        in
+        let tp =
+          if rp.Framework.rp_complete then
+            Some
+              (Framework.run_traffic_phase ~subtasks:64 fw ~route_phase:rp
+                 ~flows:g.G.flows)
+          else None
+        in
+        (rp, tp))
+  in
+  let complete =
+    rp.Framework.rp_complete
+    && match tp with Some tp -> tp.Framework.tp_complete | None -> false
+  in
+  let identical =
+    complete
+    && List.equal Hoyan_net.Route.equal rib0 rp.Framework.rp_rib
+    &&
+    match tp with
+    | Some tp -> loads0 = sorted_tbl tp.Framework.tp_link_load
+    | None -> false
+  in
+  let failed =
+    List.length rp.Framework.rp_failed
+    + match tp with Some tp -> List.length tp.Framework.tp_failed | None -> 0
+  in
+  let s = fw.Framework.stats in
+  {
+    c_mode = Faultplan.mode_to_string mode;
+    c_prob = prob;
+    c_complete = complete;
+    c_identical = identical;
+    c_failed = failed;
+    c_resends = s.Framework.ms_resends;
+    c_lease_expired = s.Framework.ms_lease_expired;
+    c_reuploads = s.Framework.ms_reuploads;
+    c_stale = s.Framework.ms_stale_msgs;
+    c_dropped = Mq.dropped fw.Framework.mq;
+    c_duplicated = Mq.duplicated fw.Framework.mq;
+    c_wall_s = wall;
+  }
+
+let cell_json (c : cell) =
+  J_obj
+    [
+      ("mode", J_str c.c_mode);
+      ("prob", J_float c.c_prob);
+      ("complete", J_bool c.c_complete);
+      ("identical_to_clean_run", J_bool c.c_identical);
+      ("failed_subtasks", J_int c.c_failed);
+      ("monitor_resends", J_int c.c_resends);
+      ("lease_expiries", J_int c.c_lease_expired);
+      ("input_reuploads", J_int c.c_reuploads);
+      ("stale_deliveries", J_int c.c_stale);
+      ("mq_dropped", J_int c.c_dropped);
+      ("mq_duplicated", J_int c.c_duplicated);
+      ("wall_s", J_float c.c_wall_s);
+    ]
+
+let run () =
+  header "chaos: monitor-loop overhead and fault-matrix recovery";
+  let g = Lazy.force (if !quick then small else wan) in
+  (* -------------------------------------------------------------- *)
+  sub "monitor overhead at fail_prob = 0";
+  let fw0 = Framework.create g.G.model in
+  let (rp0, tp0), clean_wall =
+    time (fun () ->
+        let rp =
+          Framework.run_route_phase ~subtasks:50 fw0
+            ~input_routes:g.G.input_routes
+        in
+        let tp =
+          Framework.run_traffic_phase ~subtasks:64 fw0 ~route_phase:rp
+            ~flows:g.G.flows
+        in
+        (rp, tp))
+  in
+  let scan_s = fw0.Framework.stats.Framework.ms_scan_s in
+  let overhead = scan_s /. clean_wall in
+  row "phases: %.2fs wall, %d + %d subtasks, monitor %d scans in %.5fs"
+    clean_wall
+    (List.length rp0.Framework.rp_subtasks)
+    (List.length tp0.Framework.tp_subtasks)
+    fw0.Framework.stats.Framework.ms_scans scan_s;
+  row "monitor overhead: %.3f%% of phase time (target < 1%%)"
+    (100. *. overhead);
+  let rib0 = rp0.Framework.rp_rib in
+  let loads0 = sorted_tbl tp0.Framework.tp_link_load in
+  (* -------------------------------------------------------------- *)
+  sub "fault matrix";
+  let cells =
+    List.concat_map
+      (fun mode ->
+        List.filter_map
+          (fun prob ->
+            if prob = 0. then None (* the clean run above is the 0-cell *)
+            else begin
+              let c = run_cell g ~rib0 ~loads0 mode prob in
+              row
+                "%-12s p=%.1f  %s  failed=%d resends=%d leases=%d \
+                 reuploads=%d drop/dup=%d/%d  %.2fs"
+                c.c_mode c.c_prob
+                (if c.c_identical then "identical"
+                 else if c.c_complete then "complete "
+                 else "partial  ")
+                c.c_failed c.c_resends c.c_lease_expired c.c_reuploads
+                c.c_dropped c.c_duplicated c.c_wall_s;
+              Some c
+            end)
+          Faultplan.matrix_probs)
+      [
+        Faultplan.Crashes;
+        Faultplan.Storage_loss;
+        Faultplan.Mq_faults;
+        Faultplan.Stalls;
+        Faultplan.Mixed;
+      ]
+  in
+  (* the contract the JSON asserts: every completed cell is identical *)
+  let violations =
+    List.filter (fun c -> c.c_complete && not c.c_identical) cells
+  in
+  row "contract: %d completed cells, %d identical, %d violations"
+    (List.length (List.filter (fun c -> c.c_complete) cells))
+    (List.length (List.filter (fun c -> c.c_identical) cells))
+    (List.length violations);
+  write_json !output_file
+    (J_obj
+       [
+         ("bench", J_str "chaos");
+         ("scale", J_str (if !quick then "small" else "wan"));
+         ( "clean_run",
+           J_obj
+             [
+               ("wall_s", J_float clean_wall);
+               ("monitor_scans", J_int fw0.Framework.stats.Framework.ms_scans);
+               ("monitor_scan_s", J_float scan_s);
+               ("monitor_overhead_frac", J_float overhead);
+               ("overhead_target_frac", J_float 0.01);
+               ("overhead_within_target", J_bool (overhead < 0.01));
+             ] );
+         ("matrix", J_arr (List.map cell_json cells));
+         ( "contract_violations",
+           J_arr (List.map (fun c -> J_str c.c_mode) violations) );
+       ]);
+  row "wrote %s" !output_file

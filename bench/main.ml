@@ -16,7 +16,10 @@
                                                # (writes BENCH_PR3.json)
      dune exec bench/main.exe -- --semantic    # semantic pass + intent
                                                # pre-checker vs simulation
-                                               # (writes BENCH_PR4.json) *)
+                                               # (writes BENCH_PR4.json)
+     dune exec bench/main.exe -- --chaos       # monitor-loop overhead +
+                                               # fault-matrix recovery
+                                               # (writes BENCH_PR5.json) *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -50,7 +53,8 @@ let () =
     (fun f ->
       B_perf.output_file := f;
       B_telemetry.output_file := f;
-      B_semantic.output_file := f)
+      B_semantic.output_file := f;
+      B_chaos.output_file := f)
     out;
   let flags, wanted = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
   if List.mem "--quick" flags then B_common.quick := true;
@@ -61,6 +65,7 @@ let () =
   else if List.mem "--perf" flags then B_perf.perf ()
   else if List.mem "--telemetry" flags then B_telemetry.run ()
   else if List.mem "--semantic" flags then B_semantic.run ()
+  else if List.mem "--chaos" flags then B_chaos.run ()
   else begin
     (* "fig5a" etc. are accepted as shorthand for "figure5a"; the alias
        only applies to names actually prefixed with "figure" (a bare

@@ -5,6 +5,8 @@
    equivalent front door for the reproduction:
 
      hoyan simulate  [--scale small|wan|wan-dcn] [--distributed N]
+                     [--fail-prob P] [--chaos MODE] [--chaos-seed S]
+                     [--lease-s SECONDS]
      hoyan verify    --plan FILE [--device NAME]... --intent SPEC...
      hoyan lint      [--plan FILE --device NAME]... [--intent SPEC]...
                      [--json] [--inject CLASS|all] [--deep]
@@ -81,6 +83,56 @@ let journal_out_arg =
            ~doc:"Write the structured pipeline event journal (JSONL) to \
                  $(docv).")
 
+(* chaos / fault-injection options shared by simulate and verify *)
+
+let fail_prob_arg =
+  Arg.(value & opt float 0.
+       & info [ "fail-prob" ] ~docv:"P"
+           ~doc:"Per-decision fault probability for --chaos (or, without \
+                 --chaos, the worker-crash probability).")
+
+let chaos_mode_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos" ] ~docv:"MODE"
+           ~doc:"Inject faults into the distributed framework: \
+                 $(b,crashes), $(b,storage-loss), $(b,mq-faults), \
+                 $(b,stalls) or $(b,mixed).  Deterministic per \
+                 --chaos-seed.")
+
+let chaos_seed_arg =
+  Arg.(value & opt int 42
+       & info [ "chaos-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the chaos plan (fault decisions are a pure \
+                 function of the seed, so runs replay identically).")
+
+let lease_arg =
+  Arg.(value & opt float 30.
+       & info [ "lease-s" ] ~docv:"SECONDS"
+           ~doc:"Subtask lease duration: a worker that has not reported \
+                 within the lease is presumed dead and its subtask is \
+                 re-sent.")
+
+(** Resolve the chaos flags into a plan; [Error] on an unknown mode. *)
+let chaos_of ~fail_prob ~chaos_mode ~chaos_seed :
+    (Hoyan_dist.Chaos.t, string) Stdlib.result =
+  match chaos_mode with
+  | None ->
+      Ok
+        (if fail_prob > 0. then
+           Hoyan_dist.Chaos.make ~seed:chaos_seed ~crash_prob:fail_prob ()
+         else Hoyan_dist.Chaos.none)
+  | Some m -> (
+      match Hoyan_workload.Faultplan.mode_of_string m with
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown --chaos mode %S (expected crashes, storage-loss, \
+                mq-faults, stalls or mixed)"
+               m)
+      | Some mode ->
+          let prob = if fail_prob > 0. then fail_prob else 0.2 in
+          Ok (Hoyan_workload.Faultplan.plan ~seed:chaos_seed ~prob mode))
+
 (** Install a live telemetry handle when any output file was requested,
     run [f], then write the requested files. *)
 let with_telemetry ~trace_out ~metrics_out ~journal_out f =
@@ -118,11 +170,18 @@ let with_telemetry ~trace_out ~metrics_out ~journal_out f =
 (* hoyan simulate                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let simulate params seed distributed trace_out metrics_out journal_out =
+let simulate params seed distributed fail_prob chaos_mode chaos_seed lease_s
+    trace_out metrics_out journal_out =
   with_telemetry ~trace_out ~metrics_out ~journal_out @@ fun () ->
+  match chaos_of ~fail_prob ~chaos_mode ~chaos_seed with
+  | Error msg ->
+      prerr_endline msg;
+      2
+  | Ok chaos ->
   let g = gen params seed in
   Printf.printf "network: %s\n%!" (G.stats g);
   let t0 = Unix.gettimeofday () in
+  let incomplete = ref false in
   let rib =
     match distributed with
     | None ->
@@ -135,7 +194,9 @@ let simulate params seed distributed trace_out metrics_out journal_out =
           res.Route_sim.bgp_stats.Bgp.st_rounds;
         res.Route_sim.rib
     | Some servers ->
-        let fw = Hoyan_dist.Framework.create g.G.model in
+        let fw =
+          Hoyan_dist.Framework.create ~chaos ~lease_s g.G.model
+        in
         let rp =
           Hoyan_dist.Framework.run_route_phase ~subtasks:100 fw
             ~input_routes:g.G.input_routes
@@ -149,6 +210,16 @@ let simulate params seed distributed trace_out metrics_out journal_out =
            servers: %.2fs\n"
           (List.length rp.Hoyan_dist.Framework.rp_rib)
           servers t;
+        if not (Hoyan_dist.Chaos.is_none chaos) then
+          Printf.printf "%s\n" (Hoyan_dist.Framework.monitor_report fw);
+        if not rp.Hoyan_dist.Framework.rp_complete then begin
+          incomplete := true;
+          List.iter
+            (fun f ->
+              Printf.printf "permanently failed: %s\n"
+                (Hoyan_dist.Framework.failure_to_string f))
+            rp.Hoyan_dist.Framework.rp_failed
+        end;
         rp.Hoyan_dist.Framework.rp_rib
   in
   let tr = Traffic_sim.run g.G.model ~rib ~flows:g.G.flows () in
@@ -163,7 +234,7 @@ let simulate params seed distributed trace_out metrics_out journal_out =
     (List.length tr.Traffic_sim.flow_results)
     (Hashtbl.length tr.Traffic_sim.link_load);
   Printf.printf "total: %.2fs\n" (Unix.gettimeofday () -. t0);
-  0
+  if !incomplete then 1 else 0
 
 let simulate_cmd =
   let distributed =
@@ -175,16 +246,22 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Generate a synthetic WAN and simulate it")
     Term.(
-      const simulate $ scale_arg $ seed_arg $ distributed $ trace_out_arg
+      const simulate $ scale_arg $ seed_arg $ distributed $ fail_prob_arg
+      $ chaos_mode_arg $ chaos_seed_arg $ lease_arg $ trace_out_arg
       $ metrics_out_arg $ journal_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan verify                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let verify params seed plan_file devices intents distributed trace_out
-    metrics_out journal_out =
+let verify params seed plan_file devices intents distributed fail_prob
+    chaos_mode chaos_seed degrade trace_out metrics_out journal_out =
   with_telemetry ~trace_out ~metrics_out ~journal_out @@ fun () ->
+  match chaos_of ~fail_prob ~chaos_mode ~chaos_seed with
+  | Error msg ->
+      prerr_endline msg;
+      2
+  | Ok chaos ->
   let g = gen params seed in
   let base =
     Preprocess.prepare g.G.model ~monitored_routes:g.G.input_routes
@@ -221,7 +298,8 @@ let verify params seed plan_file devices intents distributed trace_out
     | None -> Verify_request.Direct
     | Some servers -> Verify_request.Distributed { servers; subtasks = 100 }
   in
-  let res = Verify_request.run ~mode base rq in
+  let on_partial = if degrade then `Degrade else `Refuse in
+  let res = Verify_request.run ~mode ~chaos ~on_partial base rq in
   print_string (Verify_request.report res);
   if res.Verify_request.vr_ok then 0 else 1
 
@@ -246,11 +324,20 @@ let verify_cmd =
          & info [ "distributed" ] ~docv:"SERVERS"
              ~doc:"Verify through the distributed framework.")
   in
+  let degrade =
+    Arg.(value & flag
+         & info [ "degrade" ]
+             ~doc:"With --distributed and permanently-failed subtasks: \
+                   verify intents over the partial results anyway \
+                   (flagged, never PASS) instead of withholding the \
+                   verdicts.")
+  in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify a change plan against RCL intents")
     Term.(
       const verify $ scale_arg $ seed_arg $ plan $ devices $ intents
-      $ distributed $ trace_out_arg $ metrics_out_arg $ journal_out_arg)
+      $ distributed $ fail_prob_arg $ chaos_mode_arg $ chaos_seed_arg
+      $ degrade $ trace_out_arg $ metrics_out_arg $ journal_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan lint                                                          *)

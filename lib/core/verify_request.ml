@@ -26,6 +26,15 @@ type request = {
   rq_intents : Intents.t list;
 }
 
+(** Distributed-mode subtask coverage: how much of the split actually
+    reached the merge (the phase outcome contract, surfaced). *)
+type coverage = {
+  cov_total : int;
+  cov_merged : int;
+  cov_failed : (string * string) list;
+      (* permanently-failed subtask ids with their terminal reasons *)
+}
+
 type result = {
   vr_request : string;
   vr_ok : bool;
@@ -41,6 +50,11 @@ type result = {
       (** the static pre-checker's verdict for every intent *)
   vr_sim_skipped : bool;
       (** every intent was resolved statically; no fixpoint ran *)
+  vr_coverage : coverage option;
+      (** distributed mode only: subtask coverage of the route phase *)
+  vr_partial : bool;
+      (** the simulated state is missing permanently-failed subtasks'
+          results; [vr_ok] is never [true] when this is set *)
   vr_updated_model : Model.t;
   vr_base_rib : Route.t list;
   vr_updated_rib : Route.t list;
@@ -89,8 +103,8 @@ let lint_specs (intents : Intents.t list) : (string * string) list =
     ([verify.lint_gate] / [verify.model_update] / [verify.route_sim] /
     [verify.traffic_sim] / [verify.intents]); the static-analysis gate
     additionally journals its outcome as a [lint.gate] event. *)
-let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
-    (base : Preprocess.base) (rq : request) : result =
+let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true) ?chaos
+    ?(on_partial = `Refuse) (base : Preprocess.base) (rq : request) : result =
   let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
   let rq_sp =
     Telemetry.span tm ~args:[ ("request", rq.rq_name) ] "verify.request"
@@ -128,6 +142,8 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
       vr_gated = true;
       vr_precheck = [];
       vr_sim_skipped = false;
+      vr_coverage = None;
+      vr_partial = false;
       vr_updated_model = base.Preprocess.b_model;
       vr_base_rib = [];
       vr_updated_rib = [];
@@ -234,22 +250,41 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
   let sim_skipped = precheck && rq.rq_intents <> [] && sim_intents = [] in
   (* 3. route simulation on the updated model; reclaimed prefixes were
      removed from the inputs above, announced ones are added here *)
-  let updated_rib =
-    if sim_skipped then []
+  let updated_rib, dist_coverage =
+    if sim_skipped then ([], None)
     else
       Telemetry.with_span tm "verify.route_sim" (fun () ->
           match mode with
           | Direct ->
-              (Route_sim.run ~tm updated_model ~input_routes
-                 ~new_routes:rq.rq_plan.Cp.cp_new_routes ())
-                .Route_sim.rib
+              ( (Route_sim.run ~tm updated_model ~input_routes
+                   ~new_routes:rq.rq_plan.Cp.cp_new_routes ())
+                  .Route_sim.rib,
+                None )
           | Distributed { servers = _; subtasks } ->
-              let fw = Framework.create ~tm updated_model in
+              let fw = Framework.create ~tm ?chaos updated_model in
               let phase =
                 Framework.run_route_phase ~subtasks fw
                   ~input_routes:(input_routes @ rq.rq_plan.Cp.cp_new_routes)
               in
-              phase.Framework.rp_rib)
+              let cov =
+                {
+                  cov_total = List.length phase.Framework.rp_subtasks;
+                  cov_merged =
+                    List.length phase.Framework.rp_subtasks
+                    - List.length phase.Framework.rp_failed;
+                  cov_failed =
+                    List.map
+                      (fun (f : Framework.subtask_failure) ->
+                        (f.Framework.sf_id, f.Framework.sf_reason))
+                      phase.Framework.rp_failed;
+                }
+              in
+              (phase.Framework.rp_rib, Some cov))
+  in
+  let partial =
+    match dist_coverage with
+    | Some c -> c.cov_merged < c.cov_total
+    | None -> false
   in
   (* 4. traffic simulation (lazy: only if an intent needs it) *)
   let updated_traffic =
@@ -260,8 +295,14 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
   in
   (* 5. intent verification for whatever the pre-checker left open *)
   let base_rib = if sim_skipped then [] else Lazy.force base.Preprocess.b_rib in
+  (* partial distributed results: intent verdicts over an incomplete RIB
+     would be unsound (a route missing from a failed subtask looks like a
+     reachability violation — or masks one).  The default refuses to
+     verify; the graceful-degradation mode verifies anyway but the result
+     is flagged [vr_partial] and can never be [vr_ok]. *)
+  let refuse_partial = partial && on_partial = `Refuse in
   let sim_violations =
-    if sim_intents = [] then []
+    if sim_intents = [] || refuse_partial then []
     else
       Telemetry.with_span tm "verify.intents" (fun () ->
           List.concat_map
@@ -272,24 +313,28 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
             sim_intents)
   in
   let violations = static_violations @ sim_violations in
+  let ok = violations = [] && warnings = [] && not partial in
   Telemetry.finish tm rq_sp;
   if Telemetry.enabled tm then
     Telemetry.event tm "verify.done"
       [
         ("request", Journal.S rq.rq_name);
-        ("ok", Journal.B (violations = [] && warnings = []));
+        ("ok", Journal.B ok);
         ("violations", Journal.I (List.length violations));
         ("sim_skipped", Journal.B sim_skipped);
+        ("partial", Journal.B partial);
       ];
   {
     vr_request = rq.rq_name;
-    vr_ok = violations = [] && warnings = [];
+    vr_ok = ok;
     vr_violations = violations;
     vr_plan_warnings = warnings;
     vr_lint = lint_diags;
     vr_gated = false;
     vr_precheck = precheck_results;
     vr_sim_skipped = sim_skipped;
+    vr_coverage = dist_coverage;
+    vr_partial = partial;
     vr_updated_model = updated_model;
     vr_base_rib = base_rib;
     vr_updated_rib = updated_rib;
@@ -310,6 +355,20 @@ let report (r : result) : string =
        (if r.vr_sim_skipped then
           " [all intents resolved statically; simulation skipped]"
         else ""));
+  (match r.vr_coverage with
+  | Some c ->
+      Buffer.add_string b
+        (Printf.sprintf "coverage: %d/%d subtasks merged%s\n" c.cov_merged
+           c.cov_total
+           (if r.vr_partial then
+              " [PARTIAL: intent verdicts unsound over missing results]"
+            else ""));
+      List.iter
+        (fun (id, reason) ->
+          Buffer.add_string b
+            (Printf.sprintf "failed subtask: %s: %s\n" id reason))
+        c.cov_failed
+  | None -> ());
   List.iter
     (fun (intent, verdict) ->
       match verdict with

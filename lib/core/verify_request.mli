@@ -12,6 +12,16 @@ type request = {
   rq_intents : Intents.t list;
 }
 
+(** Distributed-mode subtask coverage: how much of the split actually
+    reached the merge (the framework's phase outcome contract,
+    surfaced). *)
+type coverage = {
+  cov_total : int;
+  cov_merged : int;
+  cov_failed : (string * string) list;
+      (** permanently-failed subtask ids with their terminal reasons *)
+}
+
 type result = {
   vr_request : string;
   vr_ok : bool;  (** no violations and no plan-application warnings *)
@@ -28,6 +38,11 @@ type result = {
   vr_sim_skipped : bool;
       (** the pre-checker resolved every intent statically, so no
           simulation ran (the RIB fields are then empty) *)
+  vr_coverage : coverage option;
+      (** distributed mode only: subtask coverage of the route phase *)
+  vr_partial : bool;
+      (** the simulated state is missing permanently-failed subtasks'
+          results; [vr_ok] is never [true] when this is set *)
   vr_updated_model : Hoyan_sim.Model.t;
   vr_base_rib : Route.t list;
   vr_updated_rib : Route.t list;
@@ -61,12 +76,22 @@ type lint_gate = Lint_off | Lint_warn | Lint_fail
     statically refuted intents become violations with a static witness,
     and when every intent of a non-empty request is proved or refuted the
     route/traffic fixpoints are skipped entirely
-    ([vr_sim_skipped = true]). *)
+    ([vr_sim_skipped = true]).
+
+    In [Distributed] mode, [chaos] injects faults into the framework and
+    the route phase's outcome contract is surfaced as [vr_coverage].
+    When subtasks failed permanently the result is partial; [on_partial]
+    picks the policy: [`Refuse] (the default) withholds intent verdicts
+    over the incomplete RIB (no simulated violations are reported, and
+    [vr_ok = false]); [`Degrade] verifies anyway but flags the result
+    [vr_partial] — a partial result is never [vr_ok]. *)
 val run :
   ?tm:Hoyan_telemetry.Telemetry.t ->
   ?mode:sim_mode ->
   ?lint:lint_gate ->
   ?precheck:bool ->
+  ?chaos:Hoyan_dist.Chaos.t ->
+  ?on_partial:[ `Refuse | `Degrade ] ->
   Preprocess.base ->
   request ->
   result

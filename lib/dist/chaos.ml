@@ -1,0 +1,152 @@
+(** Seeded deterministic fault injection for the distributed framework.
+
+    The paper's framework is fault-tolerant by design: the master
+    monitors the subtask DB and re-sends failed subtasks (§3, Figure 3).
+    Exercising that machinery needs failures that are {e reproducible} —
+    a CI run and a local run with the same seed must inject the same
+    faults at the same points.  So instead of drawing from a shared RNG
+    (whose stream depends on call order), every injection site asks a
+    pure decision function keyed by (seed, site, subtask/object key,
+    sequence number): the same plan applied to the same workload always
+    strikes the same victims, whatever the execution interleaving.
+
+    Sites:
+    - [Crash]: the worker dies between dequeue and completion (the
+      original [fail_prob] injection).
+    - [Storage_loss]: an uploaded object is lost after the put (the
+      worker's get then misses).
+    - [Mq_drop]: a pushed message never arrives.
+    - [Mq_dup]: a pushed message is delivered twice.
+    - [Stall]: the worker wedges mid-subtask and never updates the DB;
+      modelled as an attempt whose lease has already expired by the time
+      the master's monitor scans.
+
+    [lose_always] / [lose_first] target specific object keys (every put
+    lost / only the first put lost) for regression tests that need a
+    named victim rather than a probabilistic one. *)
+
+type site = Crash | Storage_loss | Mq_drop | Mq_dup | Stall
+
+let site_label = function
+  | Crash -> "crash"
+  | Storage_loss -> "storage_loss"
+  | Mq_drop -> "mq_drop"
+  | Mq_dup -> "mq_dup"
+  | Stall -> "stall"
+
+type t = {
+  c_seed : int;
+  c_crash_prob : float;
+  c_storage_loss_prob : float;
+  c_mq_drop_prob : float;
+  c_mq_dup_prob : float;
+  c_stall_prob : float;
+  c_stall_s : float; (* modelled duration of a stalled attempt *)
+  c_lose_always : string list; (* object keys: every put is lost *)
+  c_lose_first : string list; (* object keys: only the first put is lost *)
+}
+
+let none =
+  {
+    c_seed = 0;
+    c_crash_prob = 0.;
+    c_storage_loss_prob = 0.;
+    c_mq_drop_prob = 0.;
+    c_mq_dup_prob = 0.;
+    c_stall_prob = 0.;
+    c_stall_s = 120.;
+    c_lose_always = [];
+    c_lose_first = [];
+  }
+
+let make ?(seed = 42) ?(crash_prob = 0.) ?(storage_loss_prob = 0.)
+    ?(mq_drop_prob = 0.) ?(mq_dup_prob = 0.) ?(stall_prob = 0.)
+    ?(stall_s = 120.) ?(lose_always = []) ?(lose_first = []) () : t =
+  {
+    c_seed = seed;
+    c_crash_prob = crash_prob;
+    c_storage_loss_prob = storage_loss_prob;
+    c_mq_drop_prob = mq_drop_prob;
+    c_mq_dup_prob = mq_dup_prob;
+    c_stall_prob = stall_prob;
+    c_stall_s = stall_s;
+    c_lose_always = lose_always;
+    c_lose_first = lose_first;
+  }
+
+let is_none (t : t) =
+  t.c_crash_prob = 0. && t.c_storage_loss_prob = 0. && t.c_mq_drop_prob = 0.
+  && t.c_mq_dup_prob = 0. && t.c_stall_prob = 0. && t.c_lose_always = []
+  && t.c_lose_first = []
+
+let prob (t : t) = function
+  | Crash -> t.c_crash_prob
+  | Storage_loss -> t.c_storage_loss_prob
+  | Mq_drop -> t.c_mq_drop_prob
+  | Mq_dup -> t.c_mq_dup_prob
+  | Stall -> t.c_stall_prob
+
+(* FNV-1a-style mixing over the site label, the key and the sequence
+   number; 63-bit native ints, so the constants fit.  The multiply only
+   carries entropy upward, so each step also folds the high bits back
+   down ([lxor (lsr 27)]) — without it, the final small input (the
+   sequence number) would only wiggle the low bits and fault decisions
+   would be near-identical across attempts.  Not cryptographic — just a
+   stable, well-spread hash that does not depend on OCaml's
+   [Hashtbl.hash] internals. *)
+let mix h k =
+  let h = (h lxor k) * 0x100000001b3 land max_int in
+  h lxor (h lsr 27)
+
+(* final avalanche: two more multiply/fold rounds, then sample the HIGH
+   30 bits (best mixed by the multiplies) as a float in [0, 1) *)
+let finalize h =
+  let h = h * 0x1b873593 land max_int in
+  let h = h lxor (h lsr 31) in
+  let h = h * 0x100000001b3 land max_int in
+  float_of_int ((h lsr 32) land 0x3FFFFFFF) /. float_of_int 0x40000000
+
+let hash01 (t : t) ~(site : site) ~(key : string) ~(seq : int) : float =
+  let h = ref (mix 0x1cbf29ce (t.c_seed + 0x5e3779b9)) in
+  String.iter (fun c -> h := mix !h (Char.code c)) (site_label site);
+  h := mix !h 0xff;
+  String.iter (fun c -> h := mix !h (Char.code c)) key;
+  h := mix !h (seq + 1);
+  finalize !h
+
+(** Does the fault at [site] strike [key] on its [seq]-th occurrence?
+    Pure: same plan, same arguments — same answer. *)
+let strikes (t : t) ~(site : site) ~(key : string) ~(seq : int) : bool =
+  let p = prob t site in
+  p > 0. && hash01 t ~site ~key ~seq < p
+
+(** Is the [seq]-th put of object [key] lost?  Combines the targeted
+    victim lists with the probabilistic [Storage_loss] site.  [seq] is
+    1-based (the first put of a key has [seq = 1]). *)
+let put_lost (t : t) ~(key : string) ~(seq : int) : bool =
+  List.mem key t.c_lose_always
+  || (seq = 1 && List.mem key t.c_lose_first)
+  || strikes t ~site:Storage_loss ~key ~seq
+
+let to_string (t : t) =
+  if is_none t then "none"
+  else
+    let p name v = if v > 0. then Some (Printf.sprintf "%s=%.2f" name v) else None in
+    let targeted =
+      (if t.c_lose_always = [] then []
+       else [ Printf.sprintf "lose_always=%d" (List.length t.c_lose_always) ])
+      @
+      if t.c_lose_first = [] then []
+      else [ Printf.sprintf "lose_first=%d" (List.length t.c_lose_first) ]
+    in
+    String.concat " "
+      (List.filter_map Fun.id
+         [
+           p "crash" t.c_crash_prob;
+           p "storage-loss" t.c_storage_loss_prob;
+           p "mq-drop" t.c_mq_drop_prob;
+           p "mq-dup" t.c_mq_dup_prob;
+           p "stall" t.c_stall_prob;
+         ]
+      @ targeted
+      @ [ Printf.sprintf "seed=%d" t.c_seed ])

@@ -1,0 +1,58 @@
+(** Seeded deterministic fault injection for the distributed framework.
+
+    Every injection site asks a pure decision function keyed by
+    (seed, site, key, sequence number), so the same plan applied to the
+    same workload strikes the same victims whatever the execution
+    interleaving — chaos runs are reproducible in CI and locally. *)
+
+type site =
+  | Crash  (** worker dies between dequeue and completion *)
+  | Storage_loss  (** an uploaded object is lost after the put *)
+  | Mq_drop  (** a pushed message never arrives *)
+  | Mq_dup  (** a pushed message is delivered twice *)
+  | Stall
+      (** the worker wedges mid-subtask and never updates the DB; the
+          master recovers it when the attempt's lease expires *)
+
+val site_label : site -> string
+
+type t = {
+  c_seed : int;
+  c_crash_prob : float;
+  c_storage_loss_prob : float;
+  c_mq_drop_prob : float;
+  c_mq_dup_prob : float;
+  c_stall_prob : float;
+  c_stall_s : float;  (** modelled duration of a stalled attempt *)
+  c_lose_always : string list;  (** object keys: every put is lost *)
+  c_lose_first : string list;  (** object keys: only the first put is lost *)
+}
+
+(** No injection anywhere (the default plan). *)
+val none : t
+
+val make :
+  ?seed:int ->
+  ?crash_prob:float ->
+  ?storage_loss_prob:float ->
+  ?mq_drop_prob:float ->
+  ?mq_dup_prob:float ->
+  ?stall_prob:float ->
+  ?stall_s:float ->
+  ?lose_always:string list ->
+  ?lose_first:string list ->
+  unit ->
+  t
+
+val is_none : t -> bool
+
+(** Does the fault at [site] strike [key] on its [seq]-th occurrence?
+    Pure: same plan, same arguments — same answer. *)
+val strikes : t -> site:site -> key:string -> seq:int -> bool
+
+(** Is the [seq]-th put of object [key] lost?  Combines the targeted
+    victim lists with the probabilistic {!Storage_loss} site ([seq] is
+    1-based). *)
+val put_lost : t -> key:string -> seq:int -> bool
+
+val to_string : t -> string

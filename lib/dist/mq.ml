@@ -28,10 +28,19 @@ type t = {
   q : message Queue.t;
   mutable pushed : int;
   mutable consumed : int;
+  mutable dropped : int; (* chaos: messages lost before delivery *)
+  mutable duplicated : int; (* chaos: messages delivered twice *)
 }
 
 let create () =
-  { mu = Mutex.create (); q = Queue.create (); pushed = 0; consumed = 0 }
+  {
+    mu = Mutex.create ();
+    q = Queue.create ();
+    pushed = 0;
+    consumed = 0;
+    dropped = 0;
+    duplicated = 0;
+  }
 
 let locked (t : t) f =
   Mutex.lock t.mu;
@@ -50,7 +59,18 @@ let pop (t : t) : message option =
           Some m
       | None -> None)
 
+(** Chaos accounting: a push the queue never saw (the message was lost
+    in flight).  Counted so chaos runs can assert the fault actually
+    fired. *)
+let note_dropped (t : t) = locked t (fun () -> t.dropped <- t.dropped + 1)
+
+(** Chaos accounting: a push that was delivered twice. *)
+let note_duplicated (t : t) =
+  locked t (fun () -> t.duplicated <- t.duplicated + 1)
+
 let length (t : t) = locked t (fun () -> Queue.length t.q)
 let is_empty (t : t) = locked t (fun () -> Queue.is_empty t.q)
 let pushed (t : t) = locked t (fun () -> t.pushed)
 let consumed (t : t) = locked t (fun () -> t.consumed)
+let dropped (t : t) = locked t (fun () -> t.dropped)
+let duplicated (t : t) = locked t (fun () -> t.duplicated)

@@ -30,3 +30,12 @@ val pushed : t -> int
 
 (** Messages delivered to workers. *)
 val consumed : t -> int
+
+(** {2 Chaos accounting} (see {!Chaos}): counters for messages lost in
+    flight or delivered twice, so fault-injection runs can assert the
+    faults actually fired. *)
+
+val note_dropped : t -> unit
+val note_duplicated : t -> unit
+val dropped : t -> int
+val duplicated : t -> int

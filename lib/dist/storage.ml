@@ -97,6 +97,11 @@ let get (t : t) ~key : obj option =
           Some o
       | None -> None)
 
+(** Remove an object (no accounting: the data vanishes rather than
+    transfers).  Used by chaos injection to model object loss and by
+    tests that delete a result file out from under the master. *)
+let delete (t : t) ~key = locked t (fun () -> Hashtbl.remove t.objects key)
+
 let size_of (t : t) ~key =
   locked t (fun () -> Option.map obj_size (Hashtbl.find_opt t.objects key))
 

@@ -53,6 +53,10 @@ val put : t -> key:string -> obj -> unit
 (** Download: accounted as one read file of the object's size. *)
 val get : t -> key:string -> obj option
 
+(** Remove an object (no accounting: the data vanishes rather than
+    transfers).  Used by chaos injection to model object loss. *)
+val delete : t -> key:string -> unit
+
 (** Size without transferring (no accounting). *)
 val size_of : t -> key:string -> int option
 

@@ -4,13 +4,20 @@
 
 open Hoyan_net
 module G = Hoyan_workload.Generator
+module Faultplan = Hoyan_workload.Faultplan
 module Split = Hoyan_dist.Split
 module Framework = Hoyan_dist.Framework
 module Schedule = Hoyan_dist.Schedule
 module Db = Hoyan_dist.Db
+module Mq = Hoyan_dist.Mq
+module Chaos = Hoyan_dist.Chaos
 module Parallel = Hoyan_dist.Parallel
 module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
+module Verify_request = Hoyan_core.Verify_request
+module Preprocess = Hoyan_core.Preprocess
+module Intents = Hoyan_core.Intents
+module Cp = Hoyan_config.Change_plan
 
 
 (* fixed seed: the property suites are deterministic run to run *)
@@ -143,20 +150,29 @@ let test_failure_retry () =
   let phase =
     Framework.run_route_phase ~subtasks:10 fw ~input_routes:g.G.input_routes
   in
-  (* despite injected worker crashes, every subtask eventually completes
-     (the master re-sends failed subtasks) and the result is correct *)
-  check tbool "all subtasks done" true (Db.all_done fw.Framework.db);
-  let direct =
-    (Route_sim.run g.G.model ~input_routes:g.G.input_routes ()).Route_sim.rib
-  in
-  check tbool "rib correct despite failures" true
-    (Rib.Global.equal direct phase.Framework.rp_rib);
-  (* at least one retry actually happened *)
+  (* despite injected worker crashes, the monitor re-sends every failed
+     subtask; under the outcome contract the phase either completes or
+     reports exactly who failed *)
+  check tbool "db settled" true (Db.all_settled fw.Framework.db);
+  (if phase.Framework.rp_complete then begin
+     check tbool "no failures reported" true (phase.Framework.rp_failed = []);
+     let direct =
+       (Route_sim.run g.G.model ~input_routes:g.G.input_routes ())
+         .Route_sim.rib
+     in
+     check tbool "rib correct despite failures" true
+       (Rib.Global.equal direct phase.Framework.rp_rib)
+   end
+   else
+     check tbool "incomplete phase lists its failures" true
+       (phase.Framework.rp_failed <> []));
+  (* at least one retry actually happened, through the monitor *)
   let retried =
     Db.all fw.Framework.db
     |> List.exists (fun (_, e) -> Db.attempts e > 1)
   in
-  check tbool "some subtask was retried" true retried
+  check tbool "some subtask was retried" true retried;
+  check tbool "monitor re-sent something" true (phase.Framework.rp_resends > 0)
 
 let test_schedule_makespan () =
   (* makespan on 1 server is the sum; more servers monotonically help;
@@ -385,6 +401,290 @@ let prop_dependency_soundness =
             r_splits)
         f_splits)
 
+(* ------------------------------------------------------------------ *)
+(* fault injection: chaos plans, the monitor loop, the outcome contract *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_tbl tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+(* the failure-free reference run every chaos cell is compared against *)
+let baseline =
+  lazy
+    (let g = Lazy.force scenario in
+     let fw = Framework.create g.G.model in
+     let rp =
+       Framework.run_route_phase ~subtasks:10 fw
+         ~input_routes:g.G.input_routes
+     in
+     let tp =
+       Framework.run_traffic_phase ~subtasks:8 fw ~route_phase:rp
+         ~flows:g.G.flows
+     in
+     (rp, tp))
+
+(* the fault-injection matrix: fail_prob in {0, 0.2, 0.5} x
+   {storage loss, mq drop/dup, worker stalls}.  The outcome contract
+   under any cell: the phase either completes with results identical to
+   the failure-free run, or reports the exact set of permanently-failed
+   subtasks — never a silently smaller merge. *)
+let test_fault_matrix () =
+  let g = Lazy.force scenario in
+  let rp0, tp0 = Lazy.force baseline in
+  let base_loads = sorted_tbl tp0.Framework.tp_link_load in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun prob ->
+          let label =
+            Printf.sprintf "%s@%.1f" (Faultplan.mode_to_string mode) prob
+          in
+          let chaos = Faultplan.plan ~seed:7 ~prob mode in
+          let fw = Framework.create ~chaos ~max_attempts:4 g.G.model in
+          let rp =
+            Framework.run_route_phase ~subtasks:10 fw
+              ~input_routes:g.G.input_routes
+          in
+          check tbool (label ^ ": route db settled") true
+            (Db.all_settled fw.Framework.db);
+          check tbool (label ^ ": complete iff no failures") true
+            (rp.Framework.rp_complete = (rp.Framework.rp_failed = []));
+          if rp.Framework.rp_complete then begin
+            check tbool (label ^ ": RIB identical to failure-free run") true
+              (List.equal Route.equal rp0.Framework.rp_rib rp.Framework.rp_rib);
+            let tp =
+              Framework.run_traffic_phase ~subtasks:8 fw ~route_phase:rp
+                ~flows:g.G.flows
+            in
+            check tbool (label ^ ": traffic db settled") true
+              (Db.all_settled fw.Framework.db);
+            check tbool (label ^ ": traffic complete iff no failures") true
+              (tp.Framework.tp_complete = (tp.Framework.tp_failed = []));
+            if tp.Framework.tp_complete then
+              check tbool
+                (label ^ ": link loads identical to failure-free run")
+                true
+                (base_loads = sorted_tbl tp.Framework.tp_link_load)
+          end)
+        Faultplan.matrix_probs)
+    [ Faultplan.Storage_loss; Faultplan.Mq_faults; Faultplan.Stalls ]
+
+(* satellite regression: a result object that keeps vanishing must
+   surface in the phase outcome, not silently shrink the merge *)
+let test_result_object_loss_reported () =
+  let g = Lazy.force scenario in
+  let chaos = Chaos.make ~lose_always:[ "route-001.rib" ] () in
+  let fw = Framework.create ~chaos g.G.model in
+  let rp =
+    Framework.run_route_phase ~subtasks:10 fw ~input_routes:g.G.input_routes
+  in
+  check tbool "phase reports incomplete" false rp.Framework.rp_complete;
+  check tint "exactly the one victim failed" 1
+    (List.length rp.Framework.rp_failed);
+  let f = List.hd rp.Framework.rp_failed in
+  check Alcotest.string "victim id" "route-001" f.Framework.sf_id;
+  check Alcotest.string "reason is the missing result" "result object missing"
+    f.Framework.sf_reason;
+  check tint "retry budget honoured" fw.Framework.max_attempts
+    f.Framework.sf_attempts;
+  (* the rest of the phase is intact and settled *)
+  check tbool "db settled" true (Db.all_settled fw.Framework.db)
+
+(* satellite: a lost input object is a recoverable failure — the monitor
+   re-uploads from the split the master retained and the subtask
+   completes on the next attempt *)
+let test_missing_input_reupload () =
+  let g = Lazy.force scenario in
+  let chaos = Chaos.make ~lose_first:[ "route-002.in" ] () in
+  let fw = Framework.create ~chaos g.G.model in
+  let rp =
+    Framework.run_route_phase ~subtasks:10 fw ~input_routes:g.G.input_routes
+  in
+  check tbool "phase completes after re-upload" true rp.Framework.rp_complete;
+  check tbool "monitor re-uploaded the input" true
+    (fw.Framework.stats.Framework.ms_reuploads >= 1);
+  check tbool "subtask was retried" true
+    (Db.attempts (Db.find_exn fw.Framework.db "route-002") > 1);
+  let rp0, _ = Lazy.force baseline in
+  check tbool "rib identical to failure-free run" true
+    (List.equal Route.equal rp0.Framework.rp_rib rp.Framework.rp_rib)
+
+(* stalled workers never write the DB; the master reclaims their
+   subtasks when the lease expires *)
+let test_stall_lease_recovery () =
+  let g = Lazy.force scenario in
+  let chaos = Chaos.make ~stall_prob:0.4 ~seed:3 () in
+  (* stall_prob 0.4 with a budget of 10: the chance of any of the ten
+     subtasks exhausting it is ~0.1% — and the run is deterministic, so
+     this seed is known to recover *)
+  let fw = Framework.create ~chaos ~max_attempts:10 g.G.model in
+  let rp =
+    Framework.run_route_phase ~subtasks:10 fw ~input_routes:g.G.input_routes
+  in
+  check tbool "leases actually expired" true
+    (fw.Framework.stats.Framework.ms_lease_expired > 0);
+  check tbool "phase recovered" true rp.Framework.rp_complete;
+  let rp0, _ = Lazy.force baseline in
+  check tbool "rib identical to failure-free run" true
+    (List.equal Route.equal rp0.Framework.rp_rib rp.Framework.rp_rib)
+
+(* MQ loss costs a re-send but no attempt (the subtask never ran);
+   duplication is absorbed by the worker-side delivery gate *)
+let test_mq_drop_dup () =
+  let g = Lazy.force scenario in
+  let chaos = Chaos.make ~mq_drop_prob:0.3 ~mq_dup_prob:0.3 ~seed:5 () in
+  let fw = Framework.create ~chaos g.G.model in
+  let rp =
+    Framework.run_route_phase ~subtasks:10 fw ~input_routes:g.G.input_routes
+  in
+  let dropped = Mq.dropped fw.Framework.mq
+  and duplicated = Mq.duplicated fw.Framework.mq in
+  check tbool "some messages dropped or duplicated" true
+    (dropped + duplicated > 0);
+  check tbool "phase nevertheless completes" true rp.Framework.rp_complete;
+  if dropped > 0 then
+    check tbool "drops were re-sent by the monitor" true
+      (rp.Framework.rp_resends > 0);
+  if duplicated > 0 then
+    check tbool "duplicate deliveries ignored as stale" true
+      (fw.Framework.stats.Framework.ms_stale_msgs > 0);
+  let rp0, _ = Lazy.force baseline in
+  check tbool "rib identical to failure-free run" true
+    (List.equal Route.equal rp0.Framework.rp_rib rp.Framework.rp_rib)
+
+(* chaos decisions are a pure function of (seed, site, key, seq): the
+   same plan replays to the identical failure history *)
+let test_chaos_determinism () =
+  let g = Lazy.force scenario in
+  let run () =
+    let chaos = Faultplan.plan ~seed:99 ~prob:0.4 Faultplan.Mixed in
+    let fw = Framework.create ~chaos ~max_attempts:4 g.G.model in
+    let rp =
+      Framework.run_route_phase ~subtasks:10 fw
+        ~input_routes:g.G.input_routes
+    in
+    ( rp.Framework.rp_failed,
+      rp.Framework.rp_resends,
+      fw.Framework.stats.Framework.ms_lease_expired,
+      fw.Framework.stats.Framework.ms_terminal,
+      Mq.dropped fw.Framework.mq,
+      Mq.duplicated fw.Framework.mq )
+  in
+  check tbool "identical replay under the same seed" true (run () = run ())
+
+(* at fail_prob 1.0 nothing can ever succeed: the monitor must still
+   terminate, exhaust every budget, and report every subtask *)
+let test_total_failure_terminates () =
+  let g = Lazy.force scenario in
+  let fw = Framework.create ~fail_prob:1.0 g.G.model in
+  let rp =
+    Framework.run_route_phase ~subtasks:5 fw ~input_routes:g.G.input_routes
+  in
+  check tbool "phase reports incomplete" false rp.Framework.rp_complete;
+  check tint "every subtask permanently failed"
+    (List.length rp.Framework.rp_subtasks)
+    (List.length rp.Framework.rp_failed);
+  List.iter
+    (fun (f : Framework.subtask_failure) ->
+      check tint "budget honoured" fw.Framework.max_attempts f.Framework.sf_attempts)
+    rp.Framework.rp_failed
+
+(* satellite: the aggregated EC counters come from the simulators'
+   per-subtask results, not from input-list lengths or subtask counts *)
+let test_ec_counts () =
+  let g = Lazy.force scenario in
+  let fw = Framework.create g.G.model in
+  let rp =
+    Framework.run_route_phase ~subtasks:10 ~use_ecs:false fw
+      ~input_routes:g.G.input_routes
+  in
+  (* with EC compression off, each input is its own class: the sum over
+     subtasks must equal the total input count exactly *)
+  check tint "ECs off: rp_ec_inputs = total inputs"
+    (List.length g.G.input_routes)
+    rp.Framework.rp_ec_inputs;
+  let tp =
+    Framework.run_traffic_phase ~subtasks:8 ~use_ecs:false fw ~route_phase:rp
+      ~flows:g.G.flows
+  in
+  check tint "ECs off: tp_ec_count = total flows" (List.length g.G.flows)
+    tp.Framework.tp_ec_count;
+  (* with ECs on, compression can only reduce the class count *)
+  let fw2 = Framework.create g.G.model in
+  let rp2 =
+    Framework.run_route_phase ~subtasks:10 fw2 ~input_routes:g.G.input_routes
+  in
+  check tbool "ECs on: 0 < classes <= inputs" true
+    (rp2.Framework.rp_ec_inputs > 0
+    && rp2.Framework.rp_ec_inputs <= List.length g.G.input_routes)
+
+(* satellite: the range seed must respect the subtask's address family
+   instead of collapsing to the v4 zero pair *)
+let test_seed_range () =
+  let route p = Route.make ~device:"R" ~prefix:(Prefix.of_string_exn p) () in
+  check tbool "no range, no rows: stays None" true
+    (Framework.seed_range None [] = None);
+  (match Framework.seed_range None [ route "2001:db8::/32" ] with
+  | Some (lo, hi) ->
+      check tbool "v6 rows seed a v6 range" true
+        (Ip.family lo = Ip.Ipv6 && Ip.family hi = Ip.Ipv6)
+  | None -> Alcotest.fail "expected a seeded range");
+  let r4 = route "10.0.0.0/8" in
+  match
+    Framework.seed_range (Some (Ip.V4 0x0b000000, Ip.V4 0x0b0000ff)) [ r4 ]
+  with
+  | Some (lo, hi) ->
+      check tbool "existing range is widened to cover the rows" true
+        (Ip.compare lo (Prefix.first_addr r4.Route.prefix) <= 0
+        && Ip.compare hi (Prefix.last_addr r4.Route.prefix) >= 0)
+  | None -> Alcotest.fail "expected a range"
+
+(* the verification pipeline refuses intent verdicts over partial
+   distributed results (and can never report PASS on them) *)
+let test_verify_partial_refusal () =
+  let g = Lazy.force scenario in
+  let base =
+    Preprocess.prepare g.G.model ~monitored_routes:g.G.input_routes
+      ~monitored_flows:g.G.flows
+  in
+  let rq =
+    {
+      Verify_request.rq_name = "chaos-partial";
+      rq_plan = Cp.make "test" ~commands:[];
+      rq_intents = [ Intents.Route_change "PRE = POST" ];
+    }
+  in
+  let mode = Verify_request.Distributed { servers = 4; subtasks = 10 } in
+  let chaos = Chaos.make ~lose_always:[ "route-001.rib" ] () in
+  let res = Verify_request.run ~mode ~chaos base rq in
+  check tbool "partial flagged" true res.Verify_request.vr_partial;
+  check tbool "partial is never ok" false res.Verify_request.vr_ok;
+  (match res.Verify_request.vr_coverage with
+  | Some c ->
+      check tint "one subtask missing"
+        (c.Verify_request.cov_total - 1)
+        c.Verify_request.cov_merged;
+      check tbool "the victim is named" true
+        (List.mem_assoc "route-001" c.Verify_request.cov_failed)
+  | None -> Alcotest.fail "expected coverage on a distributed run");
+  (* default policy: verdicts over the incomplete RIB are withheld *)
+  check tint "no simulated violations under refusal" 0
+    (List.length res.Verify_request.vr_violations);
+  (* graceful degradation verifies anyway, but stays flagged and failed *)
+  let res2 = Verify_request.run ~mode ~chaos ~on_partial:`Degrade base rq in
+  check tbool "degrade: still partial, still not ok" true
+    (res2.Verify_request.vr_partial && not res2.Verify_request.vr_ok);
+  (* and a chaos-free distributed run is complete and passes *)
+  let res3 = Verify_request.run ~mode base rq in
+  check tbool "no chaos: complete" false res3.Verify_request.vr_partial;
+  (match res3.Verify_request.vr_coverage with
+  | Some c ->
+      check tint "full coverage" c.Verify_request.cov_total
+        c.Verify_request.cov_merged
+  | None -> Alcotest.fail "expected coverage on a distributed run");
+  check tbool "no chaos: ok" true res3.Verify_request.vr_ok
+
 let suite =
   [
     ("split routes (ordered)", `Quick, test_split_routes_ordered);
@@ -393,6 +693,16 @@ let suite =
     ("traffic phase + ordering heuristic", `Slow, test_traffic_phase_and_dependencies);
     ("random split loads all", `Slow, test_random_split_loads_everything);
     ("failure injection + retry", `Slow, test_failure_retry);
+    ("fault-injection matrix", `Slow, test_fault_matrix);
+    ("result-object loss is reported", `Slow, test_result_object_loss_reported);
+    ("missing input is re-uploaded", `Slow, test_missing_input_reupload);
+    ("stall recovery via lease expiry", `Slow, test_stall_lease_recovery);
+    ("mq drop/dup recovery", `Slow, test_mq_drop_dup);
+    ("chaos plans replay deterministically", `Slow, test_chaos_determinism);
+    ("total failure still terminates", `Slow, test_total_failure_terminates);
+    ("aggregated EC counts are real", `Slow, test_ec_counts);
+    ("seed_range respects address family", `Quick, test_seed_range);
+    ("verify refuses partial results", `Slow, test_verify_partial_refusal);
     ("schedule makespan", `Quick, test_schedule_makespan);
     ("schedule LPT vs FIFO", `Quick, test_schedule_lpt);
     ("schedule edge cases", `Quick, test_schedule_edge_cases);
