@@ -1,7 +1,7 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
-.PHONY: all build test bench perf lint analyze check telemetry-bench \
-	semantic-bench chaos smoke clean
+.PHONY: all build test bench perf route-bench lint analyze check \
+	telemetry-bench semantic-bench chaos smoke clean
 
 all: build
 
@@ -16,7 +16,13 @@ bench:
 
 # Full perf harness: writes the per-PR JSON (see DESIGN.md §2.1).
 perf:
-	dune exec bench/main.exe -- --perf --out BENCH_PR2.json
+	dune exec bench/main.exe -- --perf --out BENCH_PR6.json
+
+# Quick route-phase gate: sequential-vs-parallel identity (multiset vs
+# the sequential reference, byte-identity across domain counts) on the
+# packed-key arena pipeline (DESIGN.md §2.6).
+route-bench:
+	dune exec bench/main.exe -- --route-bench --quick
 
 # Static analysis: build with the strict warning set, then run the
 # `hoyan lint` pass over a generated WAN corpus (exits non-zero on any

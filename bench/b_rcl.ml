@@ -35,7 +35,7 @@ let figure6_7 () =
     List.map
       (fun (r : Route.t) ->
         if Prefix.equal r.Route.prefix (pfx "10.0.0.0/24") then
-          { r with Route.local_pref = 300 }
+          Route.with_local_pref r 300
         else r)
       base
   in
@@ -135,7 +135,7 @@ let figure8 () =
     List.map
       (fun (r : Route.t) ->
         if String.equal r.Route.device changed_dev && r.Route.proto = Route.Bgp
-        then { r with Route.local_pref = r.Route.local_pref + 5 }
+        then Route.with_local_pref r (Route.local_pref r + 5)
         else r)
       base
   in

@@ -583,7 +583,7 @@ let rcl spec explain =
           List.map
             (fun (r : Route.t) ->
               if Prefix.equal r.Route.prefix (pfx "10.0.0.0/24") then
-                { r with Route.local_pref = 300 }
+                Route.with_local_pref r 300
               else r)
             base
         in

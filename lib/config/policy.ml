@@ -76,9 +76,9 @@ let eval_match ?(regex = default_regex) (cfg : Types.t) (vsb : Vsb.t)
 let apply_set (r : Route.t) (clause : Types.set_clause) :
     Route.t * bool (* overwrote AS path *) =
   match clause with
-  | Types.Set_local_pref v -> ({ r with Route.local_pref = v }, false)
-  | Types.Set_med v -> ({ r with Route.med = v }, false)
-  | Types.Set_weight v -> ({ r with Route.weight = v }, false)
+  | Types.Set_local_pref v -> (Route.with_local_pref r v, false)
+  | Types.Set_med v -> (Route.with_med r v, false)
+  | Types.Set_weight v -> (Route.with_weight r v, false)
   | Types.Set_preference v -> ({ r with Route.preference = v }, false)
   | Types.Set_tag v -> ({ r with Route.tag = v }, false)
   | Types.Set_nexthop ip -> ({ r with Route.nexthop = Some ip }, false)

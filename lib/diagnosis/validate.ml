@@ -40,7 +40,8 @@ let key (r : Route.t) = (r.Route.device, r.Route.vrf, r.Route.prefix)
    and only exposes best routes; project a simulated route the same way
    before comparing attributes so the comparison is apples-to-apples. *)
 let project_for_monitor (r : Route.t) =
-  { r with Route.weight = 0; preference = 0; igp_cost = 0; peer = None }
+  { (Route.with_weight r 0) with
+    Route.preference = 0; igp_cost = 0; peer = None }
 
 let same_attrs (sim : Route.t) (mon : Route.t) =
   Route.equal (project_for_monitor sim) (project_for_monitor mon)

@@ -684,9 +684,11 @@ let run_route_phase ?(strategy = Split.Ordered) ?(subtasks = 100)
             | _ -> None))
   in
   let rib =
-    List.concat rib_chunks
-    |> List.rev_append base_rows
-    |> List.sort_uniq Route.compare
+    (* packed-key arenas: sort each chunk by its int sort key, then a
+       sorted merge — same output as sort_uniq over the concatenation *)
+    let ctx = Parallel.route_key_ctx t.model ~input_routes in
+    Rib.Arena.merge
+      (List.map (Rib.Arena.of_routes ctx) (base_rows :: rib_chunks))
   in
   let locals =
     Smap.fold

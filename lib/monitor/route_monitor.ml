@@ -45,9 +45,8 @@ let observe (t : t) (true_rib : Route.t list) : Route.t list =
       |> List.filter (fun (r : Route.t) -> r.Route.route_type = Route.Best)
       |> List.map (fun (r : Route.t) ->
              {
-               r with
-               Route.weight = 0;
-               preference = 0;
+               (Route.with_weight r 0) with
+               Route.preference = 0;
                igp_cost = 0;
                (* the advertisement loses which peer it was learned from *)
                peer = None;

@@ -3,73 +3,128 @@
     An AS path is a list of segments; a segment is either an ordered
     [Seq]uence of ASNs or an unordered [Set] (produced by route aggregation
     with AS-set).  The path length used by the decision process counts a
-    whole set segment as one hop. *)
+    whole set segment as one hop.
+
+    The representation caches the derived values the BGP hot path keeps
+    asking for: the hop count (consulted by every best-path comparison),
+    a Bloom-style membership mask over the member ASNs (so the AS-loop
+    check of {!contains_asn} — almost always negative — is O(1) in the
+    common case), and a structural hash (a fast negative for {!equal}).
+    Set segments are canonicalized (sorted, deduplicated) at construction,
+    so structural equality of the segment lists coincides with the
+    semantic path equality the old list representation computed on the
+    fly. *)
 
 type segment = Seq of int list | Set of int list
 
-type t = segment list
+type t = {
+  segs : segment list; (* canonical: Set members sorted and unique *)
+  hops : int; (* decision-process length *)
+  mask : int; (* Bloom mask over all member ASNs *)
+  hash : int; (* structural hash of [segs] *)
+}
 
-let empty : t = []
+let asn_bit asn = 1 lsl ((asn * 2654435761) land max_int mod 61)
 
-let of_asns asns : t = match asns with [] -> [] | _ -> [ Seq asns ]
+let seg_hash acc = function
+  | Seq l -> List.fold_left (fun h a -> (h * 31) + a) ((acc * 31) + 17) l
+  | Set l -> List.fold_left (fun h a -> (h * 31) + a) ((acc * 31) + 953) l
 
-let is_empty = function
+(* The only constructor: canonicalizes sets and computes the caches in
+   one pass. *)
+let mk (raw : segment list) : t =
+  let segs =
+    List.map
+      (function
+        | Seq _ as s -> s | Set l -> Set (List.sort_uniq Int.compare l))
+      raw
+  in
+  let hops, mask, hash =
+    List.fold_left
+      (fun (hops, mask, hash) seg ->
+        let hops =
+          match seg with Seq l -> hops + List.length l | Set _ -> hops + 1
+        in
+        let mask =
+          List.fold_left
+            (fun m a -> m lor asn_bit a)
+            mask
+            (match seg with Seq l | Set l -> l)
+        in
+        (hops, mask, seg_hash hash seg))
+      (0, 0, 5381) segs
+  in
+  { segs; hops; mask; hash }
+
+let empty : t = mk []
+
+let segments t = t.segs
+
+let of_segments = mk
+
+let of_asns asns : t = match asns with [] -> empty | _ -> mk [ Seq asns ]
+
+let is_empty t =
+  match t.segs with
   | [] -> true
   | segs ->
       List.for_all (function Seq [] -> true | Set [] -> true | _ -> false) segs
 
 (** Hop count for best-path selection: each ASN in a sequence counts 1,
-    each set segment counts 1 in total. *)
-let length (t : t) =
-  List.fold_left
-    (fun n seg ->
-      match seg with Seq l -> n + List.length l | Set _ -> n + 1)
-    0 t
+    each set segment counts 1 in total.  Cached: O(1). *)
+let length t = t.hops
+
+let hash t = t.hash
 
 (** All ASNs appearing anywhere in the path. *)
-let asns (t : t) =
-  List.concat_map (function Seq l -> l | Set l -> l) t
+let asns t = List.concat_map (function Seq l -> l | Set l -> l) t.segs
 
-let contains_asn asn t = List.mem asn (asns t)
+(** O(1) negative via the membership mask; a scan only when the mask
+    bit is set (possible hit or a Bloom collision). *)
+let contains_asn asn t =
+  t.mask land asn_bit asn <> 0
+  && List.exists
+       (function Seq l | Set l -> List.mem asn l)
+       t.segs
 
 (** Prepend an ASN (standard eBGP export behaviour). *)
-let prepend asn (t : t) : t =
-  match t with
-  | Seq l :: rest -> Seq (asn :: l) :: rest
-  | _ -> Seq [ asn ] :: t
+let prepend asn t : t =
+  match t.segs with
+  | Seq l :: rest -> mk (Seq (asn :: l) :: rest)
+  | segs -> mk (Seq [ asn ] :: segs)
 
 (** Prepend the same ASN [n] times (path prepending policy action). *)
 let prepend_n asn n t =
-  let rec go n t = if n <= 0 then t else go (n - 1) (prepend asn t) in
-  go n t
+  if n <= 0 then t
+  else
+    match t.segs with
+    | Seq l :: rest -> mk (Seq (List.init n (fun _ -> asn) @ l) :: rest)
+    | segs -> mk (Seq (List.init n (fun _ -> asn)) :: segs)
 
+(* Segments are canonical, so plain structural comparison suffices. *)
 let equal_segment a b =
   match (a, b) with
-  | Seq x, Seq y -> List.equal Int.equal x y
-  | Set x, Set y ->
-      List.equal Int.equal
-        (List.sort_uniq Int.compare x)
-        (List.sort_uniq Int.compare y)
+  | Seq x, Seq y | Set x, Set y -> List.equal Int.equal x y
   | Seq _, Set _ | Set _, Seq _ -> false
 
-let equal (a : t) (b : t) = List.equal equal_segment a b
+let equal (a : t) (b : t) =
+  a == b
+  || (a.hash = b.hash && a.hops = b.hops
+     && List.equal equal_segment a.segs b.segs)
 
 let compare_segment a b =
   match (a, b) with
-  | Seq x, Seq y -> List.compare Int.compare x y
-  | Set x, Set y ->
-      List.compare Int.compare
-        (List.sort_uniq Int.compare x)
-        (List.sort_uniq Int.compare y)
+  | Seq x, Seq y | Set x, Set y -> List.compare Int.compare x y
   | Seq _, Set _ -> -1
   | Set _, Seq _ -> 1
 
-let compare (a : t) (b : t) = List.compare compare_segment a b
+let compare (a : t) (b : t) =
+  if a == b then 0 else List.compare compare_segment a.segs b.segs
 
 (** Rendering used for policy regex matching: ASNs separated by single
     spaces; set segments in braces, e.g. ["100 200 {300,400}"]. *)
 let to_string (t : t) =
-  t
+  t.segs
   |> List.map (function
        | Seq l -> String.concat " " (List.map string_of_int l)
        | Set l ->
@@ -85,7 +140,7 @@ let of_string s =
     let rec go acc seq = function
       | [] ->
           let acc = if seq = [] then acc else Seq (List.rev seq) :: acc in
-          Some (List.rev acc)
+          Some (mk (List.rev acc))
       | tok :: rest ->
           if String.length tok >= 2 && tok.[0] = '{' then
             let inner = String.sub tok 1 (String.length tok - 2) in
@@ -143,7 +198,7 @@ let aggregate_with_set (paths : t list) : t =
     |> List.sort_uniq Int.compare
   in
   match (cp, rest) with
-  | [], [] -> []
-  | cp, [] -> [ Seq cp ]
-  | [], rest -> [ Set rest ]
-  | cp, rest -> [ Seq cp; Set rest ]
+  | [], [] -> empty
+  | cp, [] -> mk [ Seq cp ]
+  | [], rest -> mk [ Set rest ]
+  | cp, rest -> mk [ Seq cp; Set rest ]

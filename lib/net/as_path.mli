@@ -1,24 +1,42 @@
 (** BGP AS paths: lists of segments, where a segment is an ordered
     [Seq]uence of ASNs or an unordered [Set] (from aggregation with
-    AS-set). *)
+    AS-set).
+
+    The type is abstract: paths carry cached derived values (hop count,
+    an ASN membership mask, a structural hash) so the BGP decision
+    process pays O(1) for {!length} and for the common negative case of
+    {!contains_asn}/{!equal}.  Set segments are kept sorted and unique,
+    so structural equality on {!segments} coincides with semantic path
+    equality. *)
 
 type segment = Seq of int list | Set of int list
 
-type t = segment list
+type t
 
 val empty : t
 
 val of_asns : int list -> t
 
+(** Build a path from raw segments ([Set] members are canonicalized). *)
+val of_segments : segment list -> t
+
+(** The canonical segments ([Set] members sorted, deduplicated). *)
+val segments : t -> segment list
+
 val is_empty : t -> bool
 
 (** Hop count for best-path selection: ASNs in a sequence count 1 each,
-    a whole set segment counts 1. *)
+    a whole set segment counts 1.  O(1) (cached). *)
 val length : t -> int
+
+(** Structural hash, a pure function of the canonical segments. *)
+val hash : t -> int
 
 (** Every ASN appearing anywhere in the path. *)
 val asns : t -> int list
 
+(** O(1) when the answer is negative (the AS-loop-check common case),
+    via a Bloom-style membership mask. *)
 val contains_asn : int -> t -> bool
 
 (** Standard eBGP export prepend. *)

@@ -1,0 +1,219 @@
+(** Per-phase hash-consing of route attributes.
+
+    The route fixpoint keeps re-examining the same handful of AS paths
+    and community sets: one upstream announces thousands of prefixes with
+    identical attributes, and every propagation hop re-checks membership,
+    length and equality on them.  These tables hash-cons such values into
+    append-only arrays with unique small-int ids, so
+
+    - equality of two interned values is one int compare,
+    - derived results ([contains_asn], [mem], [to_string], transitions
+      such as [prepend]/[union]) are memoized per id and computed once
+      per distinct value instead of once per route.
+
+    {b Lifecycle}: a table is built {e per phase} by the coordinator,
+    then {!freeze}n before worker domains spawn.  Freezing precomputes
+    every lazily-cached derivative, after which the table is immutable
+    and safe to share read-only across domains; mutating operations
+    ([intern] of an unseen value, memoized transitions) raise once the
+    table is frozen.  Ids are assigned in insertion order, so a fixed
+    build order yields identical ids run to run — results keyed by id
+    stay deterministic. *)
+
+(* Growable append-only array (amortized O(1) push, O(1) get). *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) v.dummy in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let len v = v.len
+end
+
+let frozen_failure name =
+  invalid_arg (Printf.sprintf "Intern.%s: table is frozen" name)
+
+(** Hash-consed AS paths. *)
+module As_paths = struct
+  type id = int
+
+  module H = Hashtbl.Make (struct
+    type t = As_path.t
+
+    let equal = As_path.equal
+    let hash = As_path.hash
+  end)
+
+  type t = {
+    ids : id H.t; (* value -> id *)
+    values : As_path.t Vec.t; (* id -> value, append-only *)
+    strings : string option Vec.t; (* memo: rendered form *)
+    prepends : (int * id, id) Hashtbl.t; (* memo: (asn, id) -> id *)
+    mutable frozen : bool;
+  }
+
+  let create ?(expect = 256) () =
+    {
+      ids = H.create expect;
+      values = Vec.create As_path.empty;
+      strings = Vec.create None;
+      prepends = Hashtbl.create 64;
+      frozen = false;
+    }
+
+  let size t = Vec.len t.values
+
+  let intern t (p : As_path.t) : id =
+    match H.find_opt t.ids p with
+    | Some id -> id
+    | None ->
+        if t.frozen then frozen_failure "As_paths.intern";
+        let id = Vec.len t.values in
+        H.add t.ids p id;
+        Vec.push t.values p;
+        Vec.push t.strings None;
+        id
+
+  let find_opt t p = H.find_opt t.ids p
+  let get t (id : id) = Vec.get t.values id
+
+  let equal_id (a : id) (b : id) = Int.equal a b
+
+  (** Structural path order on the interned values (ids themselves are
+      insertion-ordered, not value-ordered). *)
+  let compare_id t (a : id) (b : id) =
+    if a = b then 0 else As_path.compare (get t a) (get t b)
+
+  let length t (id : id) = As_path.length (get t id)
+
+  let contains_asn t asn (id : id) = As_path.contains_asn asn (get t id)
+
+  let to_string t (id : id) =
+    match Vec.get t.strings id with
+    | Some s -> s
+    | None ->
+        if t.frozen then frozen_failure "As_paths.to_string";
+        let s = As_path.to_string (get t id) in
+        Vec.set t.strings id (Some s);
+        s
+
+  (** Memoized prepend transition: interned result of
+      [As_path.prepend asn (get t id)]. *)
+  let prepend t asn (id : id) : id =
+    match Hashtbl.find_opt t.prepends (asn, id) with
+    | Some id' -> id'
+    | None ->
+        if t.frozen then frozen_failure "As_paths.prepend";
+        let id' = intern t (As_path.prepend asn (get t id)) in
+        Hashtbl.add t.prepends (asn, id) id';
+        id'
+
+  (** Precompute every pending memo, then forbid mutation: the frozen
+      table is immutable and safe to share across domains. *)
+  let freeze t =
+    if not t.frozen then begin
+      for id = 0 to size t - 1 do
+        ignore (to_string t id)
+      done;
+      t.frozen <- true
+    end
+
+  let frozen t = t.frozen
+end
+
+(** Hash-consed community sets. *)
+module Communities = struct
+  type id = int
+
+  module H = Hashtbl.Make (struct
+    type t = Community.Set.t
+
+    let equal = Community.Set.equal
+    let hash = Hashtbl.hash
+  end)
+
+  type t = {
+    ids : id H.t;
+    values : Community.Set.t Vec.t;
+    strings : string option Vec.t;
+    unions : (id * id, id) Hashtbl.t; (* memo: union transition *)
+    mutable frozen : bool;
+  }
+
+  let create ?(expect = 256) () =
+    {
+      ids = H.create expect;
+      values = Vec.create Community.Set.empty;
+      strings = Vec.create None;
+      unions = Hashtbl.create 64;
+      frozen = false;
+    }
+
+  let size t = Vec.len t.values
+
+  let intern t (cs : Community.Set.t) : id =
+    match H.find_opt t.ids cs with
+    | Some id -> id
+    | None ->
+        if t.frozen then frozen_failure "Communities.intern";
+        let id = Vec.len t.values in
+        H.add t.ids cs id;
+        Vec.push t.values cs;
+        Vec.push t.strings None;
+        id
+
+  let find_opt t cs = H.find_opt t.ids cs
+  let get t (id : id) = Vec.get t.values id
+
+  let equal_id (a : id) (b : id) = Int.equal a b
+
+  let compare_id t (a : id) (b : id) =
+    if a = b then 0 else Community.Set.compare (get t a) (get t b)
+
+  let mem t c (id : id) = Community.Set.mem c (get t id)
+
+  let cardinal t (id : id) = Community.Set.cardinal (get t id)
+
+  let to_string t (id : id) =
+    match Vec.get t.strings id with
+    | Some s -> s
+    | None ->
+        if t.frozen then frozen_failure "Communities.to_string";
+        let s = Community.Set.to_string (get t id) in
+        Vec.set t.strings id (Some s);
+        s
+
+  (** Memoized union transition (commutative: the memo key is
+      order-normalized). *)
+  let union t (a : id) (b : id) : id =
+    if a = b then a
+    else
+      let key = if a < b then (a, b) else (b, a) in
+      match Hashtbl.find_opt t.unions key with
+      | Some id -> id
+      | None ->
+          if t.frozen then frozen_failure "Communities.union";
+          let id = intern t (Community.Set.union (get t a) (get t b)) in
+          Hashtbl.add t.unions key id;
+          id
+
+  let freeze t =
+    if not t.frozen then begin
+      for id = 0 to size t - 1 do
+        ignore (to_string t id)
+      done;
+      t.frozen <- true
+    end
+
+  let frozen t = t.frozen
+end

@@ -1,0 +1,88 @@
+(** Per-phase hash-consing of route attributes ({!As_path.t} values and
+    {!Community.Set.t} values) into append-only tables with unique
+    small-int ids.
+
+    Interned ids make equality and ordering O(1)-cheap int operations,
+    and derived values ([length], [contains_asn], [mem], [to_string],
+    transitions such as [prepend]/[union]) are memoized per distinct
+    value instead of recomputed per route.
+
+    {b Lifecycle}: tables are built per simulation phase, then
+    {!As_paths.freeze}n / {!Communities.freeze}n before worker domains
+    spawn.  A frozen table is immutable (mutating operations on unseen
+    values raise [Invalid_argument]) and safe to share read-only across
+    domains.  Ids are assigned in insertion order: a fixed build order
+    yields identical ids run to run. *)
+
+module As_paths : sig
+  type id = int
+  type t
+
+  val create : ?expect:int -> unit -> t
+
+  (** Number of distinct paths interned so far; ids are [0 .. size-1]. *)
+  val size : t -> int
+
+  (** Id for the path, allocating the next id on first sight.
+      @raise Invalid_argument if the table is frozen and the path is new. *)
+  val intern : t -> As_path.t -> id
+
+  (** Like {!intern} but never allocates: [None] for unseen paths. *)
+  val find_opt : t -> As_path.t -> id option
+
+  val get : t -> id -> As_path.t
+
+  (** Within one table, id equality is path equality. *)
+  val equal_id : id -> id -> bool
+
+  (** Structural {!As_path.compare} order on the interned values (ids
+      themselves are insertion-ordered, not value-ordered). *)
+  val compare_id : t -> id -> id -> int
+
+  val length : t -> id -> int
+  val contains_asn : t -> int -> id -> bool
+
+  (** Memoized rendering (computed once per distinct path). *)
+  val to_string : t -> id -> string
+
+  (** Memoized prepend transition: the id of
+      [As_path.prepend asn (get t id)].
+      @raise Invalid_argument if frozen and the transition is new. *)
+  val prepend : t -> int -> id -> id
+
+  (** Materialize every pending memo, then forbid mutation; idempotent. *)
+  val freeze : t -> unit
+
+  val frozen : t -> bool
+end
+
+module Communities : sig
+  type id = int
+  type t
+
+  val create : ?expect:int -> unit -> t
+  val size : t -> int
+
+  (** @raise Invalid_argument if the table is frozen and the set is new. *)
+  val intern : t -> Community.Set.t -> id
+
+  val find_opt : t -> Community.Set.t -> id option
+  val get : t -> id -> Community.Set.t
+  val equal_id : id -> id -> bool
+
+  (** Structural {!Community.Set.compare} order on the interned values. *)
+  val compare_id : t -> id -> id -> int
+
+  val mem : t -> Community.t -> id -> bool
+  val cardinal : t -> id -> int
+
+  (** Memoized rendering (computed once per distinct set). *)
+  val to_string : t -> id -> string
+
+  (** Memoized, commutative union transition.
+      @raise Invalid_argument if frozen and the transition is new. *)
+  val union : t -> id -> id -> id
+
+  val freeze : t -> unit
+  val frozen : t -> bool
+end

@@ -89,24 +89,46 @@ let source_rank = function
 (** Compare two routes for the same prefix: negative when [a] is better.
     Steps: weight, local-pref, locally-originated, AS-path length, origin,
     MED, eBGP-over-iBGP, IGP cost (already computed into the routes),
-    deterministic tie-break on the learning peer. *)
+    deterministic tie-break on the learning peer.
+
+    Straight-line int compares: weight/local-pref/origin/MED come out of
+    the packed attrs word, the AS-path length is cached on the path —
+    no closure chain, no structural traversal. *)
 let better_than (a : Route.t) (b : Route.t) : int =
-  let chain l = List.fold_left (fun c f -> if c <> 0 then c else f ()) 0 l in
-  chain
-    [
-      (fun () -> Int.compare b.Route.weight a.Route.weight);
-      (fun () -> Int.compare b.Route.local_pref a.Route.local_pref);
-      (fun () -> Int.compare (source_rank a.Route.source) (source_rank b.Route.source));
-      (fun () ->
-        Int.compare (As_path.length a.Route.as_path) (As_path.length b.Route.as_path));
-      (fun () ->
-        Int.compare (Route.origin_rank a.Route.origin) (Route.origin_rank b.Route.origin));
-      (fun () -> Int.compare a.Route.med b.Route.med);
-      (fun () ->
-        let rank r = match r.Route.source with Route.Ebgp -> 0 | _ -> 1 in
-        Int.compare (rank a) (rank b));
-      (fun () -> Int.compare a.Route.igp_cost b.Route.igp_cost);
-    ]
+  let c = Int.compare (Route.weight b) (Route.weight a) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (Route.local_pref b) (Route.local_pref a) in
+    if c <> 0 then c
+    else
+      let c =
+        Int.compare (source_rank a.Route.source) (source_rank b.Route.source)
+      in
+      if c <> 0 then c
+      else
+        let c =
+          Int.compare
+            (As_path.length a.Route.as_path)
+            (As_path.length b.Route.as_path)
+        in
+        if c <> 0 then c
+        else
+          let c =
+            Int.compare
+              (Route.origin_rank (Route.origin a))
+              (Route.origin_rank (Route.origin b))
+          in
+          if c <> 0 then c
+          else
+            let c = Int.compare (Route.med a) (Route.med b) in
+            if c <> 0 then c
+            else
+              let rank (r : Route.t) =
+                match r.Route.source with Route.Ebgp -> 0 | _ -> 1
+              in
+              let c = Int.compare (rank a) (rank b) in
+              if c <> 0 then c
+              else Int.compare a.Route.igp_cost b.Route.igp_cost
 
 (** Tie-break beyond ECMP equality: deterministic order on the learning
     peer, standing in for the router-id/oldest-path rule. *)
@@ -293,15 +315,12 @@ let process_ingress (receiver : device_ctx) (recv_session : session)
       else
         let r =
           if recv_session.s_ebgp then
-            { r with
-              Route.local_pref = 100;
-              weight = 0;
-              source = Route.Ebgp;
+            { (Route.with_local_pref (Route.with_weight r 0) 100) with
+              Route.source = Route.Ebgp;
               preference = receiver.d_vsb.Vsb.default_pref_ebgp }
           else
-            { r with
-              Route.weight = 0;
-              source = Route.Ibgp;
+            { (Route.with_weight r 0) with
+              Route.source = Route.Ibgp;
               preference = receiver.d_vsb.Vsb.default_pref_ibgp }
         in
         let r =
@@ -411,10 +430,9 @@ let export_routes (ctx : device_ctx) (s : session) (selected : Route.t list) :
                   if add_asn then As_path.prepend ctx.d_asn r.Route.as_path
                   else r.Route.as_path
                 in
-                { r with
-                  Route.as_path;
-                  nexthop = Some s.s_local_addr;
-                  local_pref = 100 }
+                Route.with_local_pref
+                  { r with Route.as_path; nexthop = Some s.s_local_addr }
+                  100
               else if s.s_next_hop_self then
                 { r with Route.nexthop = Some s.s_local_addr }
               else r
@@ -462,11 +480,11 @@ let redistribute sim (ctx : device_ctx) (local_table : Route.t list) =
               Option.value ctx.d_vsb.Vsb.weight_after_redistribution ~default:0
             in
             let cand =
-              { r with
+              { (Route.with_origin (Route.with_weight r weight)
+                   Route.Incomplete)
+                with
                 Route.proto = Route.Bgp;
                 source = Route.Redistributed;
-                origin = Route.Incomplete;
-                weight;
                 device = ctx.d_name;
                 preference = ctx.d_vsb.Vsb.default_pref_ibgp }
             in
@@ -791,34 +809,65 @@ let run ?tm ?(originate = true) (net : network) (input : input) :
             if originate_aggregates sim ctx then continue_ := true;
             if leak_vrfs sim ctx then continue_ := true)
       work;
-    (* Phase 2: deliver advertisements *)
+    (* Phase 2: deliver advertisements, batched per (sender, session).
+       A changed device typically queues many prefixes towards the same
+       peer; resolving the sender state, the receiver and its session
+       view once per batch replaces three hashtable lookups per prefix.
+       The adv-cache delta check, the rib-in install and the message
+       count stay per prefix, so convergence and stats are unchanged. *)
+    let batches = Hashtbl.create 64 in
+    let batch_order = ref [] in
     List.iter
-      (fun (ctx, s, vrf, prefix, selected) ->
-        let adv = export_routes ctx s selected in
-        let st = state_of sim ctx.d_name in
-        let cache_key = (s.s_peer, vrf, prefix) in
-        let prev =
-          Option.value (Hashtbl.find_opt st.adv_cache cache_key) ~default:[]
-        in
-        if not (List.equal Route.equal prev adv) then begin
-          Hashtbl.replace st.adv_cache cache_key adv;
-          sim.messages <- sim.messages + 1;
-          (* the receiver processes ingress with its own session view *)
-          match Smap.find_opt s.s_peer net with
-          | None -> ()
-          | Some receiver -> (
-              match
-                Hashtbl.find_opt session_tbl (s.s_peer, ctx.d_name, vrf)
-              with
-              | None -> ()
-              | Some recv_session ->
-                  let installed = process_ingress receiver recv_session adv in
-                  ignore
-                    (set_rib_in sim s.s_peer recv_session.s_vrf prefix
-                       (Printf.sprintf "%s" ctx.d_name)
-                       installed))
-        end)
-      (List.rev !outgoing)
+      (fun ((ctx, s, _, _, _) as msg) ->
+        let key = (ctx.d_name, s.s_peer, s.s_vrf) in
+        match Hashtbl.find_opt batches key with
+        | Some b -> b := msg :: !b
+        | None ->
+            let b = ref [ msg ] in
+            Hashtbl.add batches key b;
+            batch_order := b :: !batch_order)
+      (List.rev !outgoing);
+    List.iter
+      (fun batch ->
+        match List.rev !batch with
+        | [] -> ()
+        | ((ctx, s, _, _, _) :: _ as msgs) ->
+            let st = state_of sim ctx.d_name in
+            (* the receiver processes ingress with its own session view *)
+            let receiver_view =
+              match Smap.find_opt s.s_peer net with
+              | None -> None
+              | Some receiver -> (
+                  match
+                    Hashtbl.find_opt session_tbl (s.s_peer, ctx.d_name, s.s_vrf)
+                  with
+                  | None -> None
+                  | Some recv_session -> Some (receiver, recv_session))
+            in
+            List.iter
+              (fun (ctx, s, vrf, prefix, selected) ->
+                let adv = export_routes ctx s selected in
+                let cache_key = (s.s_peer, vrf, prefix) in
+                let prev =
+                  Option.value
+                    (Hashtbl.find_opt st.adv_cache cache_key)
+                    ~default:[]
+                in
+                if not (List.equal Route.equal prev adv) then begin
+                  Hashtbl.replace st.adv_cache cache_key adv;
+                  sim.messages <- sim.messages + 1;
+                  match receiver_view with
+                  | None -> ()
+                  | Some (receiver, recv_session) ->
+                      let installed =
+                        process_ingress receiver recv_session adv
+                      in
+                      ignore
+                        (set_rib_in sim s.s_peer recv_session.s_vrf prefix
+                           ctx.d_name installed)
+                end)
+              msgs)
+      (List.rev !batch_order)
   done;
   (* collect the global RIB *)
   let routes = ref [] in

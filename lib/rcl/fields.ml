@@ -25,9 +25,9 @@ let get (field : string) (r : Route.t) : Value.t =
   | "prefix" -> Value.str (Prefix.to_string r.Route.prefix)
   | "protocol" -> Value.str (Route.proto_to_string r.Route.proto)
   | "nexthop" -> Value.str (Route.nexthop_string r)
-  | "localPref" -> Value.of_int r.Route.local_pref
-  | "med" -> Value.of_int r.Route.med
-  | "weight" -> Value.of_int r.Route.weight
+  | "localPref" -> Value.of_int (Route.local_pref r)
+  | "med" -> Value.of_int (Route.med r)
+  | "weight" -> Value.of_int (Route.weight r)
   | "preference" -> Value.of_int r.Route.preference
   | "communities" ->
       Value.set_of_list
@@ -35,7 +35,7 @@ let get (field : string) (r : Route.t) : Value.t =
            (fun c -> Value.str (Community.to_string c))
            (Community.Set.to_list r.Route.communities))
   | "aspath" -> Value.str (As_path.to_string r.Route.as_path)
-  | "origin" -> Value.str (Route.origin_to_string r.Route.origin)
+  | "origin" -> Value.str (Route.origin_to_string (Route.origin r))
   | "igpCost" -> Value.of_int r.Route.igp_cost
   | "routeType" -> Value.str (Route.route_type_to_string r.Route.route_type)
   | "peer" -> Value.str (Option.value r.Route.peer ~default:"none")

@@ -200,7 +200,7 @@ let test_local_pref_decision () =
     List.find (fun (r : Route.t) -> r.Route.route_type = Route.Best) d_routes
   in
   (* best must be the one from L (lp 300) despite the longer AS path *)
-  check tint "best has lp 300" 300 best.Route.local_pref;
+  check tint "best has lp 300" 300 (Route.local_pref best);
   check tbool "best from L" true (best.Route.peer = Some "L")
 
 let test_aggregation () =
@@ -498,7 +498,7 @@ router bgp 65002
     reports;
   let res = Route_sim.run model' ~input_routes:input () in
   let r2 = find_routes res.Route_sim.rib ~device:"R2" ~prefix:"99.0.0.0/24" in
-  check tint "lp changed by plan" 777 (List.hd r2).Route.local_pref
+  check tint "lp changed by plan" 777 (Route.local_pref (List.hd r2))
 
 let test_add_paths () =
   (* with additional-paths, a device advertises up to n paths, so the

@@ -101,7 +101,7 @@ let test_policy_basic () =
   let cfg = cfg_with_policy [ node 10 ~sets:[ Types.Set_local_pref 300 ] ] in
   let v = Policy.eval cfg Vsb.vendor_a (Some "P") (route ()) in
   check tbool "permitted" true (v.Policy.pv_action = Types.Permit);
-  check tint "lp set" 300 v.Policy.pv_route.Route.local_pref;
+  check tint "lp set" 300 (Route.local_pref v.Policy.pv_route);
   check tbool "matched node" true (v.Policy.pv_matched_node = Some 10)
 
 let test_policy_vsb_missing () =
@@ -170,7 +170,7 @@ let test_policy_sets () =
   let r' = v.Policy.pv_route in
   check tstr "communities" "100:1,300:3"
     (Community.Set.to_string r'.Route.communities);
-  check tint "med" 50 r'.Route.med;
+  check tint "med" 50 (Route.med r');
   check tstr "prepended" "65000 65000 1 2" (As_path.to_string r'.Route.as_path)
 
 let test_policy_overwrite_flag () =
@@ -192,8 +192,8 @@ let test_policy_goto_next () =
   in
   let v = Policy.eval cfg Vsb.vendor_a (Some "P") (route ()) in
   let r = v.Policy.pv_route in
-  check tint "first node applied" 200 r.Route.local_pref;
-  check tint "second node applied too" 7 r.Route.med
+  check tint "first node applied" 200 (Route.local_pref r);
+  check tint "second node applied too" 7 (Route.med r)
 
 let test_policy_ipv6_against_ipv4_list () =
   (* The Figure-10(b) quirk: an ip-prefix (v4) list matched against an
@@ -217,7 +217,7 @@ let test_policy_ipv6_against_ipv4_list () =
   let vb = Policy.eval cfg Vsb.vendor_b (Some "P") v6_route in
   check tbool "B: v6 hits the v4 list node" true
     (vb.Policy.pv_matched_node = Some 10);
-  check tint "B: lp mistakenly raised" 999 vb.Policy.pv_route.Route.local_pref;
+  check tint "B: lp mistakenly raised" 999 (Route.local_pref vb.Policy.pv_route);
   let va = Policy.eval cfg Vsb.vendor_a (Some "P") v6_route in
   check tbool "A: v6 does not hit the node" true
     (va.Policy.pv_matched_node = None)

@@ -19,4 +19,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("semantic", Test_semantic.suite);
       ("properties", Test_props.suite);
+      ("intern", Test_intern.suite);
     ]

@@ -196,9 +196,13 @@ let test_as_path () =
   let p2 = As_path.prepend 50 p in
   check tstr "prepend" "50 100 200 300" (As_path.to_string p2);
   check tint "set counts 1" 2
-    (As_path.length [ As_path.Seq [ 1 ]; As_path.Set [ 2; 3; 4 ] ]);
+    (As_path.length
+       (As_path.of_segments [ As_path.Seq [ 1 ]; As_path.Set [ 2; 3; 4 ] ]));
   (* roundtrip with a set segment *)
-  let str = As_path.to_string [ As_path.Seq [ 1; 2 ]; As_path.Set [ 3; 4 ] ] in
+  let str =
+    As_path.to_string
+      (As_path.of_segments [ As_path.Seq [ 1; 2 ]; As_path.Set [ 3; 4 ] ])
+  in
   (match As_path.of_string str with
   | Some p' -> check tstr "roundtrip" str (As_path.to_string p')
   | None -> Alcotest.fail "as-path parse");
