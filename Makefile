@@ -1,7 +1,7 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
-.PHONY: all build test bench perf route-bench lint analyze check \
-	telemetry-bench semantic-bench chaos smoke clean
+.PHONY: all build test bench perf route-bench lint analyze diff \
+	diff-bench check telemetry-bench semantic-bench chaos smoke clean
 
 all: build
 
@@ -39,6 +39,22 @@ analyze:
 	dune build @all
 	dune exec bin/hoyan_cli.exe -- analyze --scale small
 	dune exec bin/hoyan_cli.exe -- analyze --scale wan
+
+# Differential change-impact gate: `hoyan diff` over a sample
+# propagating plan against the generated corpus (exit-code contract as
+# lint/analyze), then the soundness cross-check from the test suite —
+# every (device, prefix) verdict the simulator changes must fall inside
+# the statically computed dirty region (DESIGN.md §2.7).
+diff:
+	dune build @all
+	printf 'router bgp 64512\n network 198.51.100.0/24\n' > /tmp/hoyan_diff_plan.txt
+	dune exec bin/hoyan_cli.exe -- diff /tmp/hoyan_diff_plan.txt --device r00-bdr01
+	dune exec test/test_main.exe -- test differential
+
+# Differential pass cost vs a full patched-model simulation on the WAN
+# workload; writes BENCH_PR7.json (DESIGN.md §2.7).
+diff-bench:
+	dune exec bench/main.exe -- --diff-bench
 
 # Everything a PR must keep green: strict-warning build of every
 # target (libs, bins, bench, tests), the full test suite, then the

@@ -1,0 +1,259 @@
+(* --diff-bench: cost of the differential change-impact pass vs a full
+   patched-model simulation (writes BENCH_PR7.json).
+
+   The differential pass exists so that a change request does not pay
+   for a full WAN re-simulation when its blast radius is small.  It is
+   only worth running in front of every request if (a) building the
+   semantic diff + blast radius + per-intent carry-over decisions costs
+   a tiny fraction of the simulation it can skip and (b) it actually
+   carries over a useful share of a realistic intent batch.  This
+   section measures both on the WAN workload with a narrow but
+   propagating plan — new originations and a fresh prefix-list entry on
+   two border-ish devices — against the same mixed 300-intent batch
+   shape as the --semantic bench:
+
+     - "input prefix present at its entry device"
+     - "originless prefix present at device X"
+     - "input prefix present at a remote device"
+
+   None of the batch prefixes overlap the plan's touched regions, so a
+   sound-and-precise impact analysis should carry nearly all of them. *)
+
+open B_common
+open Hoyan_net
+module G = Hoyan_workload.Generator
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Traffic_sim = Hoyan_sim.Traffic_sim
+module Lint = Hoyan_analysis.Lint
+module Differential = Hoyan_analysis.Differential
+module Types = Hoyan_config.Types
+module Cp = Hoyan_config.Change_plan
+module Smap = Types.Smap
+
+let output_file = ref "BENCH_PR7.json"
+
+type measurement = {
+  m_devices : int;
+  m_plan_devices : string list;
+  m_make_s : float; (* Lint.make ~render:false: the analysis input *)
+  m_diff_s : float; (* Differential.diff: plan application + config diff *)
+  m_check_s : float; (* Differential.check: HOY03x (forces both graphs) *)
+  m_impact_s : float; (* Differential.impact: blast-radius summary *)
+  m_carry_s : float; (* carry-over decision for the whole intent batch *)
+  m_class : Differential.classification;
+  m_diags : int;
+  m_dirty_prefixes : int;
+  m_intents : int;
+  m_carried : int;
+  m_apply_s : float; (* Model.apply_change_plan (not counted either side) *)
+  m_route_s : float;
+  m_traffic_s : float;
+}
+
+let m_sim_s m = m.m_route_s +. m.m_traffic_s
+
+let m_diff_total m =
+  m.m_make_s +. m.m_diff_s +. m.m_check_s +. m.m_impact_s +. m.m_carry_s
+
+let m_ratio m =
+  let sim = m_sim_s m in
+  if sim > 0. then m_diff_total m /. sim else nan
+
+let m_carried_frac m =
+  if m.m_intents > 0 then float_of_int m.m_carried /. float_of_int m.m_intents
+  else nan
+
+(* The same mixed-batch shape as --semantic: per sampled input route one
+   provable, one refutable and one needs-simulation intent.  For the
+   carry-over decision only the (device, prefix) pair matters. *)
+let intent_batch (g : G.t) : (string * Prefix.t) list =
+  let devices =
+    List.sort String.compare
+      (List.map
+         (fun (d : Topology.device) -> d.Topology.name)
+         (Topology.devices g.G.model.Model.topo))
+  in
+  let other dev =
+    match List.find_opt (fun d -> not (String.equal d dev)) devices with
+    | Some d -> d
+    | None -> dev
+  in
+  let originless = Prefix.of_string_exn "203.0.113.0/24" in
+  let sample = List.filteri (fun i _ -> i < 100) g.G.input_routes in
+  List.concat
+    (List.map
+       (fun (r : Route.t) ->
+         [
+           (r.Route.device, r.Route.prefix);
+           (r.Route.device, originless);
+           (other r.Route.device, r.Route.prefix);
+         ])
+       sample)
+
+(* A realistic "small" change: new originations plus an (unattached)
+   prefix-list entry on two vendor-A devices that actually speak BGP.
+   Region-bounded edits — the touched set is the fresh 198.51.100/23
+   space, not the whole table. *)
+let bench_plan (configs : Types.t Smap.t) : Cp.t * string list =
+  let candidates =
+    Smap.fold
+      (fun dev (c : Types.t) acc ->
+        if
+          String.equal c.Types.dc_vendor "vendorA"
+          && c.Types.dc_bgp.Types.bgp_neighbors <> []
+        then (dev, c.Types.dc_bgp.Types.bgp_asn) :: acc
+        else acc)
+      configs []
+    |> List.sort compare
+  in
+  match candidates with
+  | (d1, asn1) :: (d2, asn2) :: _ ->
+      let block1 =
+        Printf.sprintf
+          "router bgp %d\n network 198.51.100.0/24\nip prefix-list \
+           PL_DIFFBENCH seq 10 permit 198.51.101.0/24\n"
+          asn1
+      in
+      let block2 =
+        Printf.sprintf "router bgp %d\n network 198.51.102.0/24\n" asn2
+      in
+      ( Cp.make "diff-bench" ~commands:[ (d1, block1); (d2, block2) ],
+        [ d1; d2 ] )
+  | _ -> invalid_arg "B_diff: workload has no two vendor-A BGP speakers"
+
+let measure () : measurement =
+  let g = Lazy.force wan in
+  let model = g.G.model in
+  let plan, plan_devices = bench_plan model.Model.configs in
+  let input, t_make =
+    time (fun () ->
+        Lint.make ~topo:model.Model.topo ~render:false model.Model.configs)
+  in
+  let d, t_diff = time (fun () -> Differential.diff input plan) in
+  let diags, t_check =
+    time (fun () -> Differential.check ~input_routes:g.G.input_routes d)
+  in
+  let imp, t_impact =
+    time (fun () -> Differential.impact d ~input_routes:g.G.input_routes)
+  in
+  let intents = intent_batch g in
+  let carried, t_carry =
+    time (fun () ->
+        List.length
+          (List.filter
+             (fun (_, p) ->
+               Differential.carries_over d ~input_routes:g.G.input_routes p)
+             intents))
+  in
+  let (patched, _reports), t_apply =
+    time (fun () -> Model.apply_change_plan model plan)
+  in
+  let direct, t_route =
+    time (fun () -> Route_sim.run patched ~input_routes:g.G.input_routes ())
+  in
+  let _, t_traffic =
+    time (fun () ->
+        Traffic_sim.run patched ~rib:direct.Route_sim.rib ~flows:g.G.flows ())
+  in
+  {
+    m_devices = G.device_count g;
+    m_plan_devices = plan_devices;
+    m_make_s = t_make;
+    m_diff_s = t_diff;
+    m_check_s = t_check;
+    m_impact_s = t_impact;
+    m_carry_s = t_carry;
+    m_class = d.Differential.df_class;
+    m_diags = List.length diags;
+    m_dirty_prefixes = List.length imp.Differential.im_ec_signatures;
+    m_intents = List.length intents;
+    m_carried = carried;
+    m_apply_s = t_apply;
+    m_route_s = t_route;
+    m_traffic_s = t_traffic;
+  }
+
+let run () =
+  header "differential change-impact pass vs full patched simulation (wan)";
+  let m = measure () in
+  row "devices: %d   plan touches: %s   class: %s   diagnostics: %d"
+    m.m_devices
+    (String.concat ", " m.m_plan_devices)
+    (Differential.classification_to_string m.m_class)
+    m.m_diags;
+  row "differential: make %.4fs + diff %.4fs + check %.4fs + impact \
+       %.4fs + carry(%d intents) %.4fs = %.4fs"
+    m.m_make_s m.m_diff_s m.m_check_s m.m_impact_s m.m_intents m.m_carry_s
+    (m_diff_total m);
+  row "blast radius: %d dirty prefix(es); %d/%d intents carried over \
+       (%.1f%%) without re-simulation"
+    m.m_dirty_prefixes m.m_carried m.m_intents
+    (100. *. m_carried_frac m);
+  row "patched simulation: apply %.2fs + route %.2fs + traffic %.2fs = \
+       %.2fs (apply excluded from the ratio)"
+    m.m_apply_s m.m_route_s m.m_traffic_s (m_sim_s m);
+  let ratio = m_ratio m in
+  row "differential cost: %.3f%% of full simulation (target: < 2%%)"
+    (100. *. ratio);
+  if ratio >= 0.02 then
+    row "WARNING: differential pass costs more than 2%% of the simulation";
+  if 2 * m.m_carried <= m.m_intents then
+    row "WARNING: differential pass carried over a minority of the batch";
+  let json =
+    B_perf.J_obj
+      [
+        ("bench", B_perf.J_str "differential change-impact pass");
+        ("generated_unix", B_perf.J_float (Unix.gettimeofday ()));
+        ("quick", B_perf.J_bool !quick);
+        ( "workload",
+          B_perf.J_obj
+            [
+              ("name", B_perf.J_str "wan");
+              ("devices", B_perf.J_int m.m_devices);
+            ] );
+        ( "plan",
+          B_perf.J_obj
+            [
+              ( "devices",
+                B_perf.J_str (String.concat "," m.m_plan_devices) );
+              ( "classification",
+                B_perf.J_str
+                  (Differential.classification_to_string m.m_class) );
+              ("diagnostics", B_perf.J_int m.m_diags);
+              ("dirty_prefixes", B_perf.J_int m.m_dirty_prefixes);
+            ] );
+        ( "differential",
+          B_perf.J_obj
+            [
+              ("make_s", B_perf.J_float m.m_make_s);
+              ("diff_s", B_perf.J_float m.m_diff_s);
+              ("check_s", B_perf.J_float m.m_check_s);
+              ("impact_s", B_perf.J_float m.m_impact_s);
+              ("carry_s", B_perf.J_float m.m_carry_s);
+              ("total_s", B_perf.J_float (m_diff_total m));
+            ] );
+        ( "carryover",
+          B_perf.J_obj
+            [
+              ("intents", B_perf.J_int m.m_intents);
+              ("carried", B_perf.J_int m.m_carried);
+              ("carried_fraction", B_perf.J_float (m_carried_frac m));
+            ] );
+        ( "simulation",
+          B_perf.J_obj
+            [
+              ("apply_s", B_perf.J_float m.m_apply_s);
+              ("route_s", B_perf.J_float m.m_route_s);
+              ("traffic_s", B_perf.J_float m.m_traffic_s);
+              ("total_s", B_perf.J_float (m_sim_s m));
+            ] );
+        ("diff_cost_fraction_of_simulation", B_perf.J_float (m_ratio m));
+        ("carried_fraction", B_perf.J_float (m_carried_frac m));
+        ("meets_2pct_target", B_perf.J_bool (m_ratio m < 0.02));
+        ("majority_carried", B_perf.J_bool (2 * m.m_carried > m.m_intents));
+        ("peak_rss_kb", B_perf.J_int (B_perf.peak_rss_kb ()));
+      ]
+  in
+  B_perf.write_json !output_file json;
+  row "wrote %s" !output_file

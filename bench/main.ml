@@ -22,7 +22,11 @@
                                                # (writes BENCH_PR4.json)
      dune exec bench/main.exe -- --chaos       # monitor-loop overhead +
                                                # fault-matrix recovery
-                                               # (writes BENCH_PR5.json) *)
+                                               # (writes BENCH_PR5.json)
+     dune exec bench/main.exe -- --diff-bench  # differential change-impact
+                                               # pass vs full patched
+                                               # simulation
+                                               # (writes BENCH_PR7.json) *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -57,7 +61,8 @@ let () =
       B_perf.output_file := f;
       B_telemetry.output_file := f;
       B_semantic.output_file := f;
-      B_chaos.output_file := f)
+      B_chaos.output_file := f;
+      B_diff.output_file := f)
     out;
   let flags, wanted = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
   if List.mem "--quick" flags then B_common.quick := true;
@@ -70,6 +75,7 @@ let () =
   else if List.mem "--telemetry" flags then B_telemetry.run ()
   else if List.mem "--semantic" flags then B_semantic.run ()
   else if List.mem "--chaos" flags then B_chaos.run ()
+  else if List.mem "--diff-bench" flags then B_diff.run ()
   else begin
     (* "fig5a" etc. are accepted as shorthand for "figure5a"; the alias
        only applies to names actually prefixed with "figure" (a bare

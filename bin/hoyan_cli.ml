@@ -8,10 +8,13 @@
                      [--fail-prob P] [--chaos MODE] [--chaos-seed S]
                      [--lease-s SECONDS]
      hoyan verify    --plan FILE [--device NAME]... --intent SPEC...
+                     [--diff]          # carry unaffected intents over
      hoyan lint      [--plan FILE --device NAME]... [--intent SPEC]...
                      [--json] [--inject CLASS|all] [--deep]
                      [--max-warnings N] [--baseline FILE]
      hoyan analyze   [--scale ...]     # cross-device semantic pass only
+     hoyan diff      PLAN --device NAME... [--json] [--max-warnings N]
+                     [--baseline FILE] [--write-baseline FILE]
      hoyan rcl       --spec STRING [--explain]
      hoyan diagnose  [--fault agent-down|netflow|...]
      hoyan audit     [--scale ...]
@@ -31,6 +34,7 @@ module Cp = Hoyan_config.Change_plan
 module Types = Hoyan_config.Types
 module Lint = Hoyan_analysis.Lint
 module Semantic = Hoyan_analysis.Semantic
+module Differential = Hoyan_analysis.Differential
 module Diagnostics = Hoyan_analysis.Diagnostics
 module Preprocess = Hoyan_core.Preprocess
 module Intents = Hoyan_core.Intents
@@ -255,7 +259,7 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let verify params seed plan_file devices intents distributed fail_prob
-    chaos_mode chaos_seed degrade trace_out metrics_out journal_out =
+    chaos_mode chaos_seed degrade diff trace_out metrics_out journal_out =
   with_telemetry ~trace_out ~metrics_out ~journal_out @@ fun () ->
   match chaos_of ~fail_prob ~chaos_mode ~chaos_seed with
   | Error msg ->
@@ -299,7 +303,7 @@ let verify params seed plan_file devices intents distributed fail_prob
     | Some servers -> Verify_request.Distributed { servers; subtasks = 100 }
   in
   let on_partial = if degrade then `Degrade else `Refuse in
-  let res = Verify_request.run ~mode ~chaos ~on_partial base rq in
+  let res = Verify_request.run ~mode ~chaos ~on_partial ~diff base rq in
   print_string (Verify_request.report res);
   if res.Verify_request.vr_ok then 0 else 1
 
@@ -332,12 +336,20 @@ let verify_cmd =
                    (flagged, never PASS) instead of withholding the \
                    verdicts.")
   in
+  let diff =
+    Arg.(value & flag
+         & info [ "diff" ]
+             ~doc:"Differential mode: carry over the verdict of every \
+                   intent whose prefix lies outside the plan's static \
+                   dirty region (no re-simulation) and simulate only \
+                   the remainder.")
+  in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify a change plan against RCL intents")
     Term.(
       const verify $ scale_arg $ seed_arg $ plan $ devices $ intents
       $ distributed $ fail_prob_arg $ chaos_mode_arg $ chaos_seed_arg
-      $ degrade $ trace_out_arg $ metrics_out_arg $ journal_out_arg)
+      $ degrade $ diff $ trace_out_arg $ metrics_out_arg $ journal_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan lint                                                          *)
@@ -546,6 +558,75 @@ let analyze_cmd =
     Term.(
       const analyze $ scale_arg $ seed_arg $ json $ max_warnings_arg
       $ baseline_arg $ write_baseline_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hoyan diff: the differential change-impact pass                      *)
+(* ------------------------------------------------------------------ *)
+
+let diff_run params seed plan_file devices withdraws json max_warnings
+    baseline write_baseline =
+  let g = gen params seed in
+  let model = g.G.model in
+  let configs = model.Hoyan_sim.Model.configs in
+  let topo = model.Hoyan_sim.Model.topo in
+  let block = read_file plan_file in
+  let withdraw = List.map Prefix.of_string_exn withdraws in
+  let plan =
+    Cp.make "cli" ~withdraw
+      ~commands:(List.map (fun d -> (d, block)) devices)
+  in
+  let t0 = Unix.gettimeofday () in
+  let input = Lint.make ~topo ~render:false configs in
+  let d = Differential.diff input plan in
+  let diags = Differential.check ~input_routes:g.G.input_routes d in
+  let dt = Unix.gettimeofday () -. t0 in
+  let code =
+    finish_diags ~json ~max_warnings ~baseline ~write_baseline ~label:"diff"
+      diags
+  in
+  if not json then begin
+    Printf.printf "diff: %s (%.3fs)\n" (Differential.summary d) dt;
+    let im = Differential.impact d ~input_routes:g.G.input_routes in
+    Printf.printf "impact: %d device(s), %s\n"
+      (List.length im.Differential.im_devices)
+      (if im.Differential.im_all_prefixes then
+         "every prefix (topology change)"
+       else
+         Printf.sprintf "%d dirty prefix(es)"
+           (Trie.Dual.cardinal im.Differential.im_prefixes))
+  end;
+  code
+
+let diff_cmd =
+  let plan =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"PLAN"
+             ~doc:"Change-plan command block to diff (applied to each \
+                   --device against the generated base corpus).")
+  in
+  let devices =
+    Arg.(value & opt_all string []
+         & info [ "device" ] ~docv:"NAME" ~doc:"Target device (repeatable).")
+  in
+  let withdraws =
+    Arg.(value & opt_all string []
+         & info [ "withdraw" ] ~docv:"PREFIX"
+             ~doc:"Prefix the plan withdraws (repeatable).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Machine-readable JSON diagnostics output.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Differential change-impact analysis: semantically diff the \
+             base corpus against the patched one, classify the plan \
+             (no-op / local / propagating), run the plan-risk checks \
+             (HOY030-HOY037) and report the blast radius, without \
+             simulating")
+    Term.(
+      const diff_run $ scale_arg $ seed_arg $ plan $ devices $ withdraws
+      $ json $ max_warnings_arg $ baseline_arg $ write_baseline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan rcl                                                           *)
@@ -801,6 +882,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            simulate_cmd; verify_cmd; lint_cmd; analyze_cmd; rcl_cmd;
-            diagnose_cmd; audit_cmd; vsb_cmd; case_cmd; trace_cmd;
+            simulate_cmd; verify_cmd; lint_cmd; analyze_cmd; diff_cmd;
+            rcl_cmd; diagnose_cmd; audit_cmd; vsb_cmd; case_cmd; trace_cmd;
           ]))

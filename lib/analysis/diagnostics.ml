@@ -127,6 +127,37 @@ let catalog : (string * string * severity * string) list =
       "a reachability intent is refuted by the static control-plane \
        closure: no propagation path can deliver (or originate) the \
        expected route" );
+    (* HOY030..HOY037: the differential change-impact pass (PR 7) *)
+    ( "HOY030", "plan-semantic-noop", Warning,
+      "a textually non-empty command block parses cleanly but leaves the \
+       device's semantic config unchanged: the change re-states existing \
+       configuration and will have no effect" );
+    ( "HOY031", "plan-wrong-dialect", Warning,
+      "most of a command block fails to parse in the target device's \
+       dialect and the config comes out unchanged: the block was likely \
+       written for the other vendor" );
+    ( "HOY032", "plan-edits-dead-term", Warning,
+      "the plan edits a route-policy term that is dead (shadowed by \
+       earlier terms, HOY024) both before and after the change: the edit \
+       cannot alter routing behaviour" );
+    ( "HOY033", "plan-widens-ebgp-transit", Warning,
+      "the change adds policy-less eBGP sessions until the device \
+       transits between external ASes with neither import nor export \
+       policies (on a vendor that accepts policy-less eBGP updates)" );
+    ( "HOY034", "plan-breaks-session", Error,
+      "the plan deletes a BGP neighbor stanza whose peer still points \
+       back after the change: the session another device depends on is \
+       left half-configured" );
+    ( "HOY035", "plan-removes-origination", Warning,
+      "the plan deletes the only origination (network statement or \
+       static) of a prefix that the base control plane propagates to \
+       other devices" );
+    ( "HOY036", "plan-withdraws-unknown-prefix", Warning,
+      "the plan withdraws a prefix that no monitored input route \
+       announces: the withdrawal is a no-op (likely a typo)" );
+    ( "HOY037", "plan-impact-summary", Info,
+      "blast-radius summary of a propagating change: the devices and \
+       prefix sets whose simulated state the plan can affect" );
   ]
 
 let find_code code =
@@ -277,15 +308,23 @@ let key d =
     (part d.d_loc.loc_device)
     (part d.d_loc.loc_object)
 
-(** Render diagnostics as a baseline file: one {!key} per line, sorted
-    and deduplicated, with a comment header.  Re-recording a baseline on
-    an unchanged corpus yields a byte-identical file. *)
+(** The baseline file format version written by {!to_baseline}.
+    Version 1 files (no [version] directive) are still accepted by
+    {!parse_baseline}; version 2 added the explicit directive so future
+    key-format changes can be detected instead of silently mismatching. *)
+let baseline_version = 2
+
+(** Render diagnostics as a baseline file: a [version] directive, then
+    one {!key} per line, sorted and deduplicated, with a comment header.
+    Re-recording a baseline on an unchanged corpus yields a
+    byte-identical file. *)
 let to_baseline ds =
   let keys = List.sort_uniq String.compare (List.map key ds) in
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     "# hoyan lint baseline: one suppressed finding per line\n";
   Buffer.add_string buf "# format: CODE|device|object\n";
+  Buffer.add_string buf (Printf.sprintf "version %d\n" baseline_version);
   List.iter
     (fun k ->
       Buffer.add_string buf k;
@@ -294,12 +333,27 @@ let to_baseline ds =
   Buffer.contents buf
 
 (** Parse baseline file contents into the set of suppressed keys.
-    Blank lines and [#] comments are ignored. *)
+    Blank lines and [#] comments are ignored; a [version N] directive is
+    validated (an unknown future version raises [Invalid_argument]
+    rather than silently suppressing the wrong findings).  Files without
+    the directive are treated as version 1. *)
 let parse_baseline contents =
   String.split_on_char '\n' contents
   |> List.filter_map (fun line ->
          let line = String.trim line in
-         if line = "" || line.[0] = '#' then None else Some line)
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char ' ' line with
+           | [ "version"; v ] ->
+               (match int_of_string_opt v with
+               | Some n when n >= 1 && n <= baseline_version -> None
+               | _ ->
+                   invalid_arg
+                     (Printf.sprintf
+                        "Diagnostics.parse_baseline: unsupported baseline \
+                         version %s (this build writes version %d)"
+                        v baseline_version))
+           | _ -> Some line)
 
 (** Drop diagnostics whose {!key} appears in the baseline. *)
 let apply_baseline ~baseline ds =

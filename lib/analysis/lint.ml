@@ -480,19 +480,20 @@ let plan_checks (input : input) (plan : Cp.t) : D.t list * Types.t Smap.t =
         | Some cfg ->
             let cfg', report = Cp.apply_commands cfg block in
             List.iter
-              (fun (e : L.error) ->
-                add
-                  (D.make ~code:"HOY014" ~device:dev ~obj
-                     ~line:e.L.err_line "command does not parse: %s"
-                     e.L.err_msg))
-              report.Cp.ar_parse_errors;
-            List.iter
-              (fun (e : Cp.del_error) ->
-                add
-                  (D.make ~code:"HOY013" ~device:dev
-                     ~obj:(String.trim e.Cp.del_line)
-                     "deletion does not apply: %s" e.Cp.del_msg))
-              report.Cp.ar_delete_errors;
+              (fun (i : Cp.line_issue) ->
+                match i.Cp.ci_kind with
+                | Cp.Parse ->
+                    add
+                      (D.make ~code:"HOY014" ~device:dev
+                         ~obj:(if i.Cp.ci_text = "" then obj else i.Cp.ci_text)
+                         ~line:i.Cp.ci_lnum "command does not parse: %s"
+                         i.Cp.ci_msg)
+                | Cp.Delete ->
+                    add
+                      (D.make ~code:"HOY013" ~device:dev ~obj:i.Cp.ci_text
+                         ~line:i.Cp.ci_lnum "deletion does not apply: %s"
+                         i.Cp.ci_msg))
+              report.Cp.ar_issues;
             Smap.add dev cfg' configs)
       input.li_configs plan.Cp.cp_commands
   in

@@ -446,36 +446,80 @@ let apply_delete (cfg : Types.t) (tokens : string list) (raw : string) :
 (* Command-block application                                           *)
 (* ------------------------------------------------------------------ *)
 
+(** One command line the application pass could not act on, with enough
+    structure (device comes from the enclosing report) for the analysis
+    layer to render it as a located diagnostic instead of a bare count. *)
+type issue_kind = Parse | Delete
+
+type line_issue = {
+  ci_lnum : int; (* 1-based line number within the command block *)
+  ci_text : string; (* the raw command line, trimmed *)
+  ci_kind : issue_kind;
+  ci_msg : string;
+}
+
 type apply_report = {
   ar_device : string;
-  ar_parse_errors : L.error list;
-  ar_delete_errors : del_error list;
+  ar_issues : line_issue list; (* in block order *)
 }
+
+let issue_to_string (i : line_issue) =
+  Printf.sprintf "line %d: %s%s" i.ci_lnum i.ci_msg
+    (if i.ci_text = "" then "" else Printf.sprintf " (%s)" i.ci_text)
+
+let parse_issues r =
+  List.filter (fun i -> i.ci_kind = Parse) r.ar_issues
+
+let delete_issues r =
+  List.filter (fun i -> i.ci_kind = Delete) r.ar_issues
+
+(** A report for a command block that never reached a device config
+    (e.g. the plan names an unknown device). *)
+let report_failure ~device msg =
+  {
+    ar_device = device;
+    ar_issues = [ { ci_lnum = 0; ci_text = ""; ci_kind = Parse; ci_msg = msg } ];
+  }
 
 (** Apply a command block (in the device's own dialect) to its config.
     Deletion lines start with [no] (vendor A) or [undo] (vendor B); the
-    other lines are parsed as a config fragment and merged. *)
+    other lines are parsed as a config fragment and merged.  Lines the
+    pass cannot act on (parse failures, deletions of absent objects) come
+    back as structured {!line_issue}s carrying the original block line
+    number and raw text. *)
 let apply_commands (cfg : Types.t) (block : string) : Types.t * apply_report =
   let is_delete l =
     let t = String.trim l in
     String.length t > 3
     && (String.sub t 0 3 = "no " || (String.length t > 5 && String.sub t 0 5 = "undo "))
   in
-  let all_lines = String.split_on_char '\n' block in
-  let deletes = List.filter is_delete all_lines in
-  let adds =
-    List.filter (fun l -> not (is_delete l)) all_lines |> String.concat "\n"
+  let numbered =
+    String.split_on_char '\n' block |> List.mapi (fun i l -> (i + 1, l))
   in
-  (* additions *)
+  let deletes = List.filter (fun (_, l) -> is_delete l) numbered in
+  let adds = List.filter (fun (_, l) -> not (is_delete l)) numbered in
+  (* additions: parse the non-delete lines as one fragment; parser line
+     numbers index into that fragment, so map them back to the block *)
+  let adds_arr = Array.of_list adds in
   let delta, parse_errors =
-    Printer.parse ~vendor:cfg.Types.dc_vendor ~device:cfg.Types.dc_device adds
+    Printer.parse ~vendor:cfg.Types.dc_vendor ~device:cfg.Types.dc_device
+      (String.concat "\n" (List.map snd adds))
+  in
+  let parse_issue (e : L.error) =
+    let lnum, text =
+      let idx = e.L.err_line - 1 in
+      if idx >= 0 && idx < Array.length adds_arr then
+        (fst adds_arr.(idx), String.trim (snd adds_arr.(idx)))
+      else (e.L.err_line, "")
+    in
+    { ci_lnum = lnum; ci_text = text; ci_kind = Parse; ci_msg = e.L.err_msg }
   in
   (* a bare device-name-only delta (no content) keeps the base unchanged *)
   let cfg = merge cfg delta in
   (* deletions, in order *)
-  let cfg, del_errors =
+  let cfg, del_issues =
     List.fold_left
-      (fun (cfg, errs) raw ->
+      (fun (cfg, errs) (lnum, raw) ->
         let tokens = L.tokenize_line (String.trim raw) in
         let tokens =
           match tokens with
@@ -485,12 +529,20 @@ let apply_commands (cfg : Types.t) (block : string) : Types.t * apply_report =
         in
         match apply_delete cfg tokens raw with
         | Ok cfg' -> (cfg', errs)
-        | Error e -> (cfg, e :: errs))
+        | Error e ->
+            ( cfg,
+              {
+                ci_lnum = lnum;
+                ci_text = String.trim e.del_line;
+                ci_kind = Delete;
+                ci_msg = e.del_msg;
+              }
+              :: errs ))
       (cfg, []) deletes
   in
-  ( cfg,
-    {
-      ar_device = cfg.Types.dc_device;
-      ar_parse_errors = parse_errors;
-      ar_delete_errors = List.rev del_errors;
-    } )
+  let issues =
+    List.sort
+      (fun a b -> Int.compare a.ci_lnum b.ci_lnum)
+      (List.map parse_issue parse_errors @ List.rev del_issues)
+  in
+  (cfg, { ar_device = cfg.Types.dc_device; ar_issues = issues })

@@ -17,6 +17,7 @@ module Framework = Hoyan_dist.Framework
 module Lint = Hoyan_analysis.Lint
 module Diagnostics = Hoyan_analysis.Diagnostics
 module Semantic = Hoyan_analysis.Semantic
+module Differential = Hoyan_analysis.Differential
 module Telemetry = Hoyan_telemetry.Telemetry
 module Journal = Hoyan_telemetry.Journal
 
@@ -50,6 +51,11 @@ type result = {
       (** the static pre-checker's verdict for every intent *)
   vr_sim_skipped : bool;
       (** every intent was resolved statically; no fixpoint ran *)
+  vr_diff_class : Differential.classification option;
+      (** differential mode only: the plan's semantic classification *)
+  vr_carried : Intents.t list;
+      (** differential mode only: intents whose base-run verdicts
+          provably survive the change (outside the dirty region) *)
   vr_coverage : coverage option;
       (** distributed mode only: subtask coverage of the route phase *)
   vr_partial : bool;
@@ -78,15 +84,9 @@ let plan_warnings (reports : Cp.apply_report list) : string list =
   List.concat_map
     (fun (r : Cp.apply_report) ->
       List.map
-        (fun e ->
-          Printf.sprintf "%s: %s" r.Cp.ar_device
-            (Hoyan_config.Lexutil.error_to_string e))
-        r.Cp.ar_parse_errors
-      @ List.map
-          (fun (e : Cp.del_error) ->
-            Printf.sprintf "%s: %s (%s)" r.Cp.ar_device e.Cp.del_msg
-              e.Cp.del_line)
-          r.Cp.ar_delete_errors)
+        (fun (i : Cp.line_issue) ->
+          Printf.sprintf "%s: %s" r.Cp.ar_device (Cp.issue_to_string i))
+        r.Cp.ar_issues)
     reports
 
 (** RCL specification sources carried by the request's intents, for the
@@ -103,8 +103,9 @@ let lint_specs (intents : Intents.t list) : (string * string) list =
     ([verify.lint_gate] / [verify.model_update] / [verify.route_sim] /
     [verify.traffic_sim] / [verify.intents]); the static-analysis gate
     additionally journals its outcome as a [lint.gate] event. *)
-let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true) ?chaos
-    ?(on_partial = `Refuse) (base : Preprocess.base) (rq : request) : result =
+let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
+    ?(diff = false) ?chaos ?(on_partial = `Refuse) (base : Preprocess.base)
+    (rq : request) : result =
   let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
   let rq_sp =
     Telemetry.span tm ~args:[ ("request", rq.rq_name) ] "verify.request"
@@ -142,6 +143,8 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true) ?chaos
       vr_gated = true;
       vr_precheck = [];
       vr_sim_skipped = false;
+      vr_diff_class = None;
+      vr_carried = [];
       vr_coverage = None;
       vr_partial = false;
       vr_updated_model = base.Preprocess.b_model;
@@ -171,12 +174,70 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true) ?chaos
             not (List.exists (Prefix.equal r.Route.prefix) withdrawn))
           base.Preprocess.b_input_routes
   in
-  (* 2. static intent pre-check on the updated model: classify each
+  (* 2a. differential pre-check: diff base against patched and carry
+     over every intent the change provably cannot affect — reachability
+     intents whose prefix is outside the statically computed dirty
+     region, and (on a semantic no-op) everything else too.  Carried
+     intents keep their base-run verdicts; only the affected remainder
+     flows into the pre-checker and the simulator below. *)
+  let diff_info =
+    if not diff then None
+    else
+      Telemetry.with_span tm "verify.diff" (fun () ->
+          let bm = base.Preprocess.b_model in
+          Some
+            (Differential.diff ~tm
+               (Lint.make ~topo:bm.Model.topo ~render:false bm.Model.configs)
+               rq.rq_plan))
+  in
+  let carried, active_intents =
+    match diff_info with
+    | None -> ([], rq.rq_intents)
+    | Some d ->
+        List.partition
+          (fun intent ->
+            match intent with
+            | Intents.Route_reach { rr_prefix; _ } ->
+                Differential.carries_over ~tm d
+                  ~input_routes:base.Preprocess.b_input_routes rr_prefix
+            | _ ->
+                d.Differential.df_class = Differential.No_op)
+          rq.rq_intents
+  in
+  if Telemetry.enabled tm && diff then
+    Telemetry.event tm "verify.diff"
+      [
+        ("request", Journal.S rq.rq_name);
+        ( "class",
+          Journal.S
+            (match diff_info with
+            | Some d ->
+                Differential.classification_to_string d.Differential.df_class
+            | None -> "-") );
+        ("carried", Journal.I (List.length carried));
+        ("active", Journal.I (List.length active_intents));
+      ];
+  (* carried intents are re-evaluated against the (cached) base state:
+     their verdicts are by construction the base run's verdicts *)
+  let carried_violations =
+    if carried = [] then []
+    else
+      Telemetry.with_span tm "verify.carryover" (fun () ->
+          let brib = Lazy.force base.Preprocess.b_rib in
+          List.concat_map
+            (fun intent ->
+              Intents.verify intent ~model:base.Preprocess.b_model
+                ~base_rib:brib ~updated_rib:brib
+                ~base_traffic:base.Preprocess.b_traffic
+                ~updated_traffic:base.Preprocess.b_traffic)
+            carried)
+  in
+  (* 2b. static intent pre-check on the updated model: classify each
      reachability intent against the control-plane graph; refuted intents
      become violations with a static witness, and when nothing is left
      for the simulator the fixpoints below are skipped entirely *)
   let precheck_results =
-    if (not precheck) || rq.rq_intents = [] then []
+    if (not precheck) || active_intents = [] then []
     else
       Telemetry.with_span tm "verify.precheck" (fun () ->
           let g =
@@ -202,7 +263,7 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true) ?chaos
                           ri_expect = rr_expect;
                         } )
                 | _ -> (intent, None))
-              rq.rq_intents
+              active_intents
           in
           let verdicts =
             Semantic.precheck_batch ~tm g ~input_routes:sim_inputs
@@ -229,25 +290,28 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true) ?chaos
       precheck_results
   in
   let sim_intents =
-    if precheck_results = [] then rq.rq_intents
+    if precheck_results = [] then active_intents
     else
       List.filter_map
         (function
           | intent, Semantic.Needs_simulation -> Some intent | _ -> None)
         precheck_results
   in
-  let resolved = List.length rq.rq_intents - List.length sim_intents in
+  let resolved = List.length active_intents - List.length sim_intents in
   if Telemetry.enabled tm && precheck_results <> [] then begin
     Telemetry.count tm "hoyan_precheck_resolved_total" resolved;
     Telemetry.event tm "verify.precheck"
       [
         ("request", Journal.S rq.rq_name);
-        ("intents", Journal.I (List.length rq.rq_intents));
+        ("intents", Journal.I (List.length active_intents));
         ("resolved", Journal.I resolved);
         ("refuted", Journal.I (List.length static_violations));
       ]
   end;
-  let sim_skipped = precheck && rq.rq_intents <> [] && sim_intents = [] in
+  let sim_skipped =
+    (precheck && active_intents <> [] && sim_intents = [])
+    || (diff && rq.rq_intents <> [] && active_intents = [])
+  in
   (* 3. route simulation on the updated model; reclaimed prefixes were
      removed from the inputs above, announced ones are added here *)
   let updated_rib, dist_coverage =
@@ -312,7 +376,7 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true) ?chaos
                 ~updated_traffic)
             sim_intents)
   in
-  let violations = static_violations @ sim_violations in
+  let violations = static_violations @ sim_violations @ carried_violations in
   let ok = violations = [] && warnings = [] && not partial in
   Telemetry.finish tm rq_sp;
   if Telemetry.enabled tm then
@@ -333,6 +397,9 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true) ?chaos
     vr_gated = false;
     vr_precheck = precheck_results;
     vr_sim_skipped = sim_skipped;
+    vr_diff_class =
+      Option.map (fun d -> d.Differential.df_class) diff_info;
+    vr_carried = carried;
     vr_coverage = dist_coverage;
     vr_partial = partial;
     vr_updated_model = updated_model;
@@ -355,6 +422,15 @@ let report (r : result) : string =
        (if r.vr_sim_skipped then
           " [all intents resolved statically; simulation skipped]"
         else ""));
+  (match r.vr_diff_class with
+  | Some cls ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "differential: plan is %s; %d intent verdict(s) carried over \
+            from the base run\n"
+           (Hoyan_analysis.Differential.classification_to_string cls)
+           (List.length r.vr_carried))
+  | None -> ());
   (match r.vr_coverage with
   | Some c ->
       Buffer.add_string b

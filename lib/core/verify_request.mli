@@ -38,6 +38,14 @@ type result = {
   vr_sim_skipped : bool;
       (** the pre-checker resolved every intent statically, so no
           simulation ran (the RIB fields are then empty) *)
+  vr_diff_class : Hoyan_analysis.Differential.classification option;
+      (** differential mode only ([?diff:true]): the plan's semantic
+          classification (no-op / local / propagating) *)
+  vr_carried : Intents.t list;
+      (** differential mode only: intents whose base-run verdicts were
+          carried over without re-simulation — the static differential
+          pass proved their prefixes lie outside the change's dirty
+          region *)
   vr_coverage : coverage option;
       (** distributed mode only: subtask coverage of the route phase *)
   vr_partial : bool;
@@ -78,6 +86,16 @@ type lint_gate = Lint_off | Lint_warn | Lint_fail
     route/traffic fixpoints are skipped entirely
     ([vr_sim_skipped = true]).
 
+    [diff] (default [false]) additionally runs the differential
+    change-impact pass ({!Hoyan_analysis.Differential}) against the base
+    model before anything is simulated: every reachability intent whose
+    prefix provably lies outside the change's dirty region — and, when
+    the plan is a semantic no-op, every other intent too — keeps its
+    base-run verdict ([vr_carried]) and is evaluated against the cached
+    base state; only the affected remainder goes through the pre-checker
+    and the simulator.  When everything carries over, no fixpoint runs at
+    all.
+
     In [Distributed] mode, [chaos] injects faults into the framework and
     the route phase's outcome contract is surfaced as [vr_coverage].
     When subtasks failed permanently the result is partial; [on_partial]
@@ -90,6 +108,7 @@ val run :
   ?mode:sim_mode ->
   ?lint:lint_gate ->
   ?precheck:bool ->
+  ?diff:bool ->
   ?chaos:Hoyan_dist.Chaos.t ->
   ?on_partial:[ `Refuse | `Degrade ] ->
   Preprocess.base ->

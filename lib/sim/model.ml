@@ -321,13 +321,8 @@ let apply_change_plan ?(te_aware = true) ?regex (t : t)
             (* "typos in the names of routers to be changed ... would cause
                the change to be ineffective on some routers" (Table 6) *)
             ( configs,
-              {
-                Cp.ar_device = dev;
-                ar_parse_errors =
-                  [ { Hoyan_config.Lexutil.err_line = 0;
-                      err_msg = Printf.sprintf "unknown device %S" dev } ];
-                ar_delete_errors = [];
-              }
+              Cp.report_failure ~device:dev
+                (Printf.sprintf "unknown device %S" dev)
               :: reports )
         | Some cfg ->
             let cfg', report = Cp.apply_commands cfg block in

@@ -22,14 +22,25 @@ type injected = {
   inj_input : Lint.input; (* ready to pass to {!detect} *)
   inj_intents : Semantic.reach_intent list;
       (* reachability intents the semantic pre-checker should refute *)
+  inj_routes : Route.t list;
+      (* monitored input routes the differential pass should see *)
 }
 
 (** Run the full static-analysis stack (per-device lint + cross-device
-    semantic pass) over an injected corpus — the union every HOY0xx
+    semantic pass + the differential change-impact pass when the corpus
+    carries a plan) over an injected corpus — the union every HOY0xx
     class is detectable in. *)
 let detect (inj : injected) : Hoyan_analysis.Diagnostics.t list =
+  let diff_diags =
+    match inj.inj_input.Lint.li_plan with
+    | None -> []
+    | Some plan ->
+        Hoyan_analysis.Differential.check ~input_routes:inj.inj_routes
+          (Hoyan_analysis.Differential.diff inj.inj_input plan)
+  in
   Lint.run inj.inj_input
   @ Semantic.analyze ~intents:inj.inj_intents inj.inj_input
+  @ diff_diags
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -128,7 +139,56 @@ let classes =
     "bgp-session-family-mismatch";
     "isis-adjacency-mismatch";
     "intent-statically-refuted";
+    "plan-semantic-noop";
+    "plan-wrong-dialect";
+    "plan-edits-dead-term";
+    "plan-widens-ebgp-transit";
+    "plan-breaks-session";
+    "plan-removes-origination";
+    "plan-withdraws-unknown-prefix";
+    "plan-impact-summary";
   ]
+
+(* The HOY024 dead-term recipe, shared by "dead-policy-term" and the
+   differential "plan-edits-dead-term": node 20's /9 range is exactly the
+   union of node 10's two /10 guarantee regions. *)
+let plant_dead_policy (c : Types.t) : Types.t =
+  let cover =
+    {
+      Types.pl_name = "PL_COVER";
+      pl_family = Ip.Ipv4;
+      pl_entries =
+        [ pe 5 "10.0.0.0/10" None (Some 24); pe 10 "10.64.0.0/10" None (Some 24) ];
+    }
+  in
+  let dead =
+    {
+      Types.pl_name = "PL_DEAD";
+      pl_family = Ip.Ipv4;
+      pl_entries = [ pe 5 "10.0.0.0/9" (Some 10) (Some 24) ];
+    }
+  in
+  let node seq pl =
+    {
+      Types.pn_seq = seq;
+      pn_action = Some Types.Permit;
+      pn_matches = [ Types.Match_prefix_list pl ];
+      pn_sets = [];
+      pn_goto_next = false;
+    }
+  in
+  let policy =
+    {
+      Types.rp_name = "DEAD_TEST";
+      rp_nodes = [ node 10 "PL_COVER"; node 20 "PL_DEAD" ];
+    }
+  in
+  {
+    c with
+    Types.dc_prefix_lists =
+      Smap.add "PL_COVER" cover (Smap.add "PL_DEAD" dead c.Types.dc_prefix_lists);
+    dc_policies = Smap.add "DEAD_TEST" policy c.Types.dc_policies;
+  }
 
 let inject (g : G.t) (cls : string) : injected =
   let configs = g.G.model.Model.configs in
@@ -138,13 +198,14 @@ let inject (g : G.t) (cls : string) : injected =
     | Some c -> c
     | None -> invalid_arg (Printf.sprintf "Defects.inject: unknown class %s" cls)
   in
-  let mk ?plan ?(specs = []) ?(intents = []) ?device configs =
+  let mk ?plan ?(specs = []) ?(intents = []) ?(routes = []) ?device configs =
     {
       inj_class = cls;
       inj_code = code;
       inj_device = device;
       inj_input = Lint.make ~topo ?plan ~specs configs;
       inj_intents = intents;
+      inj_routes = routes;
     }
   in
   let with_cfg dev f = mk ~device:dev (update_config configs dev f) in
@@ -428,47 +489,7 @@ let inject (g : G.t) (cls : string) : injected =
   | "dead-policy-term" ->
       (* node 20's /9 range is exactly the union of node 10's two /10
          guarantee regions — dead, but invisible to the pairwise check *)
-      with_cfg vendor_a_dev (fun c ->
-          let cover =
-            {
-              Types.pl_name = "PL_COVER";
-              pl_family = Ip.Ipv4;
-              pl_entries =
-                [
-                  pe 5 "10.0.0.0/10" None (Some 24);
-                  pe 10 "10.64.0.0/10" None (Some 24);
-                ];
-            }
-          in
-          let dead =
-            {
-              Types.pl_name = "PL_DEAD";
-              pl_family = Ip.Ipv4;
-              pl_entries = [ pe 5 "10.0.0.0/9" (Some 10) (Some 24) ];
-            }
-          in
-          let node seq pl =
-            {
-              Types.pn_seq = seq;
-              pn_action = Some Types.Permit;
-              pn_matches = [ Types.Match_prefix_list pl ];
-              pn_sets = [];
-              pn_goto_next = false;
-            }
-          in
-          let policy =
-            {
-              Types.rp_name = "DEAD_TEST";
-              rp_nodes = [ node 10 "PL_COVER"; node 20 "PL_DEAD" ];
-            }
-          in
-          {
-            c with
-            Types.dc_prefix_lists =
-              Smap.add "PL_COVER" cover
-                (Smap.add "PL_DEAD" dead c.Types.dc_prefix_lists);
-            dc_policies = Smap.add "DEAD_TEST" policy c.Types.dc_policies;
-          })
+      with_cfg vendor_a_dev plant_dead_policy
   | "ibgp-propagation-gap" ->
       (* no route reflector treats anyone as a client any more: iBGP
          routes arrive at the RRs and die there *)
@@ -602,6 +623,137 @@ let inject (g : G.t) (cls : string) : injected =
               ri_expect = true;
             };
           ]
+        configs
+  | "plan-semantic-noop" ->
+      (* comment lines parse cleanly and merge to nothing *)
+      mk ~device:vendor_a_dev
+        ~plan:
+          (Cp.make "injected"
+             ~commands:
+               [ (vendor_a_dev, "! scheduled maintenance window\n! no-op\n") ])
+        configs
+  | "plan-wrong-dialect" ->
+      (* vendor-B commands against a vendor-A device: parse errors on
+         (at least) half the lines and an unchanged config *)
+      mk ~device:vendor_a_dev
+        ~plan:
+          (Cp.make "injected"
+             ~commands:
+               [
+                 ( vendor_a_dev,
+                   "ip ip-prefix CUST index 10 permit 10.0.0.0 8\n\
+                    bgp 64999\n\
+                    peer 192.0.2.9 as-number 65001\n" );
+               ])
+        configs
+  | "plan-edits-dead-term" ->
+      (* the edited node 20 stays inside node 10's guarantee regions:
+         dead (HOY024) before and after the change *)
+      mk ~device:vendor_a_dev
+        ~plan:
+          (Cp.make "injected"
+             ~commands:
+               [
+                 ( vendor_a_dev,
+                   "ip prefix-list PL_DEAD2 seq 5 permit 10.0.0.0/9 ge 12 \
+                    le 24\n\
+                    route-map DEAD_TEST permit 20\n\
+                   \ match ip prefix-list PL_DEAD2\n" );
+               ])
+        (update_config configs vendor_a_dev plant_dead_policy)
+  | "plan-widens-ebgp-transit" ->
+      let dev =
+        find_device configs (fun c ->
+            c.Types.dc_vendor = "vendorA"
+            && c.Types.dc_bgp.Types.bgp_neighbors <> [])
+      in
+      let asn = (Smap.find dev configs).Types.dc_bgp.Types.bgp_asn in
+      mk ~device:dev
+        ~plan:
+          (Cp.make "injected"
+             ~commands:
+               [
+                 ( dev,
+                   Printf.sprintf
+                     "router bgp %d\n\
+                     \ neighbor 192.0.2.101 remote-as 65090\n\
+                     \ neighbor 192.0.2.105 remote-as 65091\n"
+                     asn );
+               ])
+        configs
+  | "plan-breaks-session" ->
+      (* delete the border's stanza of a reciprocal border-RR session;
+         the RR still points back after the change *)
+      let border = List.hd (role_names Topology.Wan_border) in
+      let rr_rids = List.map router_id (role_names Topology.Rr) in
+      let nb =
+        List.find_opt
+          (fun (nb : Types.neighbor) ->
+            List.exists (Ip.equal nb.Types.nb_addr) rr_rids)
+          (Smap.find border configs).Types.dc_bgp.Types.bgp_neighbors
+      in
+      let addr =
+        match nb with
+        | Some nb -> nb.Types.nb_addr
+        | None -> invalid_arg "Defects: border has no RR session"
+      in
+      mk ~device:border
+        ~plan:
+          (Cp.make "injected"
+             ~commands:
+               [
+                 ( border,
+                   Printf.sprintf "no router bgp neighbor %s\n"
+                     (Ip.to_string addr) );
+               ])
+        configs
+  | "plan-removes-origination" ->
+      (* plant an extra origination on a well-connected device, then have
+         the plan delete it: the only origin of a propagated prefix *)
+      let dev =
+        find_device configs (fun c ->
+            c.Types.dc_vendor = "vendorA"
+            && has_policy "PASS" c
+            && c.Types.dc_bgp.Types.bgp_neighbors <> [])
+      in
+      let p = Prefix.of_string_exn "198.51.100.0/24" in
+      mk ~device:dev
+        ~plan:
+          (Cp.make "injected"
+             ~commands:
+               [ (dev, "no router bgp network 198.51.100.0/24\n") ])
+        (update_config configs dev
+           (with_bgp (fun bgp ->
+                {
+                  bgp with
+                  Types.bgp_networks =
+                    bgp.Types.bgp_networks @ [ (p, Route.default_vrf) ];
+                })))
+  | "plan-withdraws-unknown-prefix" ->
+      mk ~routes:g.G.input_routes
+        ~plan:
+          (Cp.make "injected"
+             ~withdraw:[ Prefix.of_string_exn "203.0.113.0/24" ])
+        configs
+  | "plan-impact-summary" ->
+      (* a new origination is a propagating change: the blast-radius
+         summary fires *)
+      let dev =
+        find_device configs (fun c ->
+            c.Types.dc_vendor = "vendorA"
+            && c.Types.dc_bgp.Types.bgp_neighbors <> [])
+      in
+      let asn = (Smap.find dev configs).Types.dc_bgp.Types.bgp_asn in
+      (* no ~device: the HOY037 summary is network-wide, not anchored *)
+      mk ~routes:g.G.input_routes
+        ~plan:
+          (Cp.make "injected"
+             ~commands:
+               [
+                 ( dev,
+                   Printf.sprintf
+                     "router bgp %d\n network 198.51.100.0/24\n" asn );
+               ])
         configs
   | cls -> invalid_arg (Printf.sprintf "Defects.inject: unknown class %s" cls)
 

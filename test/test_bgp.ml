@@ -488,13 +488,13 @@ router bgp 65002
   List.iter
     (fun (r : Hoyan_config.Change_plan.apply_report) ->
       List.iter
-        (fun e ->
+        (fun i ->
           Printf.printf "apply error on %s: %s\n"
             r.Hoyan_config.Change_plan.ar_device
-            (Hoyan_config.Lexutil.error_to_string e))
-        r.Hoyan_config.Change_plan.ar_parse_errors;
+            (Hoyan_config.Change_plan.issue_to_string i))
+        r.Hoyan_config.Change_plan.ar_issues;
       check tint "clean apply" 0
-        (List.length r.Hoyan_config.Change_plan.ar_parse_errors))
+        (List.length r.Hoyan_config.Change_plan.ar_issues))
     reports;
   let res = Route_sim.run model' ~input_routes:input () in
   let r2 = find_routes res.Route_sim.rib ~device:"R2" ~prefix:"99.0.0.0/24" in

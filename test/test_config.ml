@@ -566,9 +566,7 @@ no ip route 192.168.0.0/24
 |}
   in
   let cfg, report = Change_plan.apply_commands base block in
-  check tint "no parse errors" 0 (List.length report.Change_plan.ar_parse_errors);
-  check tint "no delete errors" 0
-    (List.length report.Change_plan.ar_delete_errors);
+  check tint "no issues" 0 (List.length report.Change_plan.ar_issues);
   let rm = Option.get (Types.find_policy cfg "RM") in
   let seqs = List.map (fun n -> n.Types.pn_seq) rm.Types.rp_nodes in
   check Alcotest.(list int) "nodes 10,15 remain; 20 deleted" [ 10; 15 ] seqs;
@@ -583,13 +581,14 @@ let test_change_plan_wrong_dialect () =
   let block = "route-policy RP permit node 10\n apply local-preference 5\n" in
   let cfg, report = Change_plan.apply_commands base block in
   check tbool "errors reported" true
-    (List.length report.Change_plan.ar_parse_errors > 0);
+    (List.length (Change_plan.parse_issues report) > 0);
   check tbool "no new policy" true (Types.find_policy cfg "RP" = None)
 
 let test_change_plan_delete_typo () =
   let base, _ = Parser_a.parse ~device:"x" vendor_a_config in
   let cfg, report = Change_plan.apply_commands base "no route-map RMTYPO 10\n" in
-  check tint "delete error" 1 (List.length report.Change_plan.ar_delete_errors);
+  check tint "delete error" 1
+    (List.length (Change_plan.delete_issues report));
   check tbool "config unchanged" true (Types.find_policy cfg "RM" <> None)
 
 (* --- VSB table ------------------------------------------------------------ *)

@@ -100,7 +100,7 @@ let test_delete_whole_policy_and_lists () =
     Cp.apply_commands base
       "no route-map RM\nno ip prefix-list PL\nno ip community-list CL\n"
   in
-  check tint "no delete errors" 0 (List.length report.Cp.ar_delete_errors);
+  check tint "no delete errors" 0 (List.length (Cp.delete_issues report));
   check tbool "policy gone" true
     (Hoyan_config.Types.find_policy cfg "RM" = None);
   check tbool "prefix list gone" true
@@ -118,7 +118,7 @@ let test_delete_bgp_members () =
     Cp.apply_commands base
       "no router bgp neighbor 10.0.0.2\nno router bgp network 10.0.0.0/24\n"
   in
-  check tint "clean" 0 (List.length report.Cp.ar_delete_errors);
+  check tint "clean" 0 (List.length (Cp.delete_issues report));
   let bgp = cfg.Hoyan_config.Types.dc_bgp in
   check tint "neighbor removed" 0
     (List.length bgp.Hoyan_config.Types.bgp_neighbors);

@@ -18,6 +18,7 @@ let () =
       ("workload", Test_workload.suite);
       ("analysis", Test_analysis.suite);
       ("semantic", Test_semantic.suite);
+      ("differential", Test_differential.suite);
       ("properties", Test_props.suite);
       ("intern", Test_intern.suite);
     ]
