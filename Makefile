@@ -1,7 +1,8 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
 .PHONY: all build test bench perf route-bench lint analyze diff \
-	diff-bench check telemetry-bench semantic-bench chaos smoke clean
+	diff-bench serve serve-bench check telemetry-bench semantic-bench \
+	chaos smoke clean
 
 all: build
 
@@ -55,6 +56,23 @@ diff:
 # workload; writes BENCH_PR7.json (DESIGN.md §2.7).
 diff-bench:
 	dune exec bench/main.exe -- --diff-bench
+
+# Serve smoke: the example request stream through the verification
+# server with --selfcheck, which re-runs every executed request
+# directly through Verify_request.run and asserts the served verdict
+# is byte-identical (exit 1 on any mismatch or execution error), plus
+# the server test suite (DESIGN.md §2.8).
+serve:
+	dune build @all
+	dune exec bin/hoyan_cli.exe -- serve \
+	  --requests examples/serve_requests.txt --selfcheck --no-timing
+	dune exec test/test_main.exe -- test server
+
+# Open-loop load at the server: >=1200 mixed requests over 8 tenants,
+# byte-identity contract check against direct runs, per-class p50/p99,
+# cache hit rate, admission rejections; writes BENCH_PR8.json.
+serve-bench:
+	dune exec bench/main.exe -- --serve-bench
 
 # Everything a PR must keep green: strict-warning build of every
 # target (libs, bins, bench, tests), the full test suite, then the

@@ -1,0 +1,372 @@
+(* --serve-bench: open-loop load against the verification server
+   (writes BENCH_PR8.json).
+
+   The server's contract is that multi-tenancy is free of semantic
+   cost: whatever the queue order, the cache state or the tenant mix,
+   every executed verdict is byte-identical to a direct
+   Verify_request.run of the same request.  This bench drives a
+   >=1200-request mixed stream (lint / precheck / simulate / diff drawn
+   from a ~60-request distinct pool across 8 tenants, so most requests
+   are semantic duplicates) through one server over one shared
+   snapshot, then:
+
+     - re-runs every distinct pool request directly and byte-compares
+       all served verdicts against it (contract violations must be 0);
+     - reports throughput, per-class p50/p99 service latency, cache
+       hit rate and LRU behaviour;
+     - drives a burst at a small-bounded server for admission
+       rejections (queue depth + tenant quota), and a zero-budget
+       request for the lease-expiry timeout path;
+     - replays the measured durations through the multi-server
+       scheduler for modelled scaling. *)
+
+open B_common
+module G = Hoyan_workload.Generator
+module Model = Hoyan_sim.Model
+module Types = Hoyan_config.Types
+module Preprocess = Hoyan_core.Preprocess
+module Intents = Hoyan_core.Intents
+module Server = Hoyan_server.Server
+module Request = Hoyan_server.Request
+module Schedule = Hoyan_dist.Schedule
+
+let output_file = ref "BENCH_PR8.json"
+
+(* ------------------------------------------------------------------ *)
+(* The request pool                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pref_block ~vendor ~pref =
+  if String.equal vendor "vendorA" then
+    Printf.sprintf
+      "route-map ISP_IN permit 10\n set community 64512:100 additive\n set \
+       local-preference %d\n"
+      pref
+  else
+    Printf.sprintf
+      "route-policy ISP_IN permit node 10\n apply community 64512:100 \
+       additive\n apply local-preference %d\n"
+      pref
+
+(* ~60 distinct requests: for each border and a few preference values,
+   one request per class.  Distinctness comes from (device, preference,
+   class, intent) — the cache sees everything else as a duplicate. *)
+let build_pool (g : G.t) : Request.t list =
+  let vendor_of dev =
+    match Model.config g.G.model dev with
+    | Some c -> c.Types.dc_vendor
+    | None -> "vendorA"
+  in
+  let borders = g.G.borders in
+  let classes =
+    [ Request.Lint; Request.Precheck; Request.Simulate; Request.Diff ]
+  in
+  let pool = ref [] in
+  List.iteri
+    (fun bi dev ->
+      List.iter
+        (fun pref ->
+          List.iteri
+            (fun ci cls ->
+              let id =
+                Printf.sprintf "p-%s-%d-%s" dev pref
+                  (Request.class_to_string cls)
+              in
+              let block = pref_block ~vendor:(vendor_of dev) ~pref in
+              let plan =
+                Hoyan_config.Change_plan.make id ~commands:[ (dev, block) ]
+              in
+              let intents =
+                match (ci + bi) mod 3 with
+                | 0 -> [ Intents.Route_change "PRE = POST" ]
+                | 1 ->
+                    [
+                      Intents.Route_change
+                        (Printf.sprintf
+                           "forall device in {%s} : PRE |> count() = POST \
+                            |> count()"
+                           dev);
+                    ]
+                | _ -> []
+              in
+              pool := Request.make ~plan ~intents ~id cls :: !pool)
+            classes)
+        (match bi mod 3 with
+        | 0 -> [ 210; 240 ]
+        | 1 -> [ 220; 250 ]
+        | _ -> [ 230 ]))
+    borders;
+  List.rev !pool
+
+(* Deterministic open-loop draw: request k uses pool entry
+   (k * 7919 + 13) mod n and tenant (k mod 8) — every pool entry is
+   drawn many times, from several tenants. *)
+let draw pool n_requests =
+  let n = List.length pool in
+  let arr = Array.of_list pool in
+  List.init n_requests (fun k ->
+      let p = arr.((k * 7919 + 13) mod n) in
+      {
+        p with
+        Request.r_id = Printf.sprintf "%s#%04d" p.Request.r_id k;
+        r_tenant = Printf.sprintf "tenant-%d" (k mod 8);
+      })
+
+(* ------------------------------------------------------------------ *)
+
+let pct_ms q xs = 1000. *. quantile q xs
+
+let run () =
+  header "serve bench: multi-tenant request server over a shared snapshot";
+  let g = Lazy.force small in
+  let base =
+    Preprocess.prepare g.G.model ~monitored_routes:g.G.input_routes
+      ~monitored_flows:g.G.flows
+  in
+  let pool = build_pool g in
+  let n_requests = if !quick then 400 else 1200 in
+  let stream = draw pool n_requests in
+  row "pool: %d distinct requests; stream: %d requests over 8 tenants"
+    (List.length pool) n_requests;
+
+  (* -- the main serve phase ---------------------------------------- *)
+  let srv = Server.create () in
+  let snap = Server.register_snapshot srv base in
+  row "%s" (Hoyan_server.Snapshot.to_string snap);
+  let t0 = Unix.gettimeofday () in
+  let responses = ref [] in
+  let batch = ref 0 in
+  List.iter
+    (fun rq ->
+      (match Server.submit srv rq with
+      | Ok () -> incr batch
+      | Error r -> responses := r :: !responses);
+      if !batch >= 64 then begin
+        responses := List.rev_append (Server.drain srv) !responses;
+        batch := 0
+      end)
+    stream;
+  responses := List.rev_append (Server.drain srv) !responses;
+  let wall = Unix.gettimeofday () -. t0 in
+  let responses = List.rev !responses in
+  let st = Server.stats srv in
+  let throughput = float_of_int (List.length responses) /. wall in
+  row "served %d responses in %s (%.0f req/s)" (List.length responses)
+    (seconds wall) throughput;
+  row "cache: %d hits / %d misses (%.1f%% hit rate), %d evictions"
+    st.Server.st_cache_hits st.Server.st_cache_misses
+    (100. *. float_of_int st.Server.st_cache_hits
+    /. float_of_int (max 1 (st.Server.st_cache_hits + st.Server.st_cache_misses)))
+    st.Server.st_cache_evictions;
+
+  (* -- the byte-identity contract ---------------------------------- *)
+  let direct = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Request.t) ->
+      Hashtbl.replace direct p.Request.r_id (Server.run_direct snap p))
+    pool;
+  let pool_id id =
+    match String.index_opt id '#' with
+    | Some i -> String.sub id 0 i
+    | None -> id
+  in
+  let checked = ref 0 and violations = ref 0 in
+  let cached_identical = ref true in
+  List.iter
+    (fun (r : Server.response) ->
+      match r.Server.rs_status with
+      | Server.Ok | Server.Fail -> (
+          incr checked;
+          match Hashtbl.find_opt direct (pool_id r.Server.rs_id) with
+          | None -> incr violations
+          | Some (st_direct, body_direct) ->
+              if
+                not
+                  (st_direct = r.Server.rs_status
+                  && String.equal body_direct r.Server.rs_body)
+              then begin
+                incr violations;
+                if r.Server.rs_cached then cached_identical := false;
+                row "CONTRACT VIOLATION: %s (cached=%b)" r.Server.rs_id
+                  r.Server.rs_cached
+              end)
+      | _ -> ())
+    responses;
+  row "contract: %d verdicts compared against direct runs, %d violation(s)"
+    !checked !violations;
+
+  (* -- per-class service latency ----------------------------------- *)
+  let by_class cls =
+    List.filter_map
+      (fun (r : Server.response) ->
+        if r.Server.rs_class = cls then Some r.Server.rs_exec_s else None)
+      responses
+  in
+  let class_stats =
+    List.map
+      (fun cls ->
+        let xs = by_class cls in
+        let n = List.length xs in
+        let p50 = pct_ms 0.5 xs and p99 = pct_ms 0.99 xs in
+        row "%-9s n=%4d  p50 %8.3f ms  p99 %8.3f ms"
+          (Request.class_to_string cls)
+          n p50 p99;
+        (cls, n, p50, p99))
+      [ Request.Lint; Request.Precheck; Request.Simulate; Request.Diff ]
+  in
+  let uncached =
+    List.filter_map
+      (fun (r : Server.response) ->
+        match r.Server.rs_status with
+        | (Server.Ok | Server.Fail) when not r.Server.rs_cached ->
+            Some r.Server.rs_exec_s
+        | _ -> None)
+      responses
+  in
+  row "uncached executions: n=%d  p50 %.3f ms  p99 %.3f ms"
+    (List.length uncached) (pct_ms 0.5 uncached) (pct_ms 0.99 uncached);
+
+  (* -- admission control under a burst ------------------------------ *)
+  sub "admission burst (queue depth 16, tenant quota 4)";
+  let burst_srv =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.c_queue_depth = 16;
+          c_tenant_quota = 4;
+        }
+      ()
+  in
+  ignore (Server.register_snapshot burst_srv base);
+  (* the first 20 requests all come from one tenant (hits the quota);
+     the rest spread across 8 tenants (fills the queue) *)
+  let burst =
+    List.mapi
+      (fun k rq ->
+        if k < 20 then { rq with Request.r_tenant = "hog" } else rq)
+      (draw pool 64)
+  in
+  List.iter (fun rq -> ignore (Server.submit burst_srv rq)) burst;
+  let burst_responses = Server.drain burst_srv in
+  let bst = Server.stats burst_srv in
+  row "burst of 64: %d admitted, %d rejected (queue-full %d, tenant-quota %d)"
+    bst.Server.st_admitted
+    (bst.Server.st_rejected_queue + bst.Server.st_rejected_quota)
+    bst.Server.st_rejected_queue bst.Server.st_rejected_quota;
+  ignore burst_responses;
+
+  (* -- budget expiry ------------------------------------------------ *)
+  sub "budget expiry (zero-budget request)";
+  let zb =
+    {
+      (List.hd pool) with
+      Request.r_id = "zero-budget";
+      r_budget_s = Some 0.;
+      r_no_cache = true;
+    }
+  in
+  let timeout_ok =
+    match Server.submit srv zb with
+    | Error _ -> false
+    | Ok () -> (
+        match Server.drain srv with
+        | [ r ] ->
+            row "zero-budget request: status=%s body=%S"
+              (Server.status_to_string r.Server.rs_status)
+              r.Server.rs_body;
+            r.Server.rs_status = Server.Timeout
+            && String.equal r.Server.rs_body ""
+        | _ -> false)
+  in
+  row "timeout path: %s (verdict withheld)" (if timeout_ok then "OK" else "BROKEN");
+
+  (* -- modelled scaling --------------------------------------------- *)
+  sub "modelled scaling (measured durations through the scheduler)";
+  let makespans =
+    List.map
+      (fun n ->
+        let mk = Server.modelled_makespan srv ~servers:n in
+        row "%2d server(s): %.3fs" n mk;
+        (n, mk))
+      [ 1; 2; 4; 8 ]
+  in
+
+  let st = Server.stats srv in
+  let json =
+    B_perf.J_obj
+      [
+        ("bench", B_perf.J_str "multi-tenant verification server");
+        ("generated_unix", B_perf.J_float (Unix.gettimeofday ()));
+        ("quick", B_perf.J_bool !quick);
+        ( "workload",
+          B_perf.J_obj
+            [
+              ("name", B_perf.J_str "small");
+              ("pool_distinct", B_perf.J_int (List.length pool));
+              ("stream_requests", B_perf.J_int n_requests);
+              ("tenants", B_perf.J_int 8);
+            ] );
+        ( "serve",
+          B_perf.J_obj
+            [
+              ("responses", B_perf.J_int (List.length responses));
+              ("wall_s", B_perf.J_float wall);
+              ("throughput_rps", B_perf.J_float throughput);
+              ("completed", B_perf.J_int st.Server.st_completed);
+              ("failed_verdicts", B_perf.J_int st.Server.st_failed);
+              ("timeouts", B_perf.J_int st.Server.st_timeouts);
+              ("errors", B_perf.J_int st.Server.st_errors);
+            ] );
+        ( "latency_ms",
+          B_perf.J_obj
+            (List.map
+               (fun (cls, n, p50, p99) ->
+                 ( Request.class_to_string cls,
+                   B_perf.J_obj
+                     [
+                       ("n", B_perf.J_int n);
+                       ("p50", B_perf.J_float p50);
+                       ("p99", B_perf.J_float p99);
+                     ] ))
+               class_stats) );
+        ( "cache",
+          B_perf.J_obj
+            [
+              ("hits", B_perf.J_int st.Server.st_cache_hits);
+              ("misses", B_perf.J_int st.Server.st_cache_misses);
+              ("evictions", B_perf.J_int st.Server.st_cache_evictions);
+              ( "hit_rate",
+                B_perf.J_float
+                  (float_of_int st.Server.st_cache_hits
+                  /. float_of_int
+                       (max 1 (st.Server.st_cache_hits + st.Server.st_cache_misses))
+                  ) );
+              ("cached_identical", B_perf.J_bool !cached_identical);
+            ] );
+        ( "admission_burst",
+          B_perf.J_obj
+            [
+              ("submitted", B_perf.J_int bst.Server.st_submitted);
+              ("admitted", B_perf.J_int bst.Server.st_admitted);
+              ("rejected_queue", B_perf.J_int bst.Server.st_rejected_queue);
+              ("rejected_quota", B_perf.J_int bst.Server.st_rejected_quota);
+            ] );
+        ( "contract",
+          B_perf.J_obj
+            [
+              ("verdicts_compared", B_perf.J_int !checked);
+              ("violations", B_perf.J_int !violations);
+              ("timeout_withholds_verdict", B_perf.J_bool timeout_ok);
+            ] );
+        ( "modelled_makespan_s",
+          B_perf.J_obj
+            (List.map
+               (fun (n, mk) -> (string_of_int n, B_perf.J_float mk))
+               makespans) );
+        ("peak_rss_kb", B_perf.J_int (B_perf.peak_rss_kb ()));
+      ]
+  in
+  B_perf.write_json !output_file json;
+  row "wrote %s" !output_file;
+  if !violations > 0 || not timeout_ok then exit 1

@@ -20,6 +20,8 @@
      hoyan audit     [--scale ...]
      hoyan vsb                         # Table-5 differential sweep
      hoyan trace summarize FILE        # per-phase/per-subtask breakdown
+     hoyan serve     --requests FILE [--policy fifo|lpt] [--selfcheck]
+                     [--metrics-out FILE [--metrics-every N]]
 
    simulate and verify accept --trace/--metrics/--journal FILE options
    that install a live telemetry handle and write the Chrome trace JSON,
@@ -43,6 +45,8 @@ module Audit = Hoyan_core.Audit
 module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
 module Bgp = Hoyan_proto.Bgp
+module Server = Hoyan_server.Server
+module Request = Hoyan_server.Request
 module Telemetry = Hoyan_telemetry.Telemetry
 module Trace = Hoyan_telemetry.Trace
 module Metrics = Hoyan_telemetry.Metrics
@@ -874,6 +878,252 @@ let trace_cmd =
     [ summarize_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* hoyan serve                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve params seed requests_file out_file metrics_out metrics_every
+    queue_depth tenant_quota cache_capacity policy budget batch selfcheck
+    servers no_timing =
+  let text =
+    try
+      if requests_file = "-" then In_channel.input_all stdin
+      else In_channel.with_open_text requests_file In_channel.input_all
+    with Sys_error msg ->
+      prerr_endline ("serve: " ^ msg);
+      exit 2
+  in
+  match Request.parse text with
+  | Error msg ->
+      Printf.eprintf "serve: request stream: %s\n" msg;
+      2
+  | Ok requests ->
+      let tm = Telemetry.create () in
+      Telemetry.set tm;
+      let g = gen params seed in
+      let base =
+        Preprocess.prepare g.G.model ~monitored_routes:g.G.input_routes
+          ~monitored_flows:g.G.flows
+      in
+      let policy =
+        match policy with
+        | "fifo" -> Hoyan_dist.Schedule.Fifo
+        | "lpt" -> Hoyan_dist.Schedule.Lpt
+        | p ->
+            Printf.eprintf "serve: unknown --policy %S (fifo or lpt)\n" p;
+            exit 2
+      in
+      let config =
+        {
+          Server.c_queue_depth = queue_depth;
+          c_tenant_quota = tenant_quota;
+          c_cache_capacity = cache_capacity;
+          c_policy = policy;
+          c_default_budget_s =
+            Option.value budget ~default:Server.default_config.Server.c_default_budget_s;
+        }
+      in
+      let srv = Server.create ~tm ~config () in
+      let snap = Server.register_snapshot srv base in
+      Printf.printf "%s\n" (Hoyan_server.Snapshot.to_string snap);
+      let oc = Option.map open_out out_file in
+      let emit r =
+        let s = Server.response_to_string ~timing:(not no_timing) r in
+        match oc with Some oc -> output_string oc s | None -> print_string s
+      in
+      let served = ref 0 in
+      let last_dump = ref 0 in
+      let dump_metrics () =
+        Option.iter
+          (fun path -> Metrics.write_prometheus_file tm.Telemetry.metrics path)
+          metrics_out
+      in
+      let maybe_dump () =
+        if metrics_every > 0 && !served - !last_dump >= metrics_every then begin
+          last_dump := !served;
+          dump_metrics ()
+        end
+      in
+      let flush_queue () =
+        let rs = Server.drain srv in
+        List.iter
+          (fun r ->
+            emit r;
+            incr served;
+            maybe_dump ())
+          rs;
+        rs
+      in
+      let all = ref [] in
+      let pending_in_batch = ref 0 in
+      List.iter
+        (fun rq ->
+          (match Server.submit srv rq with
+          | Stdlib.Ok () -> incr pending_in_batch
+          | Stdlib.Error r ->
+              emit r;
+              incr served;
+              all := r :: !all;
+              maybe_dump ());
+          if !pending_in_batch >= batch then begin
+            all := List.rev_append (flush_queue ()) !all;
+            pending_in_batch := 0
+          end)
+        requests;
+      all := List.rev_append (flush_queue ()) !all;
+      Option.iter close_out oc;
+      dump_metrics ();
+      Option.iter
+        (fun path ->
+          Printf.printf "metrics: %d updates -> %s\n"
+            (Metrics.ops tm.Telemetry.metrics)
+            path)
+        metrics_out;
+      let responses = List.rev !all in
+      (* --selfcheck: every executed verdict must be byte-identical to a
+         direct Verify_request.run of the same request (the service
+         contract the bench also asserts) *)
+      let mismatches =
+        if not selfcheck then 0
+        else
+          List.fold_left
+            (fun acc (r : Server.response) ->
+              match r.Server.rs_status with
+              | Server.Ok | Server.Fail -> (
+                  match List.nth_opt requests r.Server.rs_seq with
+                  | None -> acc
+                  | Some rq ->
+                      let snap =
+                        match rq.Request.r_snapshot with
+                        | Some d ->
+                            Option.value (Server.find_snapshot srv d)
+                              ~default:snap
+                        | None -> snap
+                      in
+                      let st, body = Server.run_direct snap rq in
+                      if
+                        st = r.Server.rs_status
+                        && String.equal body r.Server.rs_body
+                      then acc
+                      else begin
+                        Printf.eprintf
+                          "selfcheck MISMATCH: request %s (seq %d)\n"
+                          r.Server.rs_id r.Server.rs_seq;
+                        acc + 1
+                      end)
+              | _ -> acc)
+            0 responses
+      in
+      if selfcheck then
+        Printf.printf "selfcheck: %d verdict(s) compared, %d mismatch(es)\n"
+          (List.length
+             (List.filter
+                (fun (r : Server.response) ->
+                  match r.Server.rs_status with
+                  | Server.Ok | Server.Fail -> true
+                  | _ -> false)
+                responses))
+          mismatches;
+      print_string (Server.report srv);
+      List.iter
+        (fun n ->
+          Printf.printf "modelled makespan on %d server(s): %.3fs\n" n
+            (Server.modelled_makespan srv ~servers:n))
+        servers;
+      Telemetry.set Telemetry.noop;
+      let errors =
+        List.exists
+          (fun (r : Server.response) ->
+            match r.Server.rs_status with Server.Error _ -> true | _ -> false)
+          responses
+      in
+      if errors || mismatches > 0 then 1 else 0
+
+let serve_cmd =
+  let requests =
+    Arg.(value & opt string "-"
+         & info [ "requests" ] ~docv:"FILE"
+             ~doc:"Request stream in the serve transport format ($(b,-) = \
+                   stdin; see README for the grammar).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write responses to $(docv) instead of stdout.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write server metrics in Prometheus text exposition \
+                   format to $(docv) on shutdown (and periodically with \
+                   $(b,--metrics-every)).")
+  in
+  let metrics_every =
+    Arg.(value & opt int 0
+         & info [ "metrics-every" ] ~docv:"N"
+             ~doc:"Also rewrite $(b,--metrics-out) every $(docv) served \
+                   requests (0 = only on shutdown).")
+  in
+  let queue_depth =
+    Arg.(value & opt int Server.default_config.Server.c_queue_depth
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admission bound: maximum queued requests.")
+  in
+  let tenant_quota =
+    Arg.(value & opt int Server.default_config.Server.c_tenant_quota
+         & info [ "tenant-quota" ] ~docv:"N"
+             ~doc:"Admission bound: maximum queued requests per tenant.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int Server.default_config.Server.c_cache_capacity
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"Result-cache entries (LRU beyond; 0 disables).")
+  in
+  let policy =
+    Arg.(value & opt string "fifo"
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Drain order: $(b,fifo) (submission order) or $(b,lpt) \
+                   (cost-model longest-first).")
+  in
+  let budget =
+    Arg.(value & opt (some float) None
+         & info [ "budget" ] ~docv:"SECONDS"
+             ~doc:"Default per-request execution budget (lease seconds) \
+                   for requests that name none.")
+  in
+  let batch =
+    Arg.(value & opt int 32
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Drain the queue after every $(docv) admitted requests \
+                   (the service loop's batching grain).")
+  in
+  let selfcheck =
+    Arg.(value & flag
+         & info [ "selfcheck" ]
+             ~doc:"After serving, re-run every executed request directly \
+                   through the verification pipeline and assert the \
+                   served verdict is byte-identical.")
+  in
+  let servers =
+    Arg.(value & opt_all int []
+         & info [ "servers" ] ~docv:"N"
+             ~doc:"Report the modelled makespan of the served load on \
+                   $(docv) verification servers (repeatable).")
+  in
+  let no_timing =
+    Arg.(value & flag
+         & info [ "no-timing" ]
+             ~doc:"Omit latency fields from responses (stable output for \
+                   smoke tests).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve verification requests over a shared snapshot")
+    Term.(
+      const serve $ scale_arg $ seed_arg $ requests $ out $ metrics_out
+      $ metrics_every $ queue_depth $ tenant_quota $ cache_capacity $ policy
+      $ budget $ batch $ selfcheck $ servers $ no_timing)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Hoyan: global WAN change verification (SIGCOMM'25 reproduction)" in
@@ -884,4 +1134,5 @@ let () =
           [
             simulate_cmd; verify_cmd; lint_cmd; analyze_cmd; diff_cmd;
             rcl_cmd; diagnose_cmd; audit_cmd; vsb_cmd; case_cmd; trace_cmd;
+            serve_cmd;
           ]))

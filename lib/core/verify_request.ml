@@ -104,8 +104,8 @@ let lint_specs (intents : Intents.t list) : (string * string) list =
     [verify.traffic_sim] / [verify.intents]); the static-analysis gate
     additionally journals its outcome as a [lint.gate] event. *)
 let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
-    ?(diff = false) ?chaos ?(on_partial = `Refuse) (base : Preprocess.base)
-    (rq : request) : result =
+    ?(diff = false) ?chaos ?(on_partial = `Refuse) ?(stop_after = `Full)
+    (base : Preprocess.base) (rq : request) : result =
   let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
   let rq_sp =
     Telemetry.span tm ~args:[ ("request", rq.rq_name) ] "verify.request"
@@ -131,16 +131,20 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
         ("diagnostics", Journal.I (List.length lint_diags));
         ("gated", Journal.B gated);
       ];
-  if gated then begin
-    Telemetry.count tm "hoyan_verify_gated_total" 1;
+  if gated || stop_after = `Gate then begin
+    if gated then Telemetry.count tm "hoyan_verify_gated_total" 1;
     Telemetry.finish tm rq_sp;
     {
       vr_request = rq.rq_name;
-      vr_ok = false;
+      (* a [`Gate]-bounded request (the server's lint class) is ok iff
+         the gate found no error-severity diagnostic; a gated request
+         never is *)
+      vr_ok = (not gated) && stop_after = `Gate
+              && not (Lint.has_errors lint_diags);
       vr_violations = [];
       vr_plan_warnings = [];
       vr_lint = lint_diags;
-      vr_gated = true;
+      vr_gated = gated;
       vr_precheck = [];
       vr_sim_skipped = false;
       vr_diff_class = None;
@@ -312,10 +316,14 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
     (precheck && active_intents <> [] && sim_intents = [])
     || (diff && rq.rq_intents <> [] && active_intents = [])
   in
+  (* a [`Static]-bounded request (the server's precheck class) never
+     simulates: whatever the pre-checker left open stays open, and the
+     verdict covers only the statically decided part *)
+  let static_only = stop_after = `Static in
   (* 3. route simulation on the updated model; reclaimed prefixes were
      removed from the inputs above, announced ones are added here *)
   let updated_rib, dist_coverage =
-    if sim_skipped then ([], None)
+    if sim_skipped || static_only then ([], None)
     else
       Telemetry.with_span tm "verify.route_sim" (fun () ->
           match mode with
@@ -358,7 +366,10 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
              ~flows:base.Preprocess.b_flows ()))
   in
   (* 5. intent verification for whatever the pre-checker left open *)
-  let base_rib = if sim_skipped then [] else Lazy.force base.Preprocess.b_rib in
+  let base_rib =
+    if sim_skipped || static_only then []
+    else Lazy.force base.Preprocess.b_rib
+  in
   (* partial distributed results: intent verdicts over an incomplete RIB
      would be unsound (a route missing from a failed subtask looks like a
      reachability violation — or masks one).  The default refuses to
@@ -366,7 +377,7 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
      is flagged [vr_partial] and can never be [vr_ok]. *)
   let refuse_partial = partial && on_partial = `Refuse in
   let sim_violations =
-    if sim_intents = [] || refuse_partial then []
+    if sim_intents = [] || refuse_partial || static_only then []
     else
       Telemetry.with_span tm "verify.intents" (fun () ->
           List.concat_map

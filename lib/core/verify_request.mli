@@ -96,6 +96,15 @@ type lint_gate = Lint_off | Lint_warn | Lint_fail
     and the simulator.  When everything carries over, no fixpoint runs at
     all.
 
+    [stop_after] bounds how far the pipeline runs (the request classes of
+    the verification server, {!Hoyan_server.Server}, map onto it):
+    [`Gate] stops after the static-analysis gate — [vr_ok] is then "the
+    gate found no error-severity diagnostic" and nothing is simulated;
+    [`Static] runs the model update, the differential pass and the static
+    pre-checker but never the fixpoints — intents the pre-checker left
+    [Needs_simulation] stay open and the verdict covers only the
+    statically decided part; [`Full] (the default) is the whole pipeline.
+
     In [Distributed] mode, [chaos] injects faults into the framework and
     the route phase's outcome contract is surfaced as [vr_coverage].
     When subtasks failed permanently the result is partial; [on_partial]
@@ -111,6 +120,7 @@ val run :
   ?diff:bool ->
   ?chaos:Hoyan_dist.Chaos.t ->
   ?on_partial:[ `Refuse | `Degrade ] ->
+  ?stop_after:[ `Gate | `Static | `Full ] ->
   Preprocess.base ->
   request ->
   result

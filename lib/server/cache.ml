@@ -1,0 +1,91 @@
+(* Bounded LRU cache: hash table for lookup, intrusive doubly-linked
+   list for recency order (head = most recent, tail = next eviction).
+   Every operation is O(1). *)
+
+type 'a node = {
+  n_key : string;
+  mutable n_value : 'a;
+  mutable n_prev : 'a node option;  (* toward the head (more recent) *)
+  mutable n_next : 'a node option;  (* toward the tail (less recent) *)
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then nan else float_of_int t.hits /. float_of_int total
+
+let unlink t (n : 'a node) =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> t.head <- n.n_next);
+  (match n.n_next with
+  | Some s -> s.n_prev <- n.n_prev
+  | None -> t.tail <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front t (n : 'a node) =
+  n.n_prev <- None;
+  n.n_next <- t.head;
+  (match t.head with Some h -> h.n_prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.n_value
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.n_key;
+      t.evictions <- t.evictions + 1
+
+let add t key value =
+  if t.cap = 0 then ()
+  else
+    match Hashtbl.find_opt t.tbl key with
+    | Some n ->
+        n.n_value <- value;
+        unlink t n;
+        push_front t n
+    | None ->
+        let n = { n_key = key; n_value = value; n_prev = None; n_next = None } in
+        Hashtbl.replace t.tbl key n;
+        push_front t n;
+        if Hashtbl.length t.tbl > t.cap then evict_lru t

@@ -1,0 +1,34 @@
+(** Bounded LRU result cache.
+
+    The server keys it by (snapshot digest, plan digest, intent digest)
+    — see {!Request.cache_key} — and stores the fully rendered response,
+    so a cache hit returns bytes identical to the uncached execution.
+    Capacity is a hard bound on {e entries}; inserting into a full cache
+    evicts the least-recently-used entry.  [capacity = 0] disables
+    storage entirely (every [add] is dropped).
+
+    Not domain-safe: the server serializes cache access on its drain
+    loop. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+
+(** Entries currently stored (always [<= capacity]). *)
+val size : 'a t -> int
+
+(** Lookup; a hit marks the entry most-recently-used.  Counts toward
+    {!hits}/{!misses}. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert (or overwrite) a binding and mark it most-recently-used,
+    evicting the least-recently-used entry when over capacity. *)
+val add : 'a t -> string -> 'a -> unit
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+(** [hits / (hits + misses)]; [nan] before the first lookup. *)
+val hit_rate : 'a t -> float

@@ -1,0 +1,96 @@
+(** Typed verification requests and the server's file/stdin transport.
+
+    A request names a {e class} (how far the pipeline runs and with
+    which flags — every class executes through
+    {!Hoyan_core.Verify_request.run}), a change plan, intents, and
+    per-request admission inputs (tenant, budget).
+
+    {2 Cache keys}
+
+    {!cache_key} is the result-cache key: (snapshot digest, plan
+    digest, intent digest, class).  The plan digest is {e semantic}: the
+    plan's command blocks are applied to the base configs and the digest
+    covers the {e patched} configurations (plus the application issues,
+    topology ops, announced routes and withdrawals) — so two textually
+    different plans with the same meaning (restatements, reordered
+    prefix-list entries, duplicated blocks) digest identically and
+    deduplicate in the cache, the PR7 restatement-is-no-op property
+    lifted to the request layer.
+
+    {2 Transport}
+
+    Requests travel as a line-oriented text stream (no network
+    dependency):
+
+    {v
+# comment
+request ID CLASS [tenant=T] [budget=SECONDS] [snapshot=DIGEST] [no-cache]
+plan DEVICE
+<verbatim vendor command lines>
+end-plan
+withdraw PREFIX
+intent rcl RCL-SPEC
+intent reach present|absent PREFIX DEV[,DEV...]
+end
+    v}
+
+    [CLASS] is one of [lint], [precheck], [simulate], [diff].  [plan],
+    [withdraw] and [intent] stanzas repeat. *)
+
+type rq_class = Lint | Precheck | Simulate | Diff
+
+val class_to_string : rq_class -> string
+val class_of_string : string -> rq_class option
+
+type t = {
+  r_id : string;
+  r_tenant : string;
+  r_class : rq_class;
+  r_snapshot : string option;
+      (** target snapshot digest; [None] = the server's default *)
+  r_plan : Hoyan_config.Change_plan.t;
+  r_intents : Hoyan_core.Intents.t list;
+  r_budget_s : float option;
+      (** execution budget (lease seconds); [None] = server default *)
+  r_no_cache : bool;  (** bypass the result cache entirely *)
+}
+
+val make :
+  ?tenant:string ->
+  ?snapshot:string ->
+  ?plan:Hoyan_config.Change_plan.t ->
+  ?intents:Hoyan_core.Intents.t list ->
+  ?budget_s:float ->
+  ?no_cache:bool ->
+  id:string ->
+  rq_class ->
+  t
+
+(** Semantic digest of a change plan against the base configurations
+    (see above).  Stable across restatements; sensitive to anything
+    {!Hoyan_core.Verify_request.run} could observe (patched configs,
+    application issues, topology ops, new routes, withdrawals). *)
+val plan_digest :
+  configs:Hoyan_config.Types.t Hoyan_config.Types.Smap.t ->
+  Hoyan_config.Change_plan.t ->
+  string
+
+(** In-order digest of the request's intents (intent order is
+    observable in the verdict rendering, so it is {e not} sorted). *)
+val intents_digest : Hoyan_core.Intents.t list -> string
+
+(** The result-cache key:
+    [snapshot-digest/class/plan-digest/intent-digest]. *)
+val cache_key :
+  snapshot_digest:string ->
+  configs:Hoyan_config.Types.t Hoyan_config.Types.Smap.t ->
+  t ->
+  string
+
+(** Parse a request stream.  [Error] carries a 1-based line number and
+    message. *)
+val parse : string -> (t list, string) result
+
+(** Render one request in the transport format ([parse] of the output
+    round-trips). *)
+val print : t -> string

@@ -1,0 +1,129 @@
+(** The verification server: a long-running request loop over shared
+    immutable snapshots (DESIGN.md §2.8).
+
+    One server owns a snapshot store ({!Snapshot}), a bounded request
+    queue with admission control (global depth + per-tenant quota), a
+    result cache ({!Cache}) keyed by (snapshot, plan, intent) digests,
+    and per-request budgets enforced through the PR5 lease machinery
+    ({!Hoyan_dist.Db}): every admitted request is a [Db] entry whose
+    attempt takes a lease of its budget; a request whose lease has
+    expired when it finishes is [Timeout] — its verdict is withheld
+    (the PR5 no-partial-verdicts contract, applied per request).
+
+    Execution is the drain loop: {!drain} orders the queued requests by
+    the cost model (class priors seeded from
+    {!Hoyan_dist.Costmodel.est_route_subtask}, refined by measured
+    times) under a {!Hoyan_dist.Schedule.policy}, executes each through
+    the single {!run_direct} path, and returns responses in submission
+    order.  {!modelled_makespan} replays the measured durations through
+    {!Hoyan_dist.Schedule} to report multi-server scaling without real
+    servers, as the distributed framework does. *)
+
+type config = {
+  c_queue_depth : int;  (** admission bound on queued requests *)
+  c_tenant_quota : int;  (** max queued requests per tenant *)
+  c_cache_capacity : int;  (** result-cache entries (LRU beyond) *)
+  c_policy : Hoyan_dist.Schedule.policy;  (** drain order *)
+  c_default_budget_s : float;  (** budget when the request names none *)
+}
+
+(** depth 256, quota 64, cache 1024, Fifo, budget 300s. *)
+val default_config : config
+
+type status =
+  | Ok  (** executed; the verdict is PASS *)
+  | Fail  (** executed; the verdict is FAIL *)
+  | Rejected of string  (** admission refused it (reason) *)
+  | Timeout  (** lease expired; verdict withheld *)
+  | Error of string  (** execution raised *)
+
+val status_to_string : status -> string
+
+type response = {
+  rs_seq : int;  (** global submission sequence number *)
+  rs_id : string;
+  rs_tenant : string;
+  rs_class : Request.rq_class;
+  rs_status : status;
+  rs_body : string;
+      (** deterministic verdict rendering (no timings, no request
+          name): byte-identical for cached and uncached executions of
+          the same request *)
+  rs_cached : bool;
+  rs_queue_s : float;  (** time spent queued *)
+  rs_exec_s : float;  (** execution time (0 for rejected/cached) *)
+}
+
+(** Render a response for the output stream.  [timing:false] omits the
+    latency fields (stable output for smoke tests). *)
+val response_to_string : ?timing:bool -> response -> string
+
+type stats = {
+  st_submitted : int;
+  st_admitted : int;
+  st_rejected_queue : int;
+  st_rejected_quota : int;
+  st_rejected_snapshot : int;
+  st_completed : int;
+  st_failed : int;  (** completed with a FAIL verdict *)
+  st_timeouts : int;
+  st_errors : int;
+  st_cache_hits : int;
+  st_cache_misses : int;
+  st_cache_evictions : int;
+}
+
+type t
+
+val create : ?tm:Hoyan_telemetry.Telemetry.t -> ?config:config -> unit -> t
+
+(** Register a base as a shared snapshot.  The first registration
+    becomes the default target for requests that name no snapshot.
+    Re-registering identical content is a no-op returning the existing
+    snapshot. *)
+val register_snapshot : t -> Hoyan_core.Preprocess.base -> Snapshot.t
+
+val find_snapshot : t -> string -> Snapshot.t option
+val snapshots : t -> Snapshot.t list
+
+(** Admission: [Ok ()] means queued; [Error response] is the terminal
+    [Rejected] response (queue full, tenant over quota, or unknown
+    snapshot). *)
+val submit : t -> Request.t -> (unit, response) result
+
+(** Number of requests currently queued. *)
+val queue_depth : t -> int
+
+(** Execute everything queued (cost-model order under the configured
+    policy) and return the responses in {e submission} order. *)
+val drain : t -> response list
+
+(** The single execution path: run one request against a snapshot
+    through {!Hoyan_core.Verify_request.run} with the class's flags,
+    bypassing queue, cache and budgets.  The server's executed
+    responses are byte-identical to this — the serve bench and
+    [--selfcheck] assert it. *)
+val run_direct :
+  ?tm:Hoyan_telemetry.Telemetry.t ->
+  Snapshot.t ->
+  Request.t ->
+  status * string
+
+(** Ids of requests executed by past [drain]s, in execution order
+    (exposes the scheduler's decisions to tests). *)
+val executed_order : t -> string list
+
+(** Measured execution durations of completed requests, oldest first. *)
+val durations : t -> float list
+
+(** Replay the measured durations through the multi-server scheduler:
+    the modelled end-to-end time on [servers] workers. *)
+val modelled_makespan : t -> servers:int -> float
+
+val stats : t -> stats
+
+(** Per-class measured execution latencies, oldest first. *)
+val latencies : t -> (Request.rq_class * float) list
+
+(** Human-readable one-shot summary (counts, cache, queue). *)
+val report : t -> string

@@ -1,0 +1,37 @@
+(** The snapshot store's unit of sharing: one pre-processed base —
+    parsed model, filtered simulation inputs, and the {e converged} base
+    state (global RIB and traffic result, normally lazy in
+    {!Hoyan_core.Preprocess.base}) — registered once under a content
+    digest and then shared {e read-only} across every request the server
+    executes against it.
+
+    Registration forces the base's lazy RIB/traffic exactly once, so no
+    two requests ever race on the shared [Lazy.t] cells and every
+    request pays only the incremental cost of its own change plan. *)
+
+type t = {
+  sn_digest : string;  (** hex content digest of the whole base *)
+  sn_base : Hoyan_core.Preprocess.base;
+      (** the shared base; its [b_rib]/[b_traffic] lazies are forced *)
+  sn_devices : int;
+  sn_input_routes : int;
+  sn_flows : int;
+  sn_rib_rows : int;  (** rows of the converged base RIB *)
+  sn_converge_s : float;
+      (** one-time cost of forcing the base RIB + traffic at
+          registration *)
+}
+
+(** Content digest of a base: canonical rendering of every device
+    config, the topology (devices and links), and the filtered input
+    routes/flows.  Two bases with identical content digest identically
+    regardless of construction order. *)
+val digest_of_base : Hoyan_core.Preprocess.base -> string
+
+(** Register a base: compute its digest and force the converged state.
+    [tm] receives a [server.snapshot] span and registration gauges. *)
+val register :
+  ?tm:Hoyan_telemetry.Telemetry.t -> Hoyan_core.Preprocess.base -> t
+
+(** One-line summary (digest prefix, sizes, convergence cost). *)
+val to_string : t -> string

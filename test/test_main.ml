@@ -21,4 +21,5 @@ let () =
       ("differential", Test_differential.suite);
       ("properties", Test_props.suite);
       ("intern", Test_intern.suite);
+      ("server", Test_server.suite);
     ]
