@@ -1,8 +1,8 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
 .PHONY: all build test bench perf route-bench lint analyze diff \
-	diff-bench serve serve-bench check telemetry-bench semantic-bench \
-	chaos smoke clean
+	diff-bench serve serve-bench whatif whatif-bench check \
+	telemetry-bench semantic-bench chaos smoke clean
 
 all: build
 
@@ -67,6 +67,25 @@ serve:
 	dune exec bin/hoyan_cli.exe -- serve \
 	  --requests examples/serve_requests.txt --selfcheck --no-timing
 	dune exec test/test_main.exe -- test server
+
+# k-failure soundness gate: `hoyan whatif --selfcheck` runs the pruned
+# sweep AND the brute-force sweep in-process and asserts identical
+# violating scenario sets (exit 2 on mismatch), then the kfailure test
+# suite replays the same oracle over hand-built and qcheck-generated
+# topologies for k in {1,2} (DESIGN.md §2.9).
+whatif:
+	dune build @all
+	dune exec bin/hoyan_cli.exe -- whatif --scale small -k 1 --selfcheck; \
+	  test $$? -le 1
+	dune exec bin/hoyan_cli.exe -- whatif --scale small -k 2 --devices \
+	  --selfcheck; test $$? -le 1
+	dune exec test/test_main.exe -- test kfailure
+
+# Pruning ratio + wall clock of the exhaustive sweep vs brute force
+# (brute measured at small scale, extrapolated at wan scale); writes
+# BENCH_PR9.json (DESIGN.md §2.9).
+whatif-bench:
+	dune exec bench/main.exe -- --whatif-bench
 
 # Open-loop load at the server: >=1200 mixed requests over 8 tenants,
 # byte-identity contract check against direct runs, per-class p50/p99,

@@ -1,0 +1,294 @@
+(* --whatif-bench: exhaustive k-failure verification via the static
+   failure-equivalence analysis vs brute-force simulation (writes
+   BENCH_PR9.json).
+
+   Two experiments:
+
+   1. Small workload, k in {1,2}: both sweeps run end-to-end, so we can
+      assert the soundness contract (identical violating scenario sets)
+      AND report the wall-clock ratio honestly.
+
+   2. WAN+DCN workload, k = 1 over every link: the brute-force sweep is
+      one full fixpoint per scenario — infeasible by construction — so
+      we run the pruned sweep only, report the pruning ratio
+      (total scenarios / simulated representatives, the paper-level
+      claim), and extrapolate the brute-force wall clock from the
+      measured mean per-representative simulation time.
+
+   The property is a reachability invariant on the input-route prefix
+   with the smallest control-plane region among a deterministic sample,
+   monitored on the WAN borders — the realistic shape for what-if
+   sweeps (an operator asks whether a specific service prefix survives
+   on the backbone edge, not about 0.0.0.0/0).  The WAN+DCN topology is
+   where the influence slice pays off: the DC core layer hangs off the
+   borders behind an eBGP boundary, so the analysis proves every
+   DC-side link failure irrelevant to a border-monitored property (the
+   AS-loop check drops any re-export back into the WAN, and a
+   single-homed leaf is never transit for a backbone shortest path). *)
+
+open B_common
+open Hoyan_net
+module G = Hoyan_workload.Generator
+module Model = Hoyan_sim.Model
+module Lint = Hoyan_analysis.Lint
+module Semantic = Hoyan_analysis.Semantic
+module Feq = Hoyan_analysis.Failure_eq
+module Kfailure = Hoyan_core.Kfailure
+
+let output_file = ref "BENCH_PR9.json"
+
+(* The what-if experiment keeps the full DC layer even under --quick
+   (the pruning ratio is structural in the DC link count) and trims the
+   route table instead: per-representative fixpoint cost scales with
+   input routes, the class structure does not. *)
+let wan_dcn_whatif =
+  lazy
+    (G.generate
+       (if !quick then { G.wan_dcn with G.g_prefixes = 500 } else G.wan_dcn))
+
+let violating (r : Kfailure.result) =
+  List.map
+    (fun (s : Kfailure.scenario_result) ->
+      List.map Kfailure.failure_to_string s.Kfailure.sr_failures)
+    r.Kfailure.kr_violations
+  |> List.sort compare
+
+(* ---------------- experiment 1: small, brute vs pruned ------------- *)
+
+type small_result = {
+  s_k : int;
+  s_total : int;
+  s_brute_s : float;
+  s_pruned_s : float;
+  s_simulated : int;
+  s_carried : int;
+  s_static : int;
+  s_replicated : int;
+  s_violations : int;
+  s_identical : bool;
+}
+
+let small_sweep (g : G.t) ~k : small_result =
+  let model = g.G.model in
+  let prop =
+    Kfailure.prefix_survives
+      ~prefix:(List.hd g.G.input_routes).Route.prefix
+      ~devices:g.G.borders
+  in
+  let brute, t_brute =
+    time (fun () ->
+        Kfailure.check ~prune:false model ~input_routes:g.G.input_routes
+          ~flows:[] ~k prop)
+  in
+  let pruned, t_pruned =
+    time (fun () ->
+        Kfailure.check ~prune:true model ~input_routes:g.G.input_routes
+          ~flows:[] ~k prop)
+  in
+  {
+    s_k = k;
+    s_total = pruned.Kfailure.kr_total;
+    s_brute_s = t_brute;
+    s_pruned_s = t_pruned;
+    s_simulated = pruned.Kfailure.kr_simulated;
+    s_carried = pruned.Kfailure.kr_carried;
+    s_static = pruned.Kfailure.kr_static;
+    s_replicated = pruned.Kfailure.kr_replicated;
+    s_violations = List.length pruned.Kfailure.kr_violations;
+    s_identical = violating brute = violating pruned;
+  }
+
+(* ---------------- experiment 2: wan, pruned plan + reps ------------ *)
+
+type wan_result = {
+  w_devices : int;
+  w_prefix : string;
+  w_region : int;
+  w_monitored : string list;
+  w_total : int;
+  w_to_simulate : int;
+  w_carried : int;
+  w_static : int;
+  w_replicated : int;
+  w_prune_ratio : float;  (* total / to_simulate *)
+  w_analyze_s : float;
+  w_sim_s : float;  (* simulating the representatives *)
+  w_mean_rep_s : float;
+  w_brute_est_s : float;  (* total * mean per-scenario sim *)
+  w_speedup_est : float;
+  w_violations : int;
+}
+
+let wan_sweep (g : G.t) : wan_result =
+  let model = g.G.model in
+  let input =
+    Lint.make ~topo:model.Model.topo ~render:false model.Model.configs
+  in
+  let sem = Semantic.build input in
+  let an =
+    Feq.create ~te_aware:model.Model.te_aware sem
+      ~input_routes:g.G.input_routes
+  in
+  (* the monitored prefix: smallest control-plane region among a
+     deterministic sample of input routes (operators sweep specific
+     service prefixes; a default-route sweep would touch everything) *)
+  let sample =
+    List.filteri (fun i _ -> i mod 37 = 0) g.G.input_routes
+    |> List.map (fun (r : Route.t) -> r.Route.prefix)
+    |> List.sort_uniq Prefix.compare
+  in
+  let prefix, region =
+    List.fold_left
+      (fun (bp, br) p ->
+        let r = List.length (Feq.region an p) in
+        if r < br then (p, r) else (bp, br))
+      (List.hd sample, List.length (Feq.region an (List.hd sample)))
+      (List.tl sample)
+  in
+  (* monitor the WAN borders that actually carry it in the base RIB, so
+     the property is non-vacuous and reads backbone-edge state only —
+     monitoring the DC leaves themselves would pull every one of them
+     into the influence slice by definition *)
+  let base_rib =
+    (Hoyan_sim.Route_sim.run model ~input_routes:g.G.input_routes ())
+      .Hoyan_sim.Route_sim.rib
+  in
+  let monitored =
+    List.filter_map
+      (fun (r : Route.t) ->
+        if
+          Prefix.equal r.Route.prefix prefix
+          && List.mem r.Route.device g.G.borders
+        then Some r.Route.device
+        else None)
+      base_rib
+    |> List.sort_uniq String.compare
+  in
+  let prop = Kfailure.prefix_survives ~prefix ~devices:monitored in
+  let plan, t_analyze =
+    time (fun () ->
+        Feq.analyze ~devices:false ~links:true an ~k:1 prop.Kfailure.p_footprint)
+  in
+  row "wan_dcn plan: %s (analyze %.2fs)" (Feq.describe plan) t_analyze;
+  let res, t_sweep =
+    time (fun () ->
+        Kfailure.check ~prune:true model ~input_routes:g.G.input_routes
+          ~flows:[] ~k:1 prop)
+  in
+  let sim_s = Float.max 0. (t_sweep -. t_analyze) in
+  let mean_rep_s =
+    if res.Kfailure.kr_simulated > 0 then
+      sim_s /. float_of_int res.Kfailure.kr_simulated
+    else 0.
+  in
+  {
+    w_devices = G.device_count g;
+    w_prefix = Prefix.to_string prefix;
+    w_region = region;
+    w_monitored = monitored;
+    w_total = plan.Feq.pl_total;
+    w_to_simulate = plan.Feq.pl_to_simulate;
+    w_carried = plan.Feq.pl_carried;
+    w_static = plan.Feq.pl_static;
+    w_replicated = plan.Feq.pl_replicated;
+    w_prune_ratio =
+      (if plan.Feq.pl_to_simulate > 0 then
+         float_of_int plan.Feq.pl_total /. float_of_int plan.Feq.pl_to_simulate
+       else infinity);
+    w_analyze_s = t_analyze;
+    w_sim_s = sim_s;
+    w_mean_rep_s = mean_rep_s;
+    w_brute_est_s = float_of_int plan.Feq.pl_total *. mean_rep_s;
+    w_speedup_est =
+      (if t_sweep > 0. then
+         float_of_int plan.Feq.pl_total *. mean_rep_s /. t_sweep
+       else nan);
+    w_violations = List.length res.Kfailure.kr_violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  header "exhaustive k-failure verification: blast-radius pruning";
+  let small_g = Lazy.force small in
+  let smalls = List.map (fun k -> small_sweep small_g ~k) [ 1; 2 ] in
+  List.iter
+    (fun s ->
+      row
+        "small k=%d: %d scenarios; brute %.2fs vs pruned %.2fs (%.1fx); \
+         %d simulated + %d carried + %d static + %d replicated; %d \
+         violation(s); identical: %b"
+        s.s_k s.s_total s.s_brute_s s.s_pruned_s
+        (if s.s_pruned_s > 0. then s.s_brute_s /. s.s_pruned_s else nan)
+        s.s_simulated s.s_carried s.s_static s.s_replicated s.s_violations
+        s.s_identical;
+      if not s.s_identical then
+        row "WARNING: SOUNDNESS VIOLATION at k=%d (pruned <> brute)" s.s_k)
+    smalls;
+  let g = Lazy.force wan_dcn_whatif in
+  let w = wan_sweep g in
+  row "wan_dcn: %d devices; property prefix %s (region %d device(s), %d \
+       monitored border(s))"
+    w.w_devices w.w_prefix w.w_region
+    (List.length w.w_monitored);
+  row "wan_dcn k=1 links: %d scenarios -> %d simulated representatives \
+       (pruning ratio %.1fx; %d carried, %d static, %d replicated)"
+    w.w_total w.w_to_simulate w.w_prune_ratio w.w_carried w.w_static
+    w.w_replicated;
+  row "wan_dcn wall clock: analyze %.2fs + representatives %.2fs (mean \
+       %.2fs each); brute-force estimate %.0fs (%.1fx)"
+    w.w_analyze_s w.w_sim_s w.w_mean_rep_s w.w_brute_est_s w.w_speedup_est;
+  row "wan_dcn violations under any single link failure: %d" w.w_violations;
+  if w.w_prune_ratio < 5. then
+    row "WARNING: pruning ratio %.1fx below the 5x target" w.w_prune_ratio;
+  let small_json s =
+    B_perf.J_obj
+      [
+        ("k", B_perf.J_int s.s_k);
+        ("scenarios", B_perf.J_int s.s_total);
+        ("brute_s", B_perf.J_float s.s_brute_s);
+        ("pruned_s", B_perf.J_float s.s_pruned_s);
+        ("simulated", B_perf.J_int s.s_simulated);
+        ("carried", B_perf.J_int s.s_carried);
+        ("static", B_perf.J_int s.s_static);
+        ("replicated", B_perf.J_int s.s_replicated);
+        ("violations", B_perf.J_int s.s_violations);
+        ("identical_to_brute", B_perf.J_bool s.s_identical);
+      ]
+  in
+  let json =
+    B_perf.J_obj
+      [
+        ("bench", B_perf.J_str "exhaustive k-failure what-if verification");
+        ("generated_unix", B_perf.J_float (Unix.gettimeofday ()));
+        ("quick", B_perf.J_bool !quick);
+        ("small", B_perf.J_arr (List.map small_json smalls));
+        ( "wan",
+          B_perf.J_obj
+            [
+              ("workload", B_perf.J_str "wan_dcn");
+              ("devices", B_perf.J_int w.w_devices);
+              ("prefix", B_perf.J_str w.w_prefix);
+              ("region_devices", B_perf.J_int w.w_region);
+              ("monitored_devices", B_perf.J_int (List.length w.w_monitored));
+              ("scenarios", B_perf.J_int w.w_total);
+              ("representatives_simulated", B_perf.J_int w.w_to_simulate);
+              ("carried", B_perf.J_int w.w_carried);
+              ("static", B_perf.J_int w.w_static);
+              ("replicated", B_perf.J_int w.w_replicated);
+              ("pruning_ratio", B_perf.J_float w.w_prune_ratio);
+              ("analyze_s", B_perf.J_float w.w_analyze_s);
+              ("representatives_s", B_perf.J_float w.w_sim_s);
+              ("mean_representative_s", B_perf.J_float w.w_mean_rep_s);
+              ("brute_force_estimate_s", B_perf.J_float w.w_brute_est_s);
+              ("estimated_speedup", B_perf.J_float w.w_speedup_est);
+              ("violations", B_perf.J_int w.w_violations);
+            ] );
+        ( "soundness_identical",
+          B_perf.J_bool (List.for_all (fun s -> s.s_identical) smalls) );
+        ("meets_5x_target", B_perf.J_bool (w.w_prune_ratio >= 5.));
+        ("peak_rss_kb", B_perf.J_int (B_perf.peak_rss_kb ()));
+      ]
+  in
+  B_perf.write_json !output_file json;
+  row "wrote %s" !output_file

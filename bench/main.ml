@@ -30,7 +30,11 @@
      dune exec bench/main.exe -- --serve-bench # multi-tenant request server
                                                # open-loop load + contract
                                                # check
-                                               # (writes BENCH_PR8.json) *)
+                                               # (writes BENCH_PR8.json)
+     dune exec bench/main.exe -- --whatif-bench# exhaustive k-failure sweep:
+                                               # blast-radius pruning vs
+                                               # brute force
+                                               # (writes BENCH_PR9.json) *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -67,7 +71,8 @@ let () =
       B_semantic.output_file := f;
       B_chaos.output_file := f;
       B_diff.output_file := f;
-      B_serve.output_file := f)
+      B_serve.output_file := f;
+      B_whatif.output_file := f)
     out;
   let flags, wanted = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
   if List.mem "--quick" flags then B_common.quick := true;
@@ -82,6 +87,7 @@ let () =
   else if List.mem "--chaos" flags then B_chaos.run ()
   else if List.mem "--diff-bench" flags then B_diff.run ()
   else if List.mem "--serve-bench" flags then B_serve.run ()
+  else if List.mem "--whatif-bench" flags then B_whatif.run ()
   else begin
     (* "fig5a" etc. are accepted as shorthand for "figure5a"; the alias
        only applies to names actually prefixed with "figure" (a bare

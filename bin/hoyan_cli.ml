@@ -22,6 +22,8 @@
      hoyan trace summarize FILE        # per-phase/per-subtask breakdown
      hoyan serve     --requests FILE [--policy fifo|lpt] [--selfcheck]
                      [--metrics-out FILE [--metrics-every N]]
+     hoyan whatif    [-k K] [--devices] [--prefix P --on DEV,DEV]
+                     [--prop reach|overload] [--json] [--selfcheck]
 
    simulate and verify accept --trace/--metrics/--journal FILE options
    that install a live telemetry handle and write the Chrome trace JSON,
@@ -1124,6 +1126,248 @@ let serve_cmd =
       $ budget $ batch $ selfcheck $ servers $ no_timing)
 
 (* ------------------------------------------------------------------ *)
+(* hoyan whatif: exhaustive k-failure verification                      *)
+(* ------------------------------------------------------------------ *)
+
+let whatif params seed k devices no_links prefix on prop_name max_util
+    max_scenarios no_prune json selfcheck trace_out metrics_out journal_out =
+  with_telemetry ~trace_out ~metrics_out ~journal_out @@ fun () ->
+  let module Kfailure = Hoyan_core.Kfailure in
+  let g = gen params seed in
+  let model = g.G.model in
+  let links = not no_links in
+  if no_links && not devices then begin
+    prerr_endline "whatif: --no-links without --devices leaves nothing to fail";
+    2
+  end
+  else
+    let prefix =
+      match prefix with
+      | Some p -> (
+          match Prefix.of_string p with
+          | Some p -> Ok p
+          | None -> Error (Printf.sprintf "whatif: bad --prefix %S" p))
+      | None -> (
+          (* default: the first monitored input route's prefix *)
+          match g.G.input_routes with
+          | r :: _ -> Ok r.Route.prefix
+          | [] -> Error "whatif: no input routes; pass --prefix")
+    in
+    match prefix with
+    | Error msg ->
+        prerr_endline msg;
+        2
+    | Ok prefix -> (
+        let monitored =
+          match on with
+          | Some s -> String.split_on_char ',' s |> List.filter (( <> ) "")
+          | None -> g.G.borders
+        in
+        let prop =
+          match prop_name with
+          | "reach" ->
+              Ok (Kfailure.prefix_survives ~prefix ~devices:monitored)
+          | "overload" -> Ok (Kfailure.no_overload ~max_util)
+          | p ->
+              Error
+                (Printf.sprintf
+                   "whatif: unknown --prop %S (reach or overload)" p)
+        in
+        match prop with
+        | Error msg ->
+            prerr_endline msg;
+            2
+        | Ok prop ->
+            let t0 = Unix.gettimeofday () in
+            let res =
+              Kfailure.check ~prune:(not no_prune) ?max_scenarios ~devices
+                ~links model ~input_routes:g.G.input_routes ~flows:g.G.flows
+                ~k prop
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            let mismatches =
+              if not selfcheck then 0
+              else begin
+                (* in-process soundness oracle: the pruned sweep must be
+                   indistinguishable from brute force *)
+                let brute =
+                  Kfailure.check ~prune:false ~devices ~links model
+                    ~input_routes:g.G.input_routes ~flows:g.G.flows ~k prop
+                in
+                let viol r =
+                  List.map
+                    (fun (s : Kfailure.scenario_result) ->
+                      List.map Kfailure.failure_to_string
+                        s.Kfailure.sr_failures)
+                    r.Kfailure.kr_violations
+                  |> List.sort compare
+                in
+                let b = viol brute and p = viol res in
+                if b = p then begin
+                  Printf.printf
+                    "selfcheck: pruned == brute force (%d violating \
+                     scenario(s))\n"
+                    (List.length b);
+                  0
+                end
+                else begin
+                  Printf.eprintf
+                    "selfcheck MISMATCH: brute %d vs pruned %d violating \
+                     scenario(s)\n"
+                    (List.length b) (List.length p);
+                  1
+                end
+              end
+            in
+            if json then begin
+              let scenario_json (s : Kfailure.scenario_result) =
+                Tjson.Obj
+                  [
+                    ( "failures",
+                      Tjson.List
+                        (List.map
+                           (fun f ->
+                             Tjson.String (Kfailure.failure_to_string f))
+                           s.Kfailure.sr_failures) );
+                    ( "violation",
+                      match s.Kfailure.sr_violation with
+                      | Some r -> Tjson.String r
+                      | None -> Tjson.Null );
+                  ]
+              in
+              print_endline
+                (Tjson.to_string
+                   (Tjson.Obj
+                      [
+                        ("property", Tjson.String res.Kfailure.kr_property);
+                        ("k", Tjson.Int res.Kfailure.kr_k);
+                        ("total", Tjson.Int res.Kfailure.kr_total);
+                        ("checked", Tjson.Int res.Kfailure.kr_checked);
+                        ("carried", Tjson.Int res.Kfailure.kr_carried);
+                        ("replicated", Tjson.Int res.Kfailure.kr_replicated);
+                        ("static", Tjson.Int res.Kfailure.kr_static);
+                        ("simulated", Tjson.Int res.Kfailure.kr_simulated);
+                        ("sampled", Tjson.Bool res.Kfailure.kr_sampled);
+                        ( "violations",
+                          Tjson.List
+                            (List.map scenario_json res.Kfailure.kr_violations)
+                        );
+                        ("seconds", Tjson.Float dt);
+                      ]))
+            end
+            else begin
+              Printf.printf "property: %s\n" res.Kfailure.kr_property;
+              Printf.printf
+                "scenarios: %d total (k<=%d); %d carried from base, %d \
+                 static, %d replicated, %d simulated%s\n"
+                res.Kfailure.kr_total res.Kfailure.kr_k
+                res.Kfailure.kr_carried res.Kfailure.kr_static
+                res.Kfailure.kr_replicated res.Kfailure.kr_simulated
+                (if res.Kfailure.kr_sampled then
+                   Printf.sprintf " (SAMPLED: %d of %d checked)"
+                     res.Kfailure.kr_checked res.Kfailure.kr_total
+                 else "");
+              if res.Kfailure.kr_violations = [] then
+                Printf.printf "verdict: HOLDS under all checked scenarios \
+                               (%.3fs)\n"
+                  dt
+              else begin
+                Printf.printf "verdict: %d violating scenario(s) (%.3fs)\n"
+                  (List.length res.Kfailure.kr_violations)
+                  dt;
+                List.iter
+                  (fun (s : Kfailure.scenario_result) ->
+                    Printf.printf "  [%s] %s\n"
+                      (String.concat ", "
+                         (List.map Kfailure.failure_to_string
+                            s.Kfailure.sr_failures))
+                      (Option.value s.Kfailure.sr_violation ~default:""))
+                  res.Kfailure.kr_violations
+              end
+            end;
+            if mismatches > 0 then 2
+            else if res.Kfailure.kr_violations <> [] then 1
+            else 0)
+
+let whatif_cmd =
+  let k =
+    Arg.(value & opt int 1
+         & info [ "k" ] ~docv:"K"
+             ~doc:"Check the property under every combination of at most \
+                   $(docv) simultaneous failures.")
+  in
+  let devices =
+    Arg.(value & flag
+         & info [ "devices" ]
+             ~doc:"Include single-device failures in the candidate set.")
+  in
+  let no_links =
+    Arg.(value & flag
+         & info [ "no-links" ]
+             ~doc:"Exclude link failures from the candidate set (with \
+                   $(b,--devices): device failures only).")
+  in
+  let prefix =
+    Arg.(value & opt (some string) None
+         & info [ "prefix" ] ~docv:"PREFIX"
+             ~doc:"Prefix the $(b,reach) property tracks (default: the \
+                   first monitored input route's prefix).")
+  in
+  let on =
+    Arg.(value & opt (some string) None
+         & info [ "on" ] ~docv:"DEV,DEV"
+             ~doc:"Devices the $(b,reach) property must hold on, \
+                   comma-separated (default: the generated border set).")
+  in
+  let prop =
+    Arg.(value & opt string "reach"
+         & info [ "prop" ] ~docv:"PROP"
+             ~doc:"Property: $(b,reach) (prefix survives on the monitored \
+                   devices; statically prunable) or $(b,overload) (no link \
+                   above $(b,--max-util); traffic-dependent, every \
+                   scenario simulates).")
+  in
+  let max_util =
+    Arg.(value & opt float 0.95
+         & info [ "max-util" ] ~docv:"F"
+             ~doc:"Utilization bound for $(b,--prop overload).")
+  in
+  let max_scenarios =
+    Arg.(value & opt (some int) None
+         & info [ "max-scenarios" ] ~docv:"N"
+             ~doc:"Explicit sampling escape hatch: simulate at most \
+                   $(docv) class representatives (deterministic stride); \
+                   the drop is reported, never silent.")
+  in
+  let no_prune =
+    Arg.(value & flag
+         & info [ "no-prune" ]
+             ~doc:"Bypass the static failure-equivalence analysis and \
+                   simulate every scenario (the brute-force baseline).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Machine-readable JSON result output.")
+  in
+  let selfcheck =
+    Arg.(value & flag
+         & info [ "selfcheck" ]
+             ~doc:"Also run the brute-force sweep in-process and assert \
+                   the violating scenario sets are identical (exit 2 on \
+                   mismatch).")
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:"Exhaustive k-failure what-if verification: statically \
+             partition the failure scenarios into verdict-equivalence \
+             classes (blast-radius pruning), simulate one representative \
+             per class, and report per-tier counts")
+    Term.(
+      const whatif $ scale_arg $ seed_arg $ k $ devices $ no_links $ prefix
+      $ on $ prop $ max_util $ max_scenarios $ no_prune $ json $ selfcheck
+      $ trace_out_arg $ metrics_out_arg $ journal_out_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Hoyan: global WAN change verification (SIGCOMM'25 reproduction)" in
@@ -1134,5 +1378,5 @@ let () =
           [
             simulate_cmd; verify_cmd; lint_cmd; analyze_cmd; diff_cmd;
             rcl_cmd; diagnose_cmd; audit_cmd; vsb_cmd; case_cmd; trace_cmd;
-            serve_cmd;
+            serve_cmd; whatif_cmd;
           ]))

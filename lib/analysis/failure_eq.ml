@@ -1,0 +1,804 @@
+(** Static failure-equivalence analysis — see the .mli for the slice
+    argument and the three pruning tiers.  The fingerprint computed here
+    must track every input of the property-restricted simulation slice:
+    whenever the simulator grows a new dependence of route state on
+    topology (beyond sessions, IGP rows, SR resolution and removals),
+    this module must fingerprint it too, or the brute-vs-pruned oracle
+    in test_kfailure will catch the divergence. *)
+
+open Hoyan_net
+module Types = Hoyan_config.Types
+module Vsb = Hoyan_config.Vsb
+module Isis = Hoyan_proto.Isis
+module Telemetry = Hoyan_telemetry.Telemetry
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+module Iset = Set.Make (Int)
+
+type failure = Link_down of string * string | Device_down of string
+
+let failure_to_string = function
+  | Link_down (a, b) -> Printf.sprintf "link %s-%s down" a b
+  | Device_down d -> Printf.sprintf "device %s down" d
+
+let compare_failure = compare
+
+type footprint =
+  | Reach_all of Prefix.t * string list
+  | Prefix_scoped of Prefix.t list * string list
+  | Opaque
+
+let footprint_prefixes = function
+  | Reach_all (p, _) -> [ p ]
+  | Prefix_scoped (ps, _) -> ps
+  | Opaque -> []
+
+(* Emit the lexicographically ordered k-subsets without the quadratic
+   [@] of the naive version: the shared prefix is threaded as a reversed
+   accumulator and each subset is materialized exactly once. *)
+let combinations k l =
+  let rec go k l prefix acc =
+    if k = 0 then List.rev prefix :: acc
+    else
+      match l with
+      | [] -> acc
+      | x :: rest ->
+          let acc = go (k - 1) rest (x :: prefix) acc in
+          go k rest prefix acc
+  in
+  List.rev (go k l [] [])
+
+let candidates ?(devices = true) ?(links = true) (topo : Topology.t) :
+    failure list =
+  let link_failures =
+    if not links then []
+    else
+      Topology.edges topo
+      |> List.filter_map (fun (e : Topology.edge) ->
+             if String.compare e.Topology.src e.Topology.dst < 0 then
+               Some (Link_down (e.Topology.src, e.Topology.dst))
+             else None)
+      |> List.sort_uniq compare
+  in
+  let device_failures =
+    if not devices then []
+    else Topology.device_names topo |> List.map (fun d -> Device_down d)
+  in
+  link_failures @ device_failures
+
+let scenarios_up_to ~k cands =
+  List.concat_map
+    (fun i -> combinations i cands)
+    (List.init k (fun i -> i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  an_graph : Semantic.t;
+  an_topo : Topology.t;
+  an_configs : Types.t Smap.t;
+  an_input_routes : Route.t list;
+  an_te : bool;
+  an_tm : Telemetry.t;
+  an_closures : (string, Sset.t) Hashtbl.t;
+      (* prefix (printed) -> closure members; memoized across the whole
+         candidate set — footprint prefixes and aggregate contributors
+         share one cache *)
+  an_edges : (string, (Semantic.session_edge * bool) list) Hashtbl.t;
+      (* per device: session edges in a deterministic order, with the
+         link-address-peering flag precomputed (it is config-only) *)
+}
+
+let create ?tm ?(te_aware = true) (g : Semantic.t)
+    ~(input_routes : Route.t list) : t =
+  let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
+  match g.Semantic.g_input.Lint.li_topo with
+  | None -> invalid_arg "Failure_eq.create: semantic graph has no topology"
+  | Some topo ->
+      {
+        an_graph = g;
+        an_topo = topo;
+        an_configs = g.Semantic.g_input.Lint.li_configs;
+        an_input_routes = input_routes;
+        an_te = te_aware;
+        an_tm = tm;
+        an_closures = Hashtbl.create 64;
+        an_edges = Hashtbl.create 256;
+      }
+
+let closure_of (t : t) (p : Prefix.t) : Sset.t =
+  let key = Prefix.to_string p in
+  match Hashtbl.find_opt t.an_closures key with
+  | Some s -> s
+  | None ->
+      let members =
+        Semantic.closure ~tm:t.an_tm t.an_graph
+          ~input_routes:t.an_input_routes p
+      in
+      let s =
+        Hashtbl.fold
+          (fun d () acc ->
+            if Semantic.in_topo t.an_graph d then Sset.add d acc else acc)
+          members Sset.empty
+      in
+      Hashtbl.replace t.an_closures key s;
+      s
+
+let region (t : t) (p : Prefix.t) : string list =
+  Sset.elements (closure_of t p)
+
+(* The session edges out of [u], deterministically ordered, each tagged
+   with whether it is a link-address peering (the neighbor address sits
+   on one of [u]'s connected subnets — [Model.sessions_of]'s rule). *)
+let edges_of (t : t) (u : string) : (Semantic.session_edge * bool) list =
+  match Hashtbl.find_opt t.an_edges u with
+  | Some es -> es
+  | None ->
+      let cfg = Smap.find_opt u t.an_configs in
+      let direct_peering (e : Semantic.session_edge) =
+        match cfg with
+        | None -> false
+        | Some c ->
+            List.exists
+              (fun (i : Types.iface_config) ->
+                match Types.iface_subnet i with
+                | Some subnet -> Prefix.mem e.Semantic.se_out.Types.nb_addr subnet
+                | None -> false)
+              c.Types.dc_ifaces
+      in
+      let es =
+        Option.value (Hashtbl.find_opt t.an_graph.Semantic.g_out u) ~default:[]
+        |> List.filter (fun (e : Semantic.session_edge) ->
+               Semantic.in_topo t.an_graph e.Semantic.se_dst)
+        |> List.sort (fun (a : Semantic.session_edge) (b : Semantic.session_edge) ->
+               compare
+                 (a.Semantic.se_dst, a.Semantic.se_out.Types.nb_addr)
+                 (b.Semantic.se_dst, b.Semantic.se_out.Types.nb_addr))
+        |> List.map (fun e -> (e, direct_peering e))
+      in
+      Hashtbl.replace t.an_edges u es;
+      es
+
+(* ------------------------------------------------------------------ *)
+(* Influence restriction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let asn_of (t : t) (d : string) : int =
+  match Smap.find_opt d t.an_configs with
+  | Some c -> c.Types.dc_bgp.Types.bgp_asn
+  | None -> 0
+
+(* Whether any route policy of [d] contains an AS-path overwrite.  Such a
+   device may emit routes whose paths lost their history, so the
+   loop-block proof below must not assume anything survives its export
+   (or import) policies.  Per-device rather than per-edge: coarser, but
+   the action is a rare vendor feature. *)
+let may_overwrite_aspath (t : t) (d : string) : bool =
+  match Smap.find_opt d t.an_configs with
+  | None -> false
+  | Some cfg ->
+      Smap.exists
+        (fun _ (pol : Types.route_policy) ->
+          List.exists
+            (fun (n : Types.policy_node) ->
+              List.exists
+                (function Types.Set_aspath_overwrite _ -> true | _ -> false)
+                n.Types.pn_sets)
+            pol.Types.rp_nodes)
+        cfg.Types.dc_policies
+
+let adding_own_asn (t : t) (d : string) : bool =
+  match Smap.find_opt d t.an_configs with
+  | None -> true
+  | Some cfg -> (
+      match Vsb.of_vendor cfg.Types.dc_vendor with
+      | Some v -> v.Vsb.adding_own_asn
+      | None -> true)
+
+(* Devices that can influence the route state observed at [monitored]:
+   the backward closure of [monitored] over session edges that are not
+   provably AS-loop-blocked, intersected with the forward closure [fwd].
+
+   The proof obligation is that a device [x] outside the result cannot
+   affect any result member's state for the relevant prefixes.  We
+   compute [nec d] = the set of ASNs provably present in the AS path of
+   EVERY route for the relevant prefixes held at [d] (a decreasing
+   intersection dataflow from the origins; an eBGP hop out of [u] adds
+   [asn u] unless an AS-path-overwriting policy combined with the
+   [adding_own_asn] VSB could suppress it).  An edge [u -> d] is
+   non-transmissible when it is eBGP and [asn d ∈ nec u]: the simulator's
+   AS-loop check drops every such arrival.  Any real propagation path
+   into a monitored device therefore uses transmissible edges only and
+   lies entirely inside the backward closure.  Failures only remove
+   paths, so [nec] only grows under failure and blocked edges stay
+   blocked in every scenario. *)
+let influencers (t : t) ~(fwd : Sset.t) ~(origins : string list)
+    ~(monitored : string list) : Sset.t =
+  if monitored = [] then fwd
+  else begin
+    let nec : (string, Iset.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun o -> if Sset.mem o fwd then Hashtbl.replace nec o Iset.empty)
+      origins;
+    (* AS set provably on every route exported along [u -> d], or [None]
+       when [u] provably never holds the route. *)
+    let exported u d =
+      match Hashtbl.find_opt nec u with
+      | None -> None
+      | Some s ->
+          let ow = may_overwrite_aspath t u in
+          let s = if ow then Iset.empty else s in
+          let ebgp = asn_of t u <> asn_of t d in
+          if ebgp && ((not ow) || adding_own_asn t u) then
+            Some (Iset.add (asn_of t u) s)
+          else Some s
+    in
+    let transmissible u d =
+      match exported u d with
+      | None -> false
+      | Some s ->
+          let ebgp = asn_of t u <> asn_of t d in
+          not (ebgp && Iset.mem (asn_of t d) s)
+    in
+    let members = Sset.elements fwd in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun u ->
+          List.iter
+            (fun ((e : Semantic.session_edge), _) ->
+              let d = e.Semantic.se_dst in
+              if Sset.mem d fwd && transmissible u d then
+                match exported u d with
+                | None -> ()
+                | Some s -> (
+                    let contrib =
+                      if may_overwrite_aspath t d then Iset.empty else s
+                    in
+                    match Hashtbl.find_opt nec d with
+                    | None ->
+                        Hashtbl.replace nec d contrib;
+                        changed := true
+                    | Some old ->
+                        let inter = Iset.inter old contrib in
+                        if not (Iset.equal inter old) then begin
+                          Hashtbl.replace nec d inter;
+                          changed := true
+                        end))
+            (edges_of t u))
+        members
+    done;
+    let incoming : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun u ->
+        List.iter
+          (fun ((e : Semantic.session_edge), _) ->
+            let d = e.Semantic.se_dst in
+            if Sset.mem d fwd then
+              Hashtbl.replace incoming d
+                (u :: Option.value (Hashtbl.find_opt incoming d) ~default:[]))
+          (edges_of t u))
+      members;
+    let rec bfs seen = function
+      | [] -> seen
+      | x :: rest ->
+          if Sset.mem x seen then bfs seen rest
+          else
+            let seen = Sset.add x seen in
+            let preds =
+              Option.value (Hashtbl.find_opt incoming x) ~default:[]
+              |> List.filter (fun u ->
+                     (not (Sset.mem u seen)) && transmissible u x)
+            in
+            bfs seen (preds @ rest)
+    in
+    let start =
+      List.filter (fun d -> Semantic.in_topo t.an_graph d) monitored
+    in
+    bfs Sset.empty start
+  end
+
+(* In-topo owners of every address that can appear as the next hop of a
+   route for a relevant prefix at a slice device: the BGP decision
+   process reads IGP costs only through [d_igp_cost] at route next hops,
+   so these are the only IGP columns the fingerprint needs.  Next hops
+   come from (a) input routes for the relevant prefixes, (b) static
+   routes for them (redistribution preserves the configured next hop),
+   (c) [Set_nexthop] policy actions on slice devices, and (d) eBGP or
+   next-hop-self exporters inside the slice, which rewrite the next hop
+   to a session address they own.  Locally originated routes (networks,
+   aggregates, redistributed connected/IS-IS) carry no next hop and cost
+   a constant [Some 0]; external addresses with no in-topo owner resolve
+   through config-only rules (connected subnet / static match), constant
+   under every scenario. *)
+let nh_owner_targets (t : t) ~(u_set : Sset.t) ~(rp : Prefix.t list) : Sset.t =
+  let owner acc addr =
+    match Hashtbl.find_opt t.an_graph.Semantic.g_owner addr with
+    | Some d when Semantic.in_topo t.an_graph d -> Sset.add d acc
+    | _ -> acc
+  in
+  let relevant p = List.exists (Prefix.equal p) rp in
+  let acc =
+    List.fold_left
+      (fun acc (r : Route.t) ->
+        if relevant r.Route.prefix then
+          match r.Route.nexthop with Some a -> owner acc a | None -> acc
+        else acc)
+      Sset.empty t.an_input_routes
+  in
+  let acc =
+    Smap.fold
+      (fun _ (cfg : Types.t) acc ->
+        List.fold_left
+          (fun acc (s : Types.static_route) ->
+            if relevant s.Types.st_prefix then
+              match s.Types.st_nexthop with Some a -> owner acc a | None -> acc
+            else acc)
+          acc cfg.Types.dc_statics)
+      t.an_configs acc
+  in
+  Sset.fold
+    (fun u acc ->
+      let acc =
+        match Smap.find_opt u t.an_configs with
+        | None -> acc
+        | Some cfg ->
+            Smap.fold
+              (fun _ (pol : Types.route_policy) acc ->
+                List.fold_left
+                  (fun acc (n : Types.policy_node) ->
+                    List.fold_left
+                      (fun acc -> function
+                        | Types.Set_nexthop a -> owner acc a
+                        | _ -> acc)
+                      acc n.Types.pn_sets)
+                  acc pol.Types.rp_nodes)
+              cfg.Types.dc_policies acc
+      in
+      let rewrites =
+        List.exists
+          (fun ((e : Semantic.session_edge), _) ->
+            Sset.mem e.Semantic.se_dst u_set
+            && (asn_of t u <> asn_of t e.Semantic.se_dst
+               || e.Semantic.se_out.Types.nb_next_hop_self))
+          (edges_of t u)
+      in
+      if rewrites then Sset.add u acc else acc)
+    u_set acc
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate contributors                                              *)
+(* ------------------------------------------------------------------ *)
+
+let aggregated_anywhere (t : t) (p : Prefix.t) : bool =
+  Smap.exists
+    (fun _ (cfg : Types.t) ->
+      List.exists
+        (fun (ag : Types.aggregate) -> Prefix.equal ag.Types.ag_prefix p)
+        cfg.Types.dc_bgp.Types.bgp_aggregates)
+    t.an_configs
+
+(* Candidate contributor prefixes strictly under an aggregate [p]: every
+   prefix the network can originate — input routes, network statements,
+   statics, connected subnets, other aggregates.  A contributor's route
+   state can flip [p]'s activation at the aggregating device, so its
+   closure joins [p]'s region. *)
+let contributors (t : t) (p : Prefix.t) : Prefix.t list =
+  if not (aggregated_anywhere t p) then []
+  else
+    let under q = Prefix.subsumes p q && not (Prefix.equal p q) in
+    let from_inputs =
+      List.filter_map
+        (fun (r : Route.t) ->
+          if under r.Route.prefix then Some r.Route.prefix else None)
+        t.an_input_routes
+    in
+    let from_configs =
+      Smap.fold
+        (fun _ (cfg : Types.t) acc ->
+          let nets = List.map fst cfg.Types.dc_bgp.Types.bgp_networks in
+          let aggs =
+            List.map
+              (fun (ag : Types.aggregate) -> ag.Types.ag_prefix)
+              cfg.Types.dc_bgp.Types.bgp_aggregates
+          in
+          let statics =
+            List.map
+              (fun (s : Types.static_route) -> s.Types.st_prefix)
+              cfg.Types.dc_statics
+          in
+          let conns =
+            List.filter_map Types.iface_subnet cfg.Types.dc_ifaces
+          in
+          List.filter under (nets @ aggs @ statics @ conns) @ acc)
+        t.an_configs []
+    in
+    List.sort_uniq Prefix.compare (from_inputs @ from_configs)
+
+(* ------------------------------------------------------------------ *)
+(* Per-scenario fingerprints                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The failed-topology view of one scenario: removed devices, surviving
+   topology, and the restricted IGP rows (Dijkstra only from [sources]). *)
+type scenario_view = {
+  sv_removed : Sset.t;
+  sv_topo : Topology.t;
+  sv_igp : Isis.t;
+}
+
+let view_of (t : t) ~(sources : string list) (fs : failure list) :
+    scenario_view =
+  let sv_removed =
+    List.fold_left
+      (fun s -> function Device_down d -> Sset.add d s | Link_down _ -> s)
+      Sset.empty fs
+  in
+  let sv_topo =
+    List.fold_left
+      (fun tp -> function
+        | Link_down (a, b) -> Topology.remove_link tp ~a ~b
+        | Device_down d -> Topology.remove_device tp d)
+      t.an_topo fs
+  in
+  let sv_igp =
+    Isis.compute_rows ~te_aware:t.an_te sv_topo t.an_configs ~sources
+  in
+  { sv_removed; sv_topo; sv_igp }
+
+(* Session liveness under a scenario, mirroring [Model.sessions_of]: a
+   removed peer never forms a session; a link-address peering needs the
+   physical link; a loopback peering needs an IGP path. *)
+let session_up (v : scenario_view) (e : Semantic.session_edge)
+    ~(direct : bool) : bool =
+  (not (Sset.mem e.Semantic.se_dst v.sv_removed))
+  &&
+  if direct then
+    Option.is_some
+      (Topology.edge_between v.sv_topo e.Semantic.se_src e.Semantic.se_dst)
+  else Isis.reachable v.sv_igp ~src:e.Semantic.se_src ~dst:e.Semantic.se_dst
+
+(* Whether one SR policy of [u] resolves into a tunnel under the
+   scenario.  Mirrors [Sr.resolve]'s success condition exactly — the BGP
+   decision process only reads resolution success ([Sr.reaches]), never
+   the concrete path, so this is all the fingerprint needs. *)
+let sr_resolves (t : t) (v : scenario_view) (u : string)
+    (sp : Types.sr_policy) : bool =
+  match Hashtbl.find_opt t.an_graph.Semantic.g_owner sp.Types.sp_endpoint with
+  | None -> false
+  | Some tail when Sset.mem tail v.sv_removed -> false
+  | Some tail -> (
+      let reach a b = Isis.reachable v.sv_igp ~src:a ~dst:b in
+      match sp.Types.sp_segments with
+      | [] -> reach u tail
+      | ws -> (
+          let rec chain cur = function
+            | [] -> Some cur
+            | w :: rest -> if reach cur w then chain w rest else None
+          in
+          match chain u ws with
+          | None -> false
+          | Some last ->
+              String.equal last tail || (reach u tail && reach last tail)))
+
+(* The property-restricted impact signature of one scenario: for every
+   device of the influence slice [u_list], its removal marker, its IGP
+   cost row over the next-hop-owner targets [t_arr], its up-state vector
+   over intra-slice sessions (an edge to a device outside the slice can
+   only affect state the property provably never observes) and its SR
+   resolution vector.  Equal signatures ⇒ identical property-restricted
+   route state (the slice argument in the .mli). *)
+let fingerprint (t : t) ~(u_set : Sset.t) ~(u_list : string list)
+    ~(t_arr : string array) (v : scenario_view) : string =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun u ->
+      if Sset.mem u v.sv_removed then begin
+        Buffer.add_string buf u;
+        Buffer.add_string buf "=dead\n"
+      end
+      else begin
+        Buffer.add_string buf u;
+        Buffer.add_char buf ':';
+        Array.iter
+          (fun tgt ->
+            (match Isis.cost v.sv_igp ~src:u ~dst:tgt with
+            | Some c -> Buffer.add_string buf (string_of_int c)
+            | None -> Buffer.add_char buf '-');
+            Buffer.add_char buf ',')
+          t_arr;
+        Buffer.add_char buf '|';
+        List.iter
+          (fun (e, direct) ->
+            if Sset.mem e.Semantic.se_dst u_set then
+              Buffer.add_char buf (if session_up v e ~direct then '1' else '0'))
+          (edges_of t u);
+        Buffer.add_char buf '|';
+        (match Smap.find_opt u t.an_configs with
+        | None -> ()
+        | Some cfg ->
+            List.iter
+              (fun sp ->
+                Buffer.add_char buf (if sr_resolves t v u sp then '1' else '0'))
+              cfg.Types.dc_sr_policies);
+        Buffer.add_char buf '\n'
+      end)
+    u_list;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Cut analysis (tier 3)                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Devices of [devs] provably missing prefix [p] under the scenario:
+   unreachable from every surviving origin in the permissive session
+   graph restricted to [p]'s influence slice [members].  Sound because
+   (a) origins only shrink under failure (origination is config-driven;
+   IS-IS loopback and aggregate origins are conditional on state that
+   failures only remove), (b) any real propagation path into a monitored
+   device lies entirely inside the influence slice (see [influencers]:
+   edges out of the slice are AS-loop-blocked in every scenario), and
+   (c) the permissive graph ignores policies, which can only block
+   more.  The result is determined by fingerprint content (removals and
+   up-states of slice devices), so it extends from the representative
+   to every member of its class. *)
+let cut_missing (t : t) (v : scenario_view) ~(members : Sset.t) (p : Prefix.t)
+    (devs : string list) : string list =
+  let reg = members in
+  let seeds =
+    (List.map fst
+       (Semantic.exact_origins t.an_graph ~input_routes:t.an_input_routes p)
+    @ Semantic.over_origins t.an_graph p)
+    |> List.filter (fun d ->
+           Semantic.in_topo t.an_graph d
+           && Sset.mem d reg
+           && not (Sset.mem d v.sv_removed))
+  in
+  let reach = Hashtbl.create 64 in
+  let rec bfs = function
+    | [] -> ()
+    | d :: rest ->
+        if Hashtbl.mem reach d then bfs rest
+        else begin
+          Hashtbl.replace reach d ();
+          let next =
+            List.filter_map
+              (fun (e, direct) ->
+                if
+                  Sset.mem e.Semantic.se_dst reg
+                  && (not (Sset.mem e.Semantic.se_dst v.sv_removed))
+                  && session_up v e ~direct
+                then Some e.Semantic.se_dst
+                else None)
+              (edges_of t d)
+          in
+          bfs (next @ rest)
+        end
+  in
+  bfs seeds;
+  List.filter (fun d -> not (Hashtbl.mem reach d)) devs
+
+(* ------------------------------------------------------------------ *)
+(* The plan                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type decision = Carry_base | Static_violation of string | Simulate
+
+type cls = {
+  cl_rep : failure list;
+  cl_members : failure list list;
+  cl_decision : decision;
+}
+
+type plan = {
+  pl_k : int;
+  pl_scenarios : failure list list;
+  pl_class_of : int array;
+  pl_classes : cls list;
+  pl_total : int;
+  pl_carried : int;
+  pl_static : int;
+  pl_replicated : int;
+  pl_to_simulate : int;
+  pl_opaque : bool;
+}
+
+let analyze ?tm ?(devices = false) ?(links = true) (t : t) ~(k : int)
+    (fp : footprint) : plan =
+  let tm = match tm with Some tm -> tm | None -> t.an_tm in
+  Telemetry.with_span tm "whatif.analyze" (fun () ->
+      let cands = candidates ~devices ~links t.an_topo in
+      let scen = scenarios_up_to ~k cands in
+      let total = List.length scen in
+      match footprint_prefixes fp with
+      | [] ->
+          (* Opaque property (or an empty footprint): nothing to prune
+             with — every scenario is its own class and simulates. *)
+          {
+            pl_k = k;
+            pl_scenarios = scen;
+            pl_class_of = Array.init total Fun.id;
+            pl_classes =
+              List.map
+                (fun s ->
+                  { cl_rep = s; cl_members = [ s ]; cl_decision = Simulate })
+                scen;
+            pl_total = total;
+            pl_carried = 0;
+            pl_static = 0;
+            pl_replicated = 0;
+            pl_to_simulate = total;
+            pl_opaque = true;
+          }
+      | ps ->
+          (* Relevant prefixes: the footprint plus aggregate
+             contributors; their closures share the memo table. *)
+          let rp =
+            List.sort_uniq Prefix.compare
+              (ps @ List.concat_map (contributors t) ps)
+          in
+          let fwd =
+            List.fold_left
+              (fun acc q -> Sset.union acc (closure_of t q))
+              Sset.empty rp
+          in
+          (* Influence slice: devices whose state the property can read
+             (the monitored set) plus every device that can transmit a
+             relevant route toward them.  Devices in the forward closure
+             but outside the slice — e.g. stub ASes behind an eBGP
+             boundary whose re-exports the AS-loop check provably drops —
+             contribute nothing to the fingerprint, so their failures
+             carry the base verdict. *)
+          let monitored =
+            match fp with
+            | Reach_all (_, ds) | Prefix_scoped (_, ds) -> ds
+            | Opaque -> []
+          in
+          let origins =
+            List.concat_map
+              (fun q ->
+                List.map fst
+                  (Semantic.exact_origins t.an_graph
+                     ~input_routes:t.an_input_routes q)
+                @ Semantic.over_origins t.an_graph q)
+              rp
+          in
+          let u_set =
+            let infl = influencers t ~fwd ~origins ~monitored in
+            List.fold_left
+              (fun s d ->
+                if Semantic.in_topo t.an_graph d then Sset.add d s else s)
+              infl monitored
+          in
+          let u_list = Sset.elements u_set in
+          (* IGP row targets: owners of candidate next hops (the only
+             addresses the decision process reads costs for) and devices
+             whose loopback host route is itself a relevant prefix
+             (IS-IS redistribution). *)
+          let loop_devs =
+            Topology.devices t.an_topo
+            |> List.filter_map (fun (d : Topology.device) ->
+                   let rid = d.Topology.router_id in
+                   let host =
+                     Prefix.make rid (Ip.family_bits (Ip.family rid))
+                   in
+                   if List.exists (Prefix.equal host) rp then
+                     Some d.Topology.name
+                   else None)
+            |> Sset.of_list
+          in
+          let t_arr =
+            Array.of_list
+              (Sset.elements
+                 (Sset.union (nh_owner_targets t ~u_set ~rp) loop_devs))
+          in
+          (* Dijkstra sources: the region plus every SR waypoint of a
+             region device (tunnel resolution walks segment by segment). *)
+          let sources =
+            List.fold_left
+              (fun acc u ->
+                match Smap.find_opt u t.an_configs with
+                | None -> acc
+                | Some cfg ->
+                    List.fold_left
+                      (fun acc (sp : Types.sr_policy) ->
+                        List.fold_left
+                          (fun acc w -> Sset.add w acc)
+                          acc sp.Types.sp_segments)
+                      acc cfg.Types.dc_sr_policies)
+              u_set u_list
+            |> Sset.elements
+          in
+          let fp_of fs =
+            fingerprint t ~u_set ~u_list ~t_arr (view_of t ~sources fs)
+          in
+          let base_fp = fp_of [] in
+          (* Group scenarios by fingerprint, across sizes (tier 3's
+             partial-order reduction falls out of cross-size classes). *)
+          let by_fp = Hashtbl.create 256 in
+          let order = ref [] (* class ids in first-seen order *) in
+          let class_of = Array.make total 0 in
+          List.iteri
+            (fun i fs ->
+              let digest = fp_of fs in
+              match Hashtbl.find_opt by_fp digest with
+              | Some (id, members) ->
+                  class_of.(i) <- id;
+                  Hashtbl.replace by_fp digest (id, fs :: members)
+              | None ->
+                  let id = Hashtbl.length by_fp in
+                  class_of.(i) <- id;
+                  Hashtbl.replace by_fp digest (id, [ fs ]);
+                  order := (id, digest) :: !order)
+            scen;
+          let classes =
+            List.rev !order
+            |> List.map (fun (_, digest) ->
+                   let _, members_rev = Hashtbl.find by_fp digest in
+                   let members = List.rev members_rev in
+                   let rep = List.hd members in
+                   let decision =
+                     if String.equal digest base_fp then Carry_base
+                     else
+                       match fp with
+                       | Reach_all (p, devs) -> (
+                           match
+                             cut_missing t
+                               (view_of t ~sources rep)
+                               ~members:u_set p devs
+                           with
+                           | [] -> Simulate
+                           | ms ->
+                               Static_violation
+                                 (Printf.sprintf
+                                    "statically disconnected: missing on %s"
+                                    (String.concat "," ms)))
+                       | _ -> Simulate
+                   in
+                   { cl_rep = rep; cl_members = members; cl_decision = decision })
+          in
+          let count pred =
+            List.fold_left
+              (fun acc c ->
+                if pred c.cl_decision then acc + List.length c.cl_members
+                else acc)
+              0 classes
+          in
+          let carried = count (function Carry_base -> true | _ -> false) in
+          let static =
+            count (function Static_violation _ -> true | _ -> false)
+          in
+          let sim_members =
+            count (function Simulate -> true | _ -> false)
+          in
+          let to_simulate =
+            List.length
+              (List.filter
+                 (fun c -> c.cl_decision = Simulate)
+                 classes)
+          in
+          Telemetry.count tm "hoyan_whatif_scenarios_total" total;
+          Telemetry.count tm "hoyan_whatif_simulated_total" to_simulate;
+          {
+            pl_k = k;
+            pl_scenarios = scen;
+            pl_class_of = class_of;
+            pl_classes = classes;
+            pl_total = total;
+            pl_carried = carried;
+            pl_static = static;
+            pl_replicated = sim_members - to_simulate;
+            pl_to_simulate = to_simulate;
+            pl_opaque = false;
+          })
+
+let describe (p : plan) : string =
+  Printf.sprintf
+    "%d scenario(s) in %d class(es): %d carried, %d static, %d replicated, \
+     %d to simulate%s"
+    p.pl_total (List.length p.pl_classes) p.pl_carried p.pl_static
+    p.pl_replicated p.pl_to_simulate
+    (if p.pl_opaque then " (opaque property: no pruning)" else "")

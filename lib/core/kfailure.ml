@@ -1,26 +1,40 @@
 (** k-failure verification (§6.2, "fault-tolerance checking").
 
     Hoyan checks whether a property still holds when no more than [k]
-    routers/links have failed.  This reproduction enumerates failure
-    combinations up to [k] (optionally sampled when the combination space
-    is large), re-simulates each failed topology, and evaluates the
-    property, returning the failing scenarios as counterexamples. *)
+    routers/links have failed.  The sweep is exhaustive by default: the
+    static failure-equivalence analysis ({!Hoyan_analysis.Failure_eq},
+    DESIGN.md §2.9) partitions the scenario space into classes whose
+    simulations provably coincide on the property's slice — the
+    base-equivalent class carries the base verdict with zero simulation,
+    cut-analysis classes are decided statically, and each remaining
+    class simulates one representative (in parallel across domains)
+    whose verdict replicates to the members.  An optional
+    [max_scenarios] cap re-introduces sampling as an {e explicit,
+    reported} escape hatch ([kr_sampled]) — never silent. *)
 
 open Hoyan_net
 module Model = Hoyan_sim.Model
 module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
 module Cp = Hoyan_config.Change_plan
+module Lint = Hoyan_analysis.Lint
+module Semantic = Hoyan_analysis.Semantic
+module Feq = Hoyan_analysis.Failure_eq
+module Parallel = Hoyan_dist.Parallel
+module Costmodel = Hoyan_dist.Costmodel
 
-type failure = Link_down of string * string | Device_down of string
+type failure = Feq.failure =
+  | Link_down of string * string
+  | Device_down of string
 
-let failure_to_string = function
-  | Link_down (a, b) -> Printf.sprintf "link %s-%s down" a b
-  | Device_down d -> Printf.sprintf "device %s down" d
+let failure_to_string = Feq.failure_to_string
 
-(** The property to hold in every <=k-failure state. *)
+(** The property to hold in every <=k-failure state.  [p_footprint]
+    declares what the check can observe — the pruning tiers are only as
+    good as this declaration is precise, and [Opaque] disables them. *)
 type property = {
   p_name : string;
+  p_footprint : Feq.footprint;
   p_check :
     model:Model.t ->
     rib:Route.t list ->
@@ -34,27 +48,31 @@ let prefix_survives ~prefix ~devices =
     p_name =
       Printf.sprintf "prefix %s survives on [%s]" (Prefix.to_string prefix)
         (String.concat "," devices);
+    p_footprint = Feq.Reach_all (prefix, devices);
     p_check =
       (fun ~model:_ ~rib ~traffic:_ ->
+        (* one pass over the RIB into a device set, then O(1) lookups —
+           not a per-device linear scan *)
+        let present = Hashtbl.create 64 in
+        List.iter
+          (fun (r : Route.t) ->
+            if Prefix.equal r.Route.prefix prefix then
+              Hashtbl.replace present r.Route.device ())
+          rib;
         let missing =
-          List.filter
-            (fun dev ->
-              not
-                (List.exists
-                   (fun (r : Route.t) ->
-                     String.equal r.Route.device dev
-                     && Prefix.equal r.Route.prefix prefix)
-                   rib))
-            devices
+          List.filter (fun dev -> not (Hashtbl.mem present dev)) devices
         in
         if missing = [] then None
         else Some ("missing on " ^ String.concat "," missing));
   }
 
-(** Load property: no link above the utilization bound. *)
+(** Load property: no link above the utilization bound.  Traffic-
+    dependent, hence [Opaque]: a removed link reroutes flows even when
+    every RIB is byte-identical, so no RIB-slice argument applies. *)
 let no_overload ~max_util =
   {
     p_name = Printf.sprintf "no link above %.0f%%" (100. *. max_util);
+    p_footprint = Feq.Opaque;
     p_check =
       (fun ~model ~rib:_ ~traffic ->
         let tr = Lazy.force traffic in
@@ -62,26 +80,21 @@ let no_overload ~max_util =
           Traffic_sim.utilizations model tr
           |> List.filter (fun (_, _, u) -> u > max_util)
         in
-        if over = [] then None
-        else
-          Some
-            (Printf.sprintf "%d overloaded link(s), worst %s->%s"
-               (List.length over)
-               (let (a, _), _, _ = List.hd over in
-                a)
-               (let (_, b), _, _ = List.hd over in
-                b)));
+        match over with
+        | [] -> None
+        | first :: rest ->
+            let ((wa, wb), _, wu) =
+              List.fold_left
+                (fun ((_, _, bu) as best) ((_, _, u) as cand) ->
+                  if u > bu then cand else best)
+                first rest
+            in
+            Some
+              (Printf.sprintf "%d overloaded link(s), worst %s->%s at %.1f%%"
+                 (List.length over) wa wb (100. *. wu)));
   }
 
-(* choose k elements out of a list (indices combinations) *)
-let rec combinations k l =
-  if k = 0 then [ [] ]
-  else
-    match l with
-    | [] -> []
-    | x :: rest ->
-        List.map (fun c -> x :: c) (combinations (k - 1) rest)
-        @ combinations k rest
+let combinations = Feq.combinations
 
 type scenario_result = {
   sr_failures : failure list;
@@ -91,29 +104,20 @@ type scenario_result = {
 type result = {
   kr_property : string;
   kr_k : int;
-  kr_scenarios : int;
+  kr_total : int;  (** scenarios enumerated over sizes 1..k *)
+  kr_checked : int;  (** scenarios with a verdict (= total unless sampled) *)
+  kr_carried : int;  (** verdict carried from the base run (tier 1) *)
+  kr_replicated : int;  (** verdict replicated from a class representative *)
+  kr_static : int;  (** verdict proven by the cut analysis, no fixpoint *)
+  kr_simulated : int;  (** scenarios actually simulated *)
+  kr_sampled : bool;  (** an explicit [max_scenarios] cap dropped classes *)
+  kr_scenarios : int;  (** = [kr_checked]; kept for existing callers *)
   kr_violations : scenario_result list;
 }
 
 let candidate_failures ?(devices = true) ?(links = true) (model : Model.t) :
     failure list =
-  let link_failures =
-    if not links then []
-    else
-      Topology.edges model.Model.topo
-      |> List.filter_map (fun (e : Topology.edge) ->
-             if String.compare e.Topology.src e.Topology.dst < 0 then
-               Some (Link_down (e.Topology.src, e.Topology.dst))
-             else None)
-      |> List.sort_uniq compare
-  in
-  let device_failures =
-    if not devices then []
-    else
-      Topology.device_names model.Model.topo
-      |> List.map (fun d -> Device_down d)
-  in
-  link_failures @ device_failures
+  Feq.candidates ~devices ~links model.Model.topo
 
 let apply_failures (model : Model.t) (fs : failure list) : Model.t =
   let ops =
@@ -125,39 +129,164 @@ let apply_failures (model : Model.t) (fs : failure list) : Model.t =
   in
   fst (Model.apply_change_plan model (Cp.make "k-failure" ~topo_ops:ops))
 
+(* Simulate one failure scenario and evaluate the property. *)
+let simulate_scenario (model : Model.t) ~input_routes ~flows (prop : property)
+    (fs : failure list) : string option =
+  let failed_model = apply_failures model fs in
+  let rib = (Route_sim.run failed_model ~input_routes ()).Route_sim.rib in
+  let traffic = lazy (Traffic_sim.run failed_model ~rib ~flows ()) in
+  prop.p_check ~model:failed_model ~rib ~traffic
+
 (** Check the property under all failure combinations of size 1..k.
-    [max_scenarios] caps the enumeration (sampled deterministically by
-    stride) to keep hyper-scale runs bounded. *)
-let check ?(max_scenarios = 500) ?(devices = false) ?(links = true)
-    (model : Model.t) ~(input_routes : Route.t list) ~(flows : Flow.t list)
-    ~(k : int) (prop : property) : result =
-  let singles = candidate_failures ~devices ~links model in
-  let all_scenarios =
-    List.concat_map (fun i -> combinations i singles) (List.init k (fun i -> i + 1))
+
+    Exhaustive over class representatives by default.  [prune:false]
+    bypasses the static analysis entirely (every scenario simulates) —
+    the brute-force oracle for tests and benches.  [max_scenarios], when
+    given, caps the number of {e simulated representatives} by
+    deterministic stride; dropped classes are reported as unchecked via
+    [kr_total]/[kr_checked] and [kr_sampled]. *)
+let check ?tm ?max_scenarios ?(prune = true) ?(devices = false)
+    ?(links = true) (model : Model.t) ~(input_routes : Route.t list)
+    ~(flows : Flow.t list) ~(k : int) (prop : property) : result =
+  let plan =
+    if prune then
+      let input =
+        Lint.make ~topo:model.Model.topo ~render:false model.Model.configs
+      in
+      let g = Semantic.build ?tm input in
+      let an =
+        Feq.create ?tm ~te_aware:model.Model.te_aware g ~input_routes
+      in
+      Feq.analyze ?tm ~devices ~links an ~k prop.p_footprint
+    else begin
+      (* brute force: one singleton simulate-class per scenario *)
+      let cands = Feq.candidates ~devices ~links model.Model.topo in
+      let scen =
+        List.concat_map
+          (fun i -> Feq.combinations i cands)
+          (List.init k (fun i -> i + 1))
+      in
+      let total = List.length scen in
+      {
+        Feq.pl_k = k;
+        pl_scenarios = scen;
+        pl_class_of = Array.init total Fun.id;
+        pl_classes =
+          List.map
+            (fun s ->
+              {
+                Feq.cl_rep = s;
+                cl_members = [ s ];
+                cl_decision = Feq.Simulate;
+              })
+            scen;
+        pl_total = total;
+        pl_carried = 0;
+        pl_static = 0;
+        pl_replicated = 0;
+        pl_to_simulate = total;
+        pl_opaque = true;
+      }
+    end
   in
-  let n = List.length all_scenarios in
-  let stride = max 1 (n / max_scenarios) in
-  let scenarios =
-    List.filteri (fun i _ -> i mod stride = 0) all_scenarios
+  (* The base verdict backs every carried scenario; forced only when a
+     base-equivalent class exists. *)
+  let base_verdict =
+    lazy
+      (let rib = (Route_sim.run model ~input_routes ()).Route_sim.rib in
+       let traffic = lazy (Traffic_sim.run model ~rib ~flows ()) in
+       prop.p_check ~model ~rib ~traffic)
   in
+  let classes = Array.of_list plan.Feq.pl_classes in
+  (* Representatives to simulate, with the explicit sampling escape
+     hatch: a [max_scenarios] cap stride-samples the representative list
+     and reports the drop — never silently. *)
+  let sim_ids =
+    Array.to_list
+      (Array.mapi (fun i (c : Feq.cls) -> (i, c)) classes)
+    |> List.filter_map (fun (i, (c : Feq.cls)) ->
+           if c.Feq.cl_decision = Feq.Simulate then Some i else None)
+  in
+  let chosen_ids, sampled =
+    match max_scenarios with
+    | Some cap when List.length sim_ids > cap && cap > 0 ->
+        let n = List.length sim_ids in
+        let stride = (n + cap - 1) / cap in
+        (List.filteri (fun i _ -> i mod stride = 0) sim_ids, true)
+    | _ -> (sim_ids, false)
+  in
+  (* Weight representatives by the cost model: a scenario's fixpoint
+     cost scales with the surviving share of the network. *)
+  let n_devices = max 1 (Topology.num_devices model.Model.topo) in
+  let routes = List.length input_routes in
+  let weights =
+    chosen_ids |> List.map (fun id -> classes.(id).Feq.cl_rep)
+    |> List.map (fun fs ->
+           let removed =
+             List.length
+               (List.filter (function Device_down _ -> true | _ -> false) fs)
+           in
+           let surviving =
+             float_of_int (n_devices - removed) /. float_of_int n_devices
+           in
+           Costmodel.est_route_subtask Costmodel.default
+             ~routes:(max 1 (int_of_float (float_of_int routes *. surviving))))
+    |> Array.of_list
+  in
+  let rep_verdicts =
+    Parallel.map ?tm ~weights
+      (fun id ->
+        ( id,
+          simulate_scenario model ~input_routes ~flows prop
+            classes.(id).Feq.cl_rep ))
+      chosen_ids
+  in
+  let verdict_of_class = Hashtbl.create 64 in
+  List.iter (fun (id, v) -> Hashtbl.replace verdict_of_class id v) rep_verdicts;
+  (* Per-scenario verdicts in enumeration order; [None] = unchecked
+     (dropped by sampling). *)
+  let carried = ref 0 and replicated = ref 0 and static = ref 0 in
+  let simulated = List.length chosen_ids in
+  let seen_rep = Hashtbl.create 64 in
+  let scenario_verdicts =
+    List.mapi
+      (fun i fs ->
+        let id = plan.Feq.pl_class_of.(i) in
+        match classes.(id).Feq.cl_decision with
+        | Feq.Carry_base ->
+            incr carried;
+            Some (fs, Lazy.force base_verdict)
+        | Feq.Static_violation reason ->
+            incr static;
+            Some (fs, Some reason)
+        | Feq.Simulate -> (
+            match Hashtbl.find_opt verdict_of_class id with
+            | None -> None (* class dropped by the sampling cap *)
+            | Some v ->
+                if Hashtbl.mem seen_rep id then incr replicated
+                else Hashtbl.replace seen_rep id ();
+                Some (fs, v)))
+      plan.Feq.pl_scenarios
+  in
+  let checked = List.length (List.filter Option.is_some scenario_verdicts) in
   let violations =
     List.filter_map
-      (fun fs ->
-        let failed_model = apply_failures model fs in
-        let rib =
-          (Route_sim.run failed_model ~input_routes ()).Route_sim.rib
-        in
-        let traffic =
-          lazy (Traffic_sim.run failed_model ~rib ~flows ())
-        in
-        match prop.p_check ~model:failed_model ~rib ~traffic with
-        | None -> None
-        | Some reason -> Some { sr_failures = fs; sr_violation = Some reason })
-      scenarios
+      (function
+        | Some (fs, Some reason) ->
+            Some { sr_failures = fs; sr_violation = Some reason }
+        | _ -> None)
+      scenario_verdicts
   in
   {
     kr_property = prop.p_name;
     kr_k = k;
-    kr_scenarios = List.length scenarios;
+    kr_total = plan.Feq.pl_total;
+    kr_checked = checked;
+    kr_carried = !carried;
+    kr_replicated = !replicated;
+    kr_static = !static;
+    kr_simulated = simulated;
+    kr_sampled = sampled;
+    kr_scenarios = checked;
     kr_violations = violations;
   }

@@ -54,10 +54,9 @@ let edge_cost ~(configs : Types.t Smap.t) ~(te : bool) (e : Topology.edge) =
           if ii.Types.ii_te && not te then fallback () else ii.Types.ii_cost
       | None -> fallback ())
 
-(** Compute the IGP view.  [te_aware] controls whether IS-IS TE interface
-    costs are honoured (see the module doc). *)
-let compute ?(te_aware = true) (topo : Topology.t) (configs : Types.t Smap.t) :
-    t =
+(* Shared Dijkstra setup: device index plus the weighted adjacency. *)
+let graph_of ~(te_aware : bool) (topo : Topology.t) (configs : Types.t Smap.t)
+    =
   let names = Topology.device_names topo |> Array.of_list in
   let n = Array.length names in
   let index =
@@ -75,43 +74,77 @@ let compute ?(te_aware = true) (topo : Topology.t) (configs : Types.t Smap.t) :
           adj.(s) <- (d, c) :: adj.(s)
       | _ -> ())
     (Topology.edges topo);
-  let dist = Array.make_matrix n n max_int in
-  let first_hops = Array.init n (fun _ -> Array.make n []) in
-  (* Dijkstra from each source; track ECMP first hops. *)
+  (names, index, adj)
+
+(* Single-source Dijkstra with ECMP first-hop tracking, filling row [src]
+   of [dist] / [first_hops]. *)
+let dijkstra_from names adj dist first_hops src =
   let module Pq = Set.Make (struct
     type t = int * int (* dist, node *)
 
     let compare = compare
   end) in
+  let d = dist.(src) in
+  let fh = first_hops.(src) in
+  d.(src) <- 0;
+  let pq = ref (Pq.singleton (0, src)) in
+  while not (Pq.is_empty !pq) do
+    let (du, u) = Pq.min_elt !pq in
+    pq := Pq.remove (du, u) !pq;
+    if du <= d.(u) then
+      List.iter
+        (fun (v, c) ->
+          let alt = du + c in
+          if alt < d.(v) then begin
+            d.(v) <- alt;
+            (* first hop: if u is the source, the first hop is v itself;
+               otherwise inherit u's first hops *)
+            fh.(v) <- (if u = src then [ names.(v) ] else fh.(u));
+            pq := Pq.add (alt, v) !pq
+          end
+          else if alt = d.(v) && alt < max_int then begin
+            let inherited = if u = src then [ names.(v) ] else fh.(u) in
+            let merged =
+              List.sort_uniq String.compare (inherited @ fh.(v))
+            in
+            fh.(v) <- merged
+          end)
+        adj.(u)
+  done
+
+(** Compute the IGP view.  [te_aware] controls whether IS-IS TE interface
+    costs are honoured (see the module doc). *)
+let compute ?(te_aware = true) (topo : Topology.t) (configs : Types.t Smap.t) :
+    t =
+  let names, index, adj = graph_of ~te_aware topo configs in
+  let n = Array.length names in
+  let dist = Array.make_matrix n n max_int in
+  let first_hops = Array.init n (fun _ -> Array.make n []) in
   for src = 0 to n - 1 do
-    let d = dist.(src) in
-    let fh = first_hops.(src) in
-    d.(src) <- 0;
-    let pq = ref (Pq.singleton (0, src)) in
-    while not (Pq.is_empty !pq) do
-      let (du, u) = Pq.min_elt !pq in
-      pq := Pq.remove (du, u) !pq;
-      if du <= d.(u) then
-        List.iter
-          (fun (v, c) ->
-            let alt = du + c in
-            if alt < d.(v) then begin
-              d.(v) <- alt;
-              (* first hop: if u is the source, the first hop is v itself;
-                 otherwise inherit u's first hops *)
-              fh.(v) <- (if u = src then [ names.(v) ] else fh.(u));
-              pq := Pq.add (alt, v) !pq
-            end
-            else if alt = d.(v) && alt < max_int then begin
-              let inherited = if u = src then [ names.(v) ] else fh.(u) in
-              let merged =
-                List.sort_uniq String.compare (inherited @ fh.(v))
-              in
-              fh.(v) <- merged
-            end)
-          adj.(u)
-    done
+    dijkstra_from names adj dist first_hops src
   done;
+  { order = names; index; dist; first_hops }
+
+(** Like {!compute}, but runs Dijkstra only from [sources]; every other
+    device's row is left all-unreachable (and its first hops empty).
+    Lookups with a source outside [sources] therefore return [None]/[[]]
+    rather than failing.  Sources not in the topology are ignored.
+
+    This is the cheap per-scenario IGP view used by the static what-if
+    analysis (`Failure_eq`): fingerprinting a failure scenario only needs
+    the rows of the devices inside a property's blast region, so the
+    all-pairs cost of {!compute} would dominate the scenario sweep. *)
+let compute_rows ?(te_aware = true) (topo : Topology.t)
+    (configs : Types.t Smap.t) ~(sources : string list) : t =
+  let names, index, adj = graph_of ~te_aware topo configs in
+  let n = Array.length names in
+  let dist = Array.make_matrix n n max_int in
+  let first_hops = Array.init n (fun _ -> Array.make n []) in
+  List.sort_uniq String.compare sources
+  |> List.iter (fun src ->
+         match Smap.find_opt src index with
+         | Some s -> dijkstra_from names adj dist first_hops s
+         | None -> ());
   { order = names; index; dist; first_hops }
 
 let cost (t : t) ~src ~dst : int option =

@@ -8,19 +8,34 @@ module Printer = Hoyan_config.Printer
 module Intents = Hoyan_core.Intents
 module Smap = Types.Smap
 
-type rq_class = Lint | Precheck | Simulate | Diff
+type rq_class = Lint | Precheck | Simulate | Diff | Whatif
 
 let class_to_string = function
   | Lint -> "lint"
   | Precheck -> "precheck"
   | Simulate -> "simulate"
   | Diff -> "diff"
+  | Whatif -> "whatif"
 
 let class_of_string = function
   | "lint" -> Some Lint
   | "precheck" -> Some Precheck
   | "simulate" -> Some Simulate
   | "diff" -> Some Diff
+  | "whatif" -> Some Whatif
+  | _ -> None
+
+type failure_scope = Links_only | Devices_only | Links_and_devices
+
+let scope_to_string = function
+  | Links_only -> "links"
+  | Devices_only -> "devices"
+  | Links_and_devices -> "both"
+
+let scope_of_string = function
+  | "links" -> Some Links_only
+  | "devices" -> Some Devices_only
+  | "both" -> Some Links_and_devices
   | _ -> None
 
 type t = {
@@ -32,10 +47,12 @@ type t = {
   r_intents : Intents.t list;
   r_budget_s : float option;
   r_no_cache : bool;
+  r_k : int;
+  r_scope : failure_scope;
 }
 
 let make ?(tenant = "default") ?snapshot ?plan ?(intents = []) ?budget_s
-    ?(no_cache = false) ~id cls =
+    ?(no_cache = false) ?(k = 1) ?(scope = Links_only) ~id cls =
   {
     r_id = id;
     r_tenant = tenant;
@@ -45,6 +62,8 @@ let make ?(tenant = "default") ?snapshot ?plan ?(intents = []) ?budget_s
     r_intents = intents;
     r_budget_s = budget_s;
     r_no_cache = no_cache;
+    r_k = k;
+    r_scope = scope;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -124,9 +143,16 @@ let intents_digest (intents : Intents.t list) : string =
   Digest.to_hex
     (Digest.string (String.concat "\x00" (List.map Intents.to_string intents)))
 
+(* The class segment of the cache key.  For [Whatif] the sweep's k and
+   failure scope are part of the answer's identity. *)
+let class_key (t : t) : string =
+  match t.r_class with
+  | Whatif ->
+      Printf.sprintf "whatif-k%d-%s" t.r_k (scope_to_string t.r_scope)
+  | c -> class_to_string c
+
 let cache_key ~snapshot_digest ~configs (t : t) : string =
-  Printf.sprintf "%s/%s/%s/%s" snapshot_digest
-    (class_to_string t.r_class)
+  Printf.sprintf "%s/%s/%s/%s" snapshot_digest (class_key t)
     (plan_digest ~configs t.r_plan)
     (intents_digest t.r_intents)
 
@@ -171,6 +197,8 @@ type p_state = {
   mutable ps_snapshot : string option;
   mutable ps_budget : float option;
   mutable ps_no_cache : bool;
+  mutable ps_k : int;
+  mutable ps_scope : failure_scope;
   mutable ps_commands : (string * string) list;  (* reversed *)
   mutable ps_withdraw : Prefix.t list;  (* reversed *)
   mutable ps_intents : Intents.t list;  (* reversed *)
@@ -189,6 +217,8 @@ let finish (ps : p_state) : t =
     r_intents = List.rev ps.ps_intents;
     r_budget_s = ps.ps_budget;
     r_no_cache = ps.ps_no_cache;
+    r_k = ps.ps_k;
+    r_scope = ps.ps_scope;
   }
 
 let parse (text : string) : (t list, string) result =
@@ -232,6 +262,8 @@ let parse (text : string) : (t list, string) result =
                           ps_snapshot = None;
                           ps_budget = None;
                           ps_no_cache = false;
+                          ps_k = 1;
+                          ps_scope = Links_only;
                           ps_commands = [];
                           ps_withdraw = [];
                           ps_intents = [];
@@ -264,6 +296,22 @@ let parse (text : string) : (t list, string) result =
                                         ps.ps_budget <- Some f;
                                         opt rest
                                     | _ -> err lineno "bad budget %S" v)
+                                | "k" -> (
+                                    match int_of_string_opt v with
+                                    | Some k when k >= 1 ->
+                                        ps.ps_k <- k;
+                                        opt rest
+                                    | _ -> err lineno "bad k %S" v)
+                                | "failures" -> (
+                                    match scope_of_string v with
+                                    | Some s ->
+                                        ps.ps_scope <- s;
+                                        opt rest
+                                    | None ->
+                                        err lineno
+                                          "bad failures %S (links, devices \
+                                           or both)"
+                                          v)
                                 | _ -> err lineno "unknown request option %S" k))
                       in
                       match opt opts with
@@ -327,6 +375,9 @@ let print (t : t) : string =
   Option.iter
     (fun f -> Buffer.add_string b (Printf.sprintf " budget=%g" f))
     t.r_budget_s;
+  if t.r_class = Whatif then
+    Buffer.add_string b
+      (Printf.sprintf " k=%d failures=%s" t.r_k (scope_to_string t.r_scope));
   if t.r_no_cache then Buffer.add_string b " no-cache";
   Buffer.add_char b '\n';
   List.iter

@@ -34,13 +34,26 @@ intent reach present|absent PREFIX DEV[,DEV...]
 end
     v}
 
-    [CLASS] is one of [lint], [precheck], [simulate], [diff].  [plan],
-    [withdraw] and [intent] stanzas repeat. *)
+    [CLASS] is one of [lint], [precheck], [simulate], [diff], [whatif].
+    [plan], [withdraw] and [intent] stanzas repeat.
 
-type rq_class = Lint | Precheck | Simulate | Diff
+    A [whatif] request runs the exhaustive k-failure sweep
+    ({!Hoyan_core.Kfailure}) instead of the change pipeline: the
+    property comes from the request's first [intent reach present]
+    stanza, and the sweep is parameterized by the request options
+    [k=K] (maximum simultaneous failures, default 1) and
+    [failures=links|devices|both] (candidate scope, default links). *)
+
+type rq_class = Lint | Precheck | Simulate | Diff | Whatif
 
 val class_to_string : rq_class -> string
 val class_of_string : string -> rq_class option
+
+(** Candidate-failure scope of a [whatif] sweep. *)
+type failure_scope = Links_only | Devices_only | Links_and_devices
+
+val scope_to_string : failure_scope -> string
+val scope_of_string : string -> failure_scope option
 
 type t = {
   r_id : string;
@@ -53,6 +66,8 @@ type t = {
   r_budget_s : float option;
       (** execution budget (lease seconds); [None] = server default *)
   r_no_cache : bool;  (** bypass the result cache entirely *)
+  r_k : int;  (** [whatif]: maximum simultaneous failures *)
+  r_scope : failure_scope;  (** [whatif]: candidate-failure scope *)
 }
 
 val make :
@@ -62,6 +77,8 @@ val make :
   ?intents:Hoyan_core.Intents.t list ->
   ?budget_s:float ->
   ?no_cache:bool ->
+  ?k:int ->
+  ?scope:failure_scope ->
   id:string ->
   rq_class ->
   t
@@ -80,7 +97,9 @@ val plan_digest :
 val intents_digest : Hoyan_core.Intents.t list -> string
 
 (** The result-cache key:
-    [snapshot-digest/class/plan-digest/intent-digest]. *)
+    [snapshot-digest/class/plan-digest/intent-digest], where the class
+    segment of a [whatif] request also carries its [k] and failure
+    scope (they are part of the answer's identity). *)
 val cache_key :
   snapshot_digest:string ->
   configs:Hoyan_config.Types.t Hoyan_config.Types.Smap.t ->

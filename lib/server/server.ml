@@ -14,6 +14,7 @@ module Types = Hoyan_config.Types
 module Preprocess = Hoyan_core.Preprocess
 module Verify_request = Hoyan_core.Verify_request
 module Intents = Hoyan_core.Intents
+module Kfailure = Hoyan_core.Kfailure
 module Model = Hoyan_sim.Model
 module Db = Hoyan_dist.Db
 module Schedule = Hoyan_dist.Schedule
@@ -208,6 +209,61 @@ let verdict_body (r : Verify_request.result) : string =
     r.Verify_request.vr_violations;
   Buffer.contents b
 
+(* The whatif execution path: the exhaustive k-failure sweep over the
+   snapshot's base network.  The property comes from the request's
+   first `intent reach present' stanza; the verdict body is
+   deterministic (counts and violations only, no timings). *)
+let run_whatif ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
+    status * string =
+  let base = snap.Snapshot.sn_base in
+  let prop =
+    List.find_map
+      (function
+        | Intents.Route_reach { rr_prefix; rr_devices; rr_expect = true } ->
+            Some (Kfailure.prefix_survives ~prefix:rr_prefix ~devices:rr_devices)
+        | _ -> None)
+      rq.Request.r_intents
+  in
+  match prop with
+  | None ->
+      ( Error "whatif requires an `intent reach present' stanza",
+        "" )
+  | Some prop ->
+      let devices, links =
+        match rq.Request.r_scope with
+        | Request.Links_only -> (false, true)
+        | Request.Devices_only -> (true, false)
+        | Request.Links_and_devices -> (true, true)
+      in
+      let res =
+        Kfailure.check ~tm ~devices ~links base.Preprocess.b_model
+          ~input_routes:base.Preprocess.b_input_routes
+          ~flows:base.Preprocess.b_flows ~k:rq.Request.r_k prop
+      in
+      let b = Buffer.create 256 in
+      Buffer.add_string b
+        (Printf.sprintf "verdict: %s\n"
+           (if res.Kfailure.kr_violations = [] then "PASS" else "FAIL"));
+      Buffer.add_string b
+        (Printf.sprintf "whatif: property %s\n" res.Kfailure.kr_property);
+      Buffer.add_string b
+        (Printf.sprintf
+           "whatif: %d scenario(s) (k<=%d); %d carried, %d static, %d \
+            replicated, %d simulated\n"
+           res.Kfailure.kr_total res.Kfailure.kr_k res.Kfailure.kr_carried
+           res.Kfailure.kr_static res.Kfailure.kr_replicated
+           res.Kfailure.kr_simulated);
+      List.iter
+        (fun (s : Kfailure.scenario_result) ->
+          Buffer.add_string b
+            (Printf.sprintf "violation: [%s] %s\n"
+               (String.concat ", "
+                  (List.map Kfailure.failure_to_string s.Kfailure.sr_failures))
+               (Option.value s.Kfailure.sr_violation ~default:"")))
+        res.Kfailure.kr_violations;
+      ( (if res.Kfailure.kr_violations = [] then Ok else Fail),
+        Buffer.contents b )
+
 let run_direct ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
     status * string =
   let base = snap.Snapshot.sn_base in
@@ -219,18 +275,22 @@ let run_direct ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
     }
   in
   try
-    let res =
-      match rq.Request.r_class with
-      | Request.Lint ->
-          Verify_request.run ~tm ~lint:Verify_request.Lint_fail
-            ~precheck:false ~stop_after:`Gate base vrq
-      | Request.Precheck ->
-          Verify_request.run ~tm ~lint:Verify_request.Lint_off
-            ~stop_after:`Static base vrq
-      | Request.Diff -> Verify_request.run ~tm ~diff:true base vrq
-      | Request.Simulate -> Verify_request.run ~tm base vrq
-    in
-    ((if res.Verify_request.vr_ok then Ok else Fail), verdict_body res)
+    match rq.Request.r_class with
+    | Request.Whatif -> run_whatif ~tm snap rq
+    | _ ->
+        let res =
+          match rq.Request.r_class with
+          | Request.Lint ->
+              Verify_request.run ~tm ~lint:Verify_request.Lint_fail
+                ~precheck:false ~stop_after:`Gate base vrq
+          | Request.Precheck ->
+              Verify_request.run ~tm ~lint:Verify_request.Lint_off
+                ~stop_after:`Static base vrq
+          | Request.Diff -> Verify_request.run ~tm ~diff:true base vrq
+          | Request.Simulate -> Verify_request.run ~tm base vrq
+          | Request.Whatif -> assert false
+        in
+        ((if res.Verify_request.vr_ok then Ok else Fail), verdict_body res)
   with e -> (Error (Printexc.to_string e), "")
 
 (* ------------------------------------------------------------------ *)
@@ -248,6 +308,10 @@ let prior (snap : Snapshot.t) (cls : Request.rq_class) : float =
       ~routes:snap.Snapshot.sn_input_routes
   in
   match cls with
+  | Request.Whatif ->
+      (* one fixpoint per simulated class representative; even heavily
+         pruned sweeps run several — the most expensive class *)
+      5. *. sim
   | Request.Simulate -> sim
   | Request.Diff -> 0.01 *. sim
   | Request.Precheck -> 0.005 *. sim

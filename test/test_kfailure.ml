@@ -1,0 +1,419 @@
+(* k-failure verification (lib/core/kfailure.ml) and the static
+   failure-equivalence analysis behind it (lib/analysis/failure_eq.ml).
+
+   The soundness contract under test: the pruned sweep (equivalence
+   classes + carried base verdicts + cut-analysis verdicts) must report
+   exactly the violating scenarios the brute-force sweep reports — on
+   hand-built topologies, on randomly generated ones (k ∈ {1,2}, link
+   and device failures), and across the chaos-style matrix of
+   (seed × k × failure-mode) cells. *)
+
+open Hoyan_net
+module B = Hoyan_workload.Builder
+module Model = Hoyan_sim.Model
+module Route_sim = Hoyan_sim.Route_sim
+module Kfailure = Hoyan_core.Kfailure
+module Feq = Hoyan_analysis.Failure_eq
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let pfx = Prefix.of_string_exn
+
+let qtest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 99097 |]) t
+
+(* ------------------------------------------------------------------ *)
+(* Topology builders                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* eBGP chain R0 - R1 - ... - R(n-1); prefix injected at R0. *)
+let chain n =
+  let b = B.create () in
+  for i = 0 to n - 1 do
+    B.add_device b
+      ~name:(Printf.sprintf "R%d" i)
+      ~vendor:"vendorA" ~asn:(65000 + i)
+      ~router_id:(B.ip (Printf.sprintf "10.255.%d.1" i))
+      ()
+  done;
+  for i = 0 to n - 2 do
+    let a = Printf.sprintf "R%d" i and bb = Printf.sprintf "R%d" (i + 1) in
+    let subnet = pfx (Printf.sprintf "10.0.%d.0/31" i) in
+    let a_addr, b_addr = B.link b ~a ~b:bb ~subnet () in
+    B.bgp_session b ~a ~b:bb ~a_addr ~b_addr ()
+  done;
+  b
+
+let the_prefix = "99.0.0.0/24"
+
+let input_at dev =
+  [ B.input_route ~device:dev ~prefix:the_prefix ~as_path:[ 7 ] () ]
+
+(* Random connected eBGP topology: a spanning tree over [n] devices plus
+   [extra] random chords, every link carrying a session. *)
+let random_topo rng ~n ~extra =
+  let b = B.create () in
+  for i = 0 to n - 1 do
+    B.add_device b
+      ~name:(Printf.sprintf "R%d" i)
+      ~vendor:"vendorA" ~asn:(65000 + i)
+      ~router_id:(B.ip (Printf.sprintf "10.255.%d.1" i))
+      ()
+  done;
+  let linked = Hashtbl.create 16 in
+  let subnet_count = ref 0 in
+  let connect i j =
+    let i, j = (min i j, max i j) in
+    if i <> j && not (Hashtbl.mem linked (i, j)) then begin
+      Hashtbl.replace linked (i, j) ();
+      let a = Printf.sprintf "R%d" i and bb = Printf.sprintf "R%d" j in
+      let subnet = pfx (Printf.sprintf "10.%d.%d.0/31" (!subnet_count / 250) (!subnet_count mod 250)) in
+      incr subnet_count;
+      let a_addr, b_addr = B.link b ~a ~b:bb ~subnet () in
+      B.bgp_session b ~a ~b:bb ~a_addr ~b_addr ()
+    end
+  in
+  for i = 1 to n - 1 do
+    connect i (Random.State.int rng i)
+  done;
+  for _ = 1 to extra do
+    connect (Random.State.int rng n) (Random.State.int rng n)
+  done;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* The brute-vs-pruned oracle                                          *)
+(* ------------------------------------------------------------------ *)
+
+let violating_scenarios (r : Kfailure.result) =
+  List.map (fun (s : Kfailure.scenario_result) -> s.Kfailure.sr_failures)
+    r.Kfailure.kr_violations
+  |> List.sort compare
+
+let reason_map (r : Kfailure.result) =
+  List.filter_map
+    (fun (s : Kfailure.scenario_result) ->
+      Option.map (fun v -> (s.Kfailure.sr_failures, v)) s.Kfailure.sr_violation)
+    r.Kfailure.kr_violations
+
+let is_static reason =
+  String.length reason >= 8 && String.sub reason 0 8 = "statical"
+
+(* Pruned and brute-force sweeps must agree on the violating scenario
+   set; non-static pruned reasons must also agree verbatim (members of
+   a fingerprint class provably share their missing-device sets). *)
+let assert_sound ?(msg = "") ~devices ~k model ~input_routes prop =
+  let brute =
+    Kfailure.check ~prune:false ~devices model ~input_routes ~flows:[] ~k prop
+  in
+  let pruned =
+    Kfailure.check ~prune:true ~devices model ~input_routes ~flows:[] ~k prop
+  in
+  check tint (msg ^ "same scenario universe") brute.Kfailure.kr_total
+    pruned.Kfailure.kr_total;
+  check tint (msg ^ "exhaustive: all scenarios checked")
+    pruned.Kfailure.kr_total pruned.Kfailure.kr_checked;
+  check tbool (msg ^ "no silent sampling") false pruned.Kfailure.kr_sampled;
+  check
+    Alcotest.(list (list string))
+    (msg ^ "identical violation sets")
+    (List.map (List.map Kfailure.failure_to_string) (violating_scenarios brute))
+    (List.map (List.map Kfailure.failure_to_string) (violating_scenarios pruned));
+  let brute_reasons = reason_map brute in
+  List.iter
+    (fun (fs, reason) ->
+      if not (is_static reason) then
+        match List.assoc_opt fs brute_reasons with
+        | Some br ->
+            check Alcotest.string
+              (msg ^ "replicated reason matches simulation") br reason
+        | None -> Alcotest.fail (msg ^ "pruned violation unknown to brute"))
+    (reason_map pruned);
+  (brute, pruned)
+
+(* ------------------------------------------------------------------ *)
+(* Property units                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefix_survives () =
+  let b = chain 3 in
+  let model = B.build b in
+  let rib =
+    (Route_sim.run model ~input_routes:(input_at "R0") ()).Route_sim.rib
+  in
+  let prop = Kfailure.prefix_survives ~prefix:(pfx the_prefix) ~devices:[ "R2" ] in
+  check tbool "propagated prefix present" true
+    (prop.Kfailure.p_check ~model ~rib ~traffic:(lazy (assert false)) = None);
+  let prop2 =
+    Kfailure.prefix_survives ~prefix:(pfx the_prefix)
+      ~devices:[ "R2"; "Rmissing" ]
+  in
+  (match prop2.Kfailure.p_check ~model ~rib ~traffic:(lazy (assert false)) with
+  | Some reason ->
+      check tbool "missing device named" true
+        (String.length reason > 0
+        && Str.string_match (Str.regexp ".*Rmissing") reason 0)
+  | None -> Alcotest.fail "absent device not reported");
+  (* footprint declaration matches the check *)
+  match prop.Kfailure.p_footprint with
+  | Feq.Reach_all (p, devs) ->
+      check tbool "footprint prefix" true (Prefix.equal p (pfx the_prefix));
+      check Alcotest.(list string) "footprint devices" [ "R2" ] devs
+  | _ -> Alcotest.fail "prefix_survives must declare Reach_all"
+
+let test_no_overload_worst_link () =
+  (* R0 -> R1 -> R2 with a fat first hop and a thin second hop: both
+     links overload, and the thin one is the true maximum. *)
+  let b = B.create () in
+  List.iteri
+    (fun i name ->
+      B.add_device b ~name ~vendor:"vendorA" ~asn:(65000 + i)
+        ~router_id:(B.ip (Printf.sprintf "10.255.%d.1" i))
+        ())
+    [ "R0"; "R1"; "R2" ];
+  let a01, b01 =
+    B.link b ~a:"R0" ~b:"R1" ~subnet:(pfx "10.0.0.0/31") ~bandwidth:1e9 ()
+  in
+  let a12, b12 =
+    B.link b ~a:"R1" ~b:"R2" ~subnet:(pfx "10.0.1.0/31") ~bandwidth:1e8 ()
+  in
+  B.bgp_session b ~a:"R0" ~b:"R1" ~a_addr:a01 ~b_addr:b01 ();
+  B.bgp_session b ~a:"R1" ~b:"R2" ~a_addr:a12 ~b_addr:b12 ();
+  let model = B.build b in
+  let input = input_at "R2" in
+  let rib = (Route_sim.run model ~input_routes:input ()).Route_sim.rib in
+  let flow =
+    Flow.make ~src:(B.ip "1.0.0.1") ~dst:(B.ip "99.0.0.7") ~ingress:"R0"
+      ~volume:9e7 ()
+  in
+  let traffic = lazy (Hoyan_sim.Traffic_sim.run model ~rib ~flows:[ flow ] ()) in
+  let prop = Kfailure.no_overload ~max_util:0.01 in
+  (match prop.Kfailure.p_check ~model ~rib ~traffic with
+  | None -> Alcotest.fail "overload not detected"
+  | Some reason ->
+      (* 9e7 bps over the 1e8 link = 90%, over the 1e9 link = 9%: the
+         thin R1->R2 hop is the worst and its utilization is printed *)
+      check tbool "true max-utilization link reported" true
+        (Str.string_match (Str.regexp ".*worst R1->R2 at 90\\.0%") reason 0));
+  check tbool "no_overload declares itself opaque" true
+    (prop.Kfailure.p_footprint = Feq.Opaque)
+
+let test_combinations () =
+  let rec naive k l =
+    if k = 0 then [ [] ]
+    else
+      match l with
+      | [] -> []
+      | x :: rest ->
+          List.map (fun c -> x :: c) (naive (k - 1) rest) @ naive k rest
+  in
+  List.iter
+    (fun (k, l) ->
+      check
+        Alcotest.(list (list int))
+        (Printf.sprintf "choose %d" k) (naive k l)
+        (Kfailure.combinations k l))
+    [ (0, [ 1; 2 ]); (1, [ 1; 2; 3 ]); (2, [ 1; 2; 3; 4 ]); (3, [ 1; 2; 3; 4; 5 ]);
+      (2, []); (5, [ 1; 2; 3 ]) ];
+  check tint "C(10,3)" 120 (List.length (Kfailure.combinations 3 (List.init 10 Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* Brute vs pruned on hand topologies                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_chain_sound () =
+  let model = B.build (chain 4) in
+  let prop =
+    Kfailure.prefix_survives ~prefix:(pfx the_prefix) ~devices:[ "R3" ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun devices ->
+          ignore
+            (assert_sound
+               ~msg:(Printf.sprintf "chain k=%d devices=%b: " k devices)
+               ~devices ~k model ~input_routes:(input_at "R0") prop))
+        [ false; true ])
+    [ 1; 2 ]
+
+let test_ring_sound () =
+  (* ring of 4: single failures are survivable, pairs can partition *)
+  let b = B.create () in
+  for i = 0 to 3 do
+    B.add_device b
+      ~name:(Printf.sprintf "R%d" i)
+      ~vendor:"vendorA" ~asn:(65000 + i)
+      ~router_id:(B.ip (Printf.sprintf "10.255.%d.1" i))
+      ()
+  done;
+  List.iteri
+    (fun idx (i, j) ->
+      let a = Printf.sprintf "R%d" i and bb = Printf.sprintf "R%d" j in
+      let a_addr, b_addr =
+        B.link b ~a ~b:bb ~subnet:(pfx (Printf.sprintf "10.0.%d.0/31" idx)) ()
+      in
+      B.bgp_session b ~a ~b:bb ~a_addr ~b_addr ())
+    [ (0, 1); (1, 2); (2, 3); (0, 3) ];
+  let model = B.build b in
+  let prop =
+    Kfailure.prefix_survives ~prefix:(pfx the_prefix)
+      ~devices:[ "R1"; "R2"; "R3" ]
+  in
+  let brute, pruned =
+    assert_sound ~msg:"ring k=2: " ~devices:false ~k:2 model
+      ~input_routes:(input_at "R0") prop
+  in
+  check tbool "ring survives every single failure" true
+    (List.for_all
+       (fun fs -> List.length fs = 2)
+       (violating_scenarios brute));
+  check tbool "ring k=2 finds partitioning pairs" true
+    (pruned.Kfailure.kr_violations <> [])
+
+(* Tier-1 effectiveness: failures in an unrelated island carry the base
+   verdict, so the pruned sweep simulates strictly fewer scenarios. *)
+let test_island_carries () =
+  let b = chain 3 in
+  (* a disconnected island with its own prefix, far from the property *)
+  B.add_device b ~name:"I0" ~vendor:"vendorA" ~asn:64900
+    ~router_id:(B.ip "10.254.0.1") ();
+  B.add_device b ~name:"I1" ~vendor:"vendorA" ~asn:64901
+    ~router_id:(B.ip "10.254.1.1") ();
+  let a_addr, b_addr = B.link b ~a:"I0" ~b:"I1" ~subnet:(pfx "10.9.0.0/31") () in
+  B.bgp_session b ~a:"I0" ~b:"I1" ~a_addr ~b_addr ();
+  let model = B.build b in
+  let prop =
+    Kfailure.prefix_survives ~prefix:(pfx the_prefix) ~devices:[ "R2" ]
+  in
+  let _, pruned =
+    assert_sound ~msg:"island: " ~devices:true ~k:1 model
+      ~input_routes:(input_at "R0") prop
+  in
+  check tbool "island failures carried without simulation" true
+    (pruned.Kfailure.kr_carried > 0);
+  check tbool "pruning simulates fewer scenarios" true
+    (pruned.Kfailure.kr_simulated < pruned.Kfailure.kr_total)
+
+(* Cut analysis: chain failures that disconnect the monitored device are
+   proven statically, and every statically decided scenario is a real
+   violation under simulation. *)
+let test_cut_vs_simulation () =
+  let model = B.build (chain 4) in
+  let prop =
+    Kfailure.prefix_survives ~prefix:(pfx the_prefix) ~devices:[ "R3" ]
+  in
+  let brute, pruned =
+    assert_sound ~msg:"cut: " ~devices:false ~k:1 model
+      ~input_routes:(input_at "R0") prop
+  in
+  check tbool "chain SPOFs decided statically" true
+    (pruned.Kfailure.kr_static > 0);
+  let brute_viol = violating_scenarios brute in
+  List.iter
+    (fun (s : Kfailure.scenario_result) ->
+      match s.Kfailure.sr_violation with
+      | Some reason when is_static reason ->
+          check tbool "static verdict confirmed by simulation" true
+            (List.mem s.Kfailure.sr_failures brute_viol)
+      | _ -> ())
+    pruned.Kfailure.kr_violations;
+  (* every chain link is a SPOF towards R3: all 3 link failures violate *)
+  check tint "all chain links are SPOFs" 3 (List.length brute_viol)
+
+let test_sampling_reported () =
+  let model = B.build (chain 4) in
+  let prop =
+    Kfailure.prefix_survives ~prefix:(pfx the_prefix) ~devices:[ "R3" ]
+  in
+  let res =
+    Kfailure.check ~prune:false ~max_scenarios:1 model
+      ~input_routes:(input_at "R0") ~flows:[] ~k:2 prop
+  in
+  check tbool "sampling is reported" true res.Kfailure.kr_sampled;
+  check tbool "unchecked scenarios visible" true
+    (res.Kfailure.kr_checked < res.Kfailure.kr_total);
+  let full =
+    Kfailure.check model ~input_routes:(input_at "R0") ~flows:[] ~k:2 prop
+  in
+  check tbool "default is exhaustive" false full.Kfailure.kr_sampled;
+  check tint "default checks everything" full.Kfailure.kr_total
+    full.Kfailure.kr_checked
+
+(* ------------------------------------------------------------------ *)
+(* Randomized equivalence (qcheck) and the chaos matrix                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_random_topologies_sound =
+  QCheck.Test.make ~name:"brute == pruned on random topologies (k in {1,2})"
+    ~count:12
+    (QCheck.make
+       QCheck.Gen.(triple (int_bound 10_000) (int_range 3 6) (int_range 1 2)))
+    (fun (seed, n, k) ->
+      let rng = Random.State.make [| seed; n; k |] in
+      let b = random_topo rng ~n ~extra:(Random.State.int rng 3) in
+      let model = B.build b in
+      let monitored =
+        List.filteri (fun i _ -> i mod 2 = 0) (List.init n (Printf.sprintf "R%d"))
+      in
+      let prop =
+        Kfailure.prefix_survives ~prefix:(pfx the_prefix) ~devices:monitored
+      in
+      let devices = seed mod 2 = 0 in
+      let brute, pruned =
+        assert_sound
+          ~msg:(Printf.sprintf "random seed=%d n=%d k=%d: " seed n k)
+          ~devices ~k model ~input_routes:(input_at "R0") prop
+      in
+      violating_scenarios brute = violating_scenarios pruned)
+
+(* The PR5 chaos-matrix idea as a correctness oracle: a deterministic
+   grid of (seed x k x failure-mode) cells, every cell asserting the
+   pruned sweep is indistinguishable from brute force. *)
+let test_chaos_matrix () =
+  let cells = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| 7100 + seed |] in
+      let b = random_topo rng ~n:(4 + (seed mod 2)) ~extra:seed in
+      let model = B.build b in
+      let prop =
+        Kfailure.prefix_survives ~prefix:(pfx the_prefix)
+          ~devices:[ "R1"; Printf.sprintf "R%d" (3 + (seed mod 2)) ]
+      in
+      List.iter
+        (fun k ->
+          List.iter
+            (fun devices ->
+              incr cells;
+              ignore
+                (assert_sound
+                   ~msg:
+                     (Printf.sprintf "matrix seed=%d k=%d devices=%b: " seed k
+                        devices)
+                   ~devices ~k model ~input_routes:(input_at "R0") prop))
+            [ false; true ])
+        [ 1; 2 ])
+    [ 0; 1; 2 ];
+  check tint "matrix covers all cells" 12 !cells
+
+let suite =
+  [
+    Alcotest.test_case "property: prefix_survives" `Quick test_prefix_survives;
+    Alcotest.test_case "property: no_overload reports true max" `Quick
+      test_no_overload_worst_link;
+    Alcotest.test_case "combinations: accumulator == naive" `Quick
+      test_combinations;
+    Alcotest.test_case "brute == pruned: chain" `Quick test_chain_sound;
+    Alcotest.test_case "brute == pruned: ring, k=2" `Quick test_ring_sound;
+    Alcotest.test_case "tier 1: island failures carried" `Quick
+      test_island_carries;
+    Alcotest.test_case "tier 3: cut verdicts vs simulation" `Quick
+      test_cut_vs_simulation;
+    Alcotest.test_case "sampling is explicit and reported" `Quick
+      test_sampling_reported;
+    qtest prop_random_topologies_sound;
+    Alcotest.test_case "chaos matrix: brute == pruned grid" `Quick
+      test_chaos_matrix;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("properties", Test_props.suite);
       ("intern", Test_intern.suite);
       ("server", Test_server.suite);
+      ("kfailure", Test_kfailure.suite);
     ]
