@@ -1,8 +1,8 @@
 # Convenience targets; tier-1 verification is `dune build && dune runtest`.
 
 .PHONY: all build test bench perf route-bench lint analyze diff \
-	diff-bench serve serve-bench whatif whatif-bench check \
-	telemetry-bench semantic-bench chaos smoke clean
+	diff-bench serve serve-bench whatif whatif-bench inc inc-bench \
+	check telemetry-bench semantic-bench chaos smoke clean
 
 all: build
 
@@ -86,6 +86,23 @@ whatif:
 # BENCH_PR9.json (DESIGN.md §2.9).
 whatif-bench:
 	dune exec bench/main.exe -- --whatif-bench
+
+# Incremental-splice soundness gate: `hoyan verify --inc --selfcheck`
+# runs the dirty-region splice AND a full from-scratch patched run
+# in-process and asserts the RIB + traffic results are identical (exit
+# 1 on mismatch), then the incremental test suite replays the oracle
+# over a qcheck plan family including withdraw-only/no-op plans and a
+# deliberately pruned (unsound) dirty set (DESIGN.md §2.10).
+inc:
+	dune build @all
+	dune exec bin/hoyan_cli.exe -- verify --inc --selfcheck
+	dune exec test/test_main.exe -- test incremental
+
+# 300-plan mixed batch against one captured converged base: spliced
+# incremental runs vs full re-simulation (measured subsample + honest
+# extrapolation, full-fallback counters); writes BENCH_PR10.json.
+inc-bench:
+	dune exec bench/main.exe -- --inc-bench
 
 # Open-loop load at the server: >=1200 mixed requests over 8 tenants,
 # byte-identity contract check against direct runs, per-class p50/p99,

@@ -34,7 +34,11 @@
      dune exec bench/main.exe -- --whatif-bench# exhaustive k-failure sweep:
                                                # blast-radius pruning vs
                                                # brute force
-                                               # (writes BENCH_PR9.json) *)
+                                               # (writes BENCH_PR9.json)
+     dune exec bench/main.exe -- --inc-bench   # incremental delta splice
+                                               # vs full re-simulation on
+                                               # a 300-plan mixed batch
+                                               # (writes BENCH_PR10.json) *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -72,7 +76,8 @@ let () =
       B_chaos.output_file := f;
       B_diff.output_file := f;
       B_serve.output_file := f;
-      B_whatif.output_file := f)
+      B_whatif.output_file := f;
+      B_inc.output_file := f)
     out;
   let flags, wanted = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
   if List.mem "--quick" flags then B_common.quick := true;
@@ -88,6 +93,7 @@ let () =
   else if List.mem "--diff-bench" flags then B_diff.run ()
   else if List.mem "--serve-bench" flags then B_serve.run ()
   else if List.mem "--whatif-bench" flags then B_whatif.run ()
+  else if List.mem "--inc-bench" flags then B_inc.run ()
   else begin
     (* "fig5a" etc. are accepted as shorthand for "figure5a"; the alias
        only applies to names actually prefixed with "figure" (a bare

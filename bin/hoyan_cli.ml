@@ -9,6 +9,8 @@
                      [--lease-s SECONDS]
      hoyan verify    --plan FILE [--device NAME]... --intent SPEC...
                      [--diff]          # carry unaffected intents over
+                     [--inc]           # dirty-region splice simulation
+                     [--selfcheck]     # splice == from-scratch oracle
      hoyan lint      [--plan FILE --device NAME]... [--intent SPEC]...
                      [--json] [--inject CLASS|all] [--deep]
                      [--max-warnings N] [--baseline FILE]
@@ -46,6 +48,7 @@ module Verify_request = Hoyan_core.Verify_request
 module Audit = Hoyan_core.Audit
 module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
+module Incremental = Hoyan_sim.Incremental
 module Bgp = Hoyan_proto.Bgp
 module Server = Hoyan_server.Server
 module Request = Hoyan_server.Request
@@ -265,7 +268,8 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let verify params seed plan_file devices intents distributed fail_prob
-    chaos_mode chaos_seed degrade diff trace_out metrics_out journal_out =
+    chaos_mode chaos_seed degrade diff inc selfcheck trace_out metrics_out
+    journal_out =
   with_telemetry ~trace_out ~metrics_out ~journal_out @@ fun () ->
   match chaos_of ~fail_prob ~chaos_mode ~chaos_seed with
   | Error msg ->
@@ -309,9 +313,40 @@ let verify params seed plan_file devices intents distributed fail_prob
     | Some servers -> Verify_request.Distributed { servers; subtasks = 100 }
   in
   let on_partial = if degrade then `Degrade else `Refuse in
-  let res = Verify_request.run ~mode ~chaos ~on_partial ~diff base rq in
+  (* --inc / --selfcheck both need a captured converged-base context *)
+  let ictx =
+    if inc || selfcheck then
+      Some
+        (Incremental.capture ~model:g.G.model
+           ~input_routes:base.Preprocess.b_input_routes
+           ~flows:base.Preprocess.b_flows
+           ~rib:(Lazy.force base.Preprocess.b_rib) ())
+    else None
+  in
+  let selfcheck_ok =
+    match ictx with
+    | Some cx when selfcheck ->
+        let ck = Incremental.selfcheck cx rq.Verify_request.rq_plan in
+        Printf.printf
+          "selfcheck: rib %s, traffic %s (%d dirty prefix(es), %d delta \
+           row(s), %d reused%s)\n"
+          (if ck.Incremental.ck_rib_ok then "identical" else "MISMATCH")
+          (if ck.Incremental.ck_traffic_ok then "identical" else "MISMATCH")
+          ck.Incremental.ck_stats.Incremental.st_dirty_prefixes
+          ck.Incremental.ck_stats.Incremental.st_delta_rows
+          ck.Incremental.ck_stats.Incremental.st_reused_rows
+          (if ck.Incremental.ck_stats.Incremental.st_full_fallback then
+             "; full fallback"
+           else "");
+        ck.Incremental.ck_ok
+    | _ -> true
+  in
+  let inc_ctx = if inc then ictx else None in
+  let res =
+    Verify_request.run ~mode ~chaos ~on_partial ~diff ?inc:inc_ctx base rq
+  in
   print_string (Verify_request.report res);
-  if res.Verify_request.vr_ok then 0 else 1
+  if res.Verify_request.vr_ok && selfcheck_ok then 0 else 1
 
 let verify_cmd =
   let plan =
@@ -350,12 +385,29 @@ let verify_cmd =
                    dirty region (no re-simulation) and simulate only \
                    the remainder.")
   in
+  let inc =
+    Arg.(value & flag
+         & info [ "inc" ]
+             ~doc:"Incremental simulation: re-converge only the plan's \
+                   dirty region and splice into the cached converged \
+                   base (direct mode; broad plans fall back to a full \
+                   run, reported).")
+  in
+  let selfcheck =
+    Arg.(value & flag
+         & info [ "selfcheck" ]
+             ~doc:"Run the splice oracle: the incrementally spliced RIB \
+                   and traffic must be byte-identical to a full \
+                   from-scratch run of the patched model.  Non-zero \
+                   exit on mismatch.")
+  in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify a change plan against RCL intents")
     Term.(
       const verify $ scale_arg $ seed_arg $ plan $ devices $ intents
       $ distributed $ fail_prob_arg $ chaos_mode_arg $ chaos_seed_arg
-      $ degrade $ diff $ trace_out_arg $ metrics_out_arg $ journal_out_arg)
+      $ degrade $ diff $ inc $ selfcheck $ trace_out_arg $ metrics_out_arg
+      $ journal_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hoyan lint                                                          *)

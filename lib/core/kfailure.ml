@@ -16,6 +16,8 @@ open Hoyan_net
 module Model = Hoyan_sim.Model
 module Route_sim = Hoyan_sim.Route_sim
 module Traffic_sim = Hoyan_sim.Traffic_sim
+module Incremental = Hoyan_sim.Incremental
+module Telemetry = Hoyan_telemetry.Telemetry
 module Cp = Hoyan_config.Change_plan
 module Lint = Hoyan_analysis.Lint
 module Semantic = Hoyan_analysis.Semantic
@@ -110,6 +112,11 @@ type result = {
   kr_replicated : int;  (** verdict replicated from a class representative *)
   kr_static : int;  (** verdict proven by the cut analysis, no fixpoint *)
   kr_simulated : int;  (** scenarios actually simulated *)
+  kr_restricted : int;
+      (** simulated representatives whose fixpoint was restricted to the
+          property footprint's prefix closure ([?inc] given and the
+          footprint is prefix-enumerable; [Opaque] always simulates in
+          full) *)
   kr_sampled : bool;  (** an explicit [max_scenarios] cap dropped classes *)
   kr_scenarios : int;  (** = [kr_checked]; kept for existing callers *)
   kr_violations : scenario_result list;
@@ -129,11 +136,17 @@ let apply_failures (model : Model.t) (fs : failure list) : Model.t =
   in
   fst (Model.apply_change_plan model (Cp.make "k-failure" ~topo_ops:ops))
 
-(* Simulate one failure scenario and evaluate the property. *)
-let simulate_scenario (model : Model.t) ~input_routes ~flows (prop : property)
-    (fs : failure list) : string option =
+(* Simulate one failure scenario and evaluate the property.  [only]
+   restricts the fixpoint to the property footprint's prefix closure:
+   sound because a footprint declares everything [p_check] observes, and
+   per-prefix decomposability makes the restricted run converge the
+   footprint's rows exactly. *)
+let simulate_scenario ?only (model : Model.t) ~input_routes ~flows
+    (prop : property) (fs : failure list) : string option =
   let failed_model = apply_failures model fs in
-  let rib = (Route_sim.run failed_model ~input_routes ()).Route_sim.rib in
+  let rib =
+    (Route_sim.run ?only failed_model ~input_routes ()).Route_sim.rib
+  in
   let traffic = lazy (Traffic_sim.run failed_model ~rib ~flows ()) in
   prop.p_check ~model:failed_model ~rib ~traffic
 
@@ -146,8 +159,24 @@ let simulate_scenario (model : Model.t) ~input_routes ~flows (prop : property)
     deterministic stride; dropped classes are reported as unchecked via
     [kr_total]/[kr_checked] and [kr_sampled]. *)
 let check ?tm ?max_scenarios ?(prune = true) ?(devices = false)
-    ?(links = true) (model : Model.t) ~(input_routes : Route.t list)
+    ?(links = true) ?inc (model : Model.t) ~(input_routes : Route.t list)
     ~(flows : Flow.t list) ~(k : int) (prop : property) : result =
+  (* With a captured converged-base context: the base verdict reads the
+     cached RIB/FIBs instead of re-converging, and prefix-enumerable
+     footprints restrict every representative's fixpoint to the
+     footprint's aggregate closure.  [Opaque] footprints (traffic
+     properties) get neither — full simulation, honestly counted. *)
+  let only =
+    match inc with
+    | None -> None
+    | Some ictx -> (
+        match prop.p_footprint with
+        | Feq.Reach_all (p, _) ->
+            Some (Incremental.scenario_only ictx ~prefixes:[ p ])
+        | Feq.Prefix_scoped (ps, _) ->
+            Some (Incremental.scenario_only ictx ~prefixes:ps)
+        | Feq.Opaque -> None)
+  in
   let plan =
     if prune then
       let input =
@@ -193,9 +222,19 @@ let check ?tm ?max_scenarios ?(prune = true) ?(devices = false)
      base-equivalent class exists. *)
   let base_verdict =
     lazy
-      (let rib = (Route_sim.run model ~input_routes ()).Route_sim.rib in
-       let traffic = lazy (Traffic_sim.run model ~rib ~flows ()) in
-       prop.p_check ~model ~rib ~traffic)
+      (match inc with
+      | Some ictx ->
+          let rib = Incremental.base_rib ictx in
+          let traffic =
+            lazy
+              (Traffic_sim.run ~fibs:(Incremental.base_fibs ictx)
+                 ~ecx:(Incremental.base_ec_ctx ictx) model ~rib ~flows ())
+          in
+          prop.p_check ~model ~rib ~traffic
+      | None ->
+          let rib = (Route_sim.run model ~input_routes ()).Route_sim.rib in
+          let traffic = lazy (Traffic_sim.run model ~rib ~flows ()) in
+          prop.p_check ~model ~rib ~traffic)
   in
   let classes = Array.of_list plan.Feq.pl_classes in
   (* Representatives to simulate, with the explicit sampling escape
@@ -237,10 +276,17 @@ let check ?tm ?max_scenarios ?(prune = true) ?(devices = false)
     Parallel.map ?tm ~weights
       (fun id ->
         ( id,
-          simulate_scenario model ~input_routes ~flows prop
+          simulate_scenario ?only model ~input_routes ~flows prop
             classes.(id).Feq.cl_rep ))
       chosen_ids
   in
+  let restricted =
+    if Option.is_some only then List.length chosen_ids else 0
+  in
+  (match tm with
+  | Some t when restricted > 0 ->
+      Telemetry.count t "hoyan_kfailure_restricted_total" restricted
+  | _ -> ());
   let verdict_of_class = Hashtbl.create 64 in
   List.iter (fun (id, v) -> Hashtbl.replace verdict_of_class id v) rep_verdicts;
   (* Per-scenario verdicts in enumeration order; [None] = unchecked
@@ -286,6 +332,7 @@ let check ?tm ?max_scenarios ?(prune = true) ?(devices = false)
     kr_replicated = !replicated;
     kr_static = !static;
     kr_simulated = simulated;
+    kr_restricted = restricted;
     kr_sampled = sampled;
     kr_scenarios = checked;
     kr_violations = violations;

@@ -18,6 +18,7 @@ module Lint = Hoyan_analysis.Lint
 module Diagnostics = Hoyan_analysis.Diagnostics
 module Semantic = Hoyan_analysis.Semantic
 module Differential = Hoyan_analysis.Differential
+module Incremental = Hoyan_sim.Incremental
 module Telemetry = Hoyan_telemetry.Telemetry
 module Journal = Hoyan_telemetry.Journal
 
@@ -61,12 +62,25 @@ type result = {
   vr_partial : bool;
       (** the simulated state is missing permanently-failed subtasks'
           results; [vr_ok] is never [true] when this is set *)
+  vr_inc : Incremental.stats option;
+      (** incremental-simulation accounting when the request ran through
+          an [?inc] context or a cached [?inc_sim] artifact *)
   vr_updated_model : Model.t;
   vr_base_rib : Route.t list;
   vr_updated_rib : Route.t list;
   vr_updated_traffic : Traffic_sim.result Lazy.t;
   vr_sim_seconds : float;
+  vr_traffic_seconds : float ref;
+      (** wall-clock spent forcing [vr_updated_traffic] — measured at
+          the forcing site, since the lazy is typically forced {e after}
+          [vr_sim_seconds] stops counting (by the server or a traffic
+          intent); [0.] until forced *)
 }
+
+(** Pipeline seconds plus (if forced) traffic-simulation seconds: the
+    honest total cost of the request so far. *)
+let total_seconds (r : result) : float =
+  r.vr_sim_seconds +. !(r.vr_traffic_seconds)
 
 (** How the static-analysis gate in front of the pipeline behaves. *)
 type lint_gate =
@@ -105,12 +119,26 @@ let lint_specs (intents : Intents.t list) : (string * string) list =
     additionally journals its outcome as a [lint.gate] event. *)
 let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
     ?(diff = false) ?chaos ?(on_partial = `Refuse) ?(stop_after = `Full)
-    (base : Preprocess.base) (rq : request) : result =
+    ?inc ?inc_sim (base : Preprocess.base) (rq : request) : result =
   let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
   let rq_sp =
     Telemetry.span tm ~args:[ ("request", rq.rq_name) ] "verify.request"
   in
   let t0 = Unix.gettimeofday () in
+  (* traffic simulation is lazy and usually forced after [vr_sim_seconds]
+     stops counting — time the forcing site so the cost is attributed
+     somewhere ([vr_traffic_seconds] + a metric) instead of vanishing *)
+  let traffic_seconds = ref 0. in
+  let timed_traffic (f : unit -> Traffic_sim.result) :
+      Traffic_sim.result Lazy.t =
+    lazy
+      (let tt0 = Unix.gettimeofday () in
+       let r = f () in
+       let dt = Unix.gettimeofday () -. tt0 in
+       traffic_seconds := !traffic_seconds +. dt;
+       Telemetry.observe tm "hoyan_verify_traffic_seconds" dt;
+       r)
+  in
   (* 0. static-analysis gate: lint the base configs, the change plan and
      the request's RCL specs before any fixpoint runs *)
   let lint_diags =
@@ -151,20 +179,27 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
       vr_carried = [];
       vr_coverage = None;
       vr_partial = false;
+      vr_inc = None;
       vr_updated_model = base.Preprocess.b_model;
       vr_base_rib = [];
       vr_updated_rib = [];
       vr_updated_traffic =
-        lazy
-          (Traffic_sim.run base.Preprocess.b_model ~rib:[] ~flows:[] ());
+        timed_traffic (fun () ->
+            Traffic_sim.run base.Preprocess.b_model ~rib:[] ~flows:[] ());
       vr_sim_seconds = Unix.gettimeofday () -. t0;
+      vr_traffic_seconds = traffic_seconds;
     }
   end
   else begin
-  (* 1. incremental model update *)
+  (* 1. incremental model update (a cached incremental artifact already
+     carries the patched model and its apply reports) *)
   let updated_model, reports =
-    Telemetry.with_span tm "verify.model_update" (fun () ->
-        Model.apply_change_plan base.Preprocess.b_model rq.rq_plan)
+    match inc_sim with
+    | Some (s : Incremental.sim) ->
+        (s.Incremental.s_model, s.Incremental.s_reports)
+    | None ->
+        Telemetry.with_span tm "verify.model_update" (fun () ->
+            Model.apply_change_plan base.Preprocess.b_model rq.rq_plan)
   in
   let warnings = plan_warnings reports in
   (* 2. route simulation on the updated model; reclaimed prefixes are
@@ -197,6 +232,20 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
   let carried, active_intents =
     match diff_info with
     | None -> ([], rq.rq_intents)
+    | Some _ when base.Preprocess.b_partial ->
+        (* carrying verdicts derived from a partial (failed-subtask)
+           base run would promote unsound verdicts to proven facts: a
+           route missing from a failed subtask looks like a base
+           reachability violation — or masks one.  Refuse; every intent
+           goes through the pre-checker and the simulator instead. *)
+        Telemetry.count tm "hoyan_verify_carryover_refused_total" 1;
+        if Telemetry.enabled tm then
+          Telemetry.event tm "verify.carryover_refused"
+            [
+              ("request", Journal.S rq.rq_name);
+              ("reason", Journal.S "base run partial");
+            ];
+        ([], rq.rq_intents)
     | Some d ->
         List.partition
           (fun intent ->
@@ -321,17 +370,34 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
      verdict covers only the statically decided part *)
   let static_only = stop_after = `Static in
   (* 3. route simulation on the updated model; reclaimed prefixes were
-     removed from the inputs above, announced ones are added here *)
+     removed from the inputs above, announced ones are added here.  With
+     an incremental context ([?inc]) or a cached spliced artifact
+     ([?inc_sim]), the Direct path re-converges only the plan's dirty
+     region and splices into the converged base RIB instead of running
+     the fixpoint from scratch (broad plans honestly fall back inside
+     [Incremental.simulate] — see [vr_inc]). *)
+  let inc_used : Incremental.sim option ref = ref None in
   let updated_rib, dist_coverage =
     if sim_skipped || static_only then ([], None)
     else
       Telemetry.with_span tm "verify.route_sim" (fun () ->
           match mode with
-          | Direct ->
-              ( (Route_sim.run ~tm updated_model ~input_routes
-                   ~new_routes:rq.rq_plan.Cp.cp_new_routes ())
-                  .Route_sim.rib,
-                None )
+          | Direct -> (
+              match (inc_sim, inc) with
+              | Some (s : Incremental.sim), _ ->
+                  inc_used := Some s;
+                  (s.Incremental.s_rib, None)
+              | None, Some ictx ->
+                  let s =
+                    Incremental.simulate ~tm ?d:diff_info ictx rq.rq_plan
+                  in
+                  inc_used := Some s;
+                  (s.Incremental.s_rib, None)
+              | None, None ->
+                  ( (Route_sim.run ~tm updated_model ~input_routes
+                       ~new_routes:rq.rq_plan.Cp.cp_new_routes ())
+                      .Route_sim.rib,
+                    None ))
           | Distributed { servers = _; subtasks } ->
               let fw = Framework.create ~tm ?chaos updated_model in
               let phase =
@@ -358,12 +424,18 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
     | Some c -> c.cov_merged < c.cov_total
     | None -> false
   in
-  (* 4. traffic simulation (lazy: only if an intent needs it) *)
+  (* 4. traffic simulation (lazy: only if an intent needs it).  The
+     incremental path reuses the spliced-FIB traffic artifact; either
+     way the forcing cost lands in [vr_traffic_seconds], not
+     [vr_sim_seconds]. *)
   let updated_traffic =
-    lazy
-      (Telemetry.with_span tm "verify.traffic_sim" (fun () ->
-           Traffic_sim.run ~tm updated_model ~rib:updated_rib
-             ~flows:base.Preprocess.b_flows ()))
+    match !inc_used with
+    | Some s -> timed_traffic (fun () -> Lazy.force s.Incremental.s_traffic)
+    | None ->
+        timed_traffic (fun () ->
+            Telemetry.with_span tm "verify.traffic_sim" (fun () ->
+                Traffic_sim.run ~tm updated_model ~rib:updated_rib
+                  ~flows:base.Preprocess.b_flows ()))
   in
   (* 5. intent verification for whatever the pre-checker left open *)
   let base_rib =
@@ -413,11 +485,17 @@ let run ?tm ?(mode = Direct) ?(lint = Lint_warn) ?(precheck = true)
     vr_carried = carried;
     vr_coverage = dist_coverage;
     vr_partial = partial;
+    vr_inc = Option.map (fun (s : Incremental.sim) -> s.Incremental.s_stats)
+        !inc_used;
     vr_updated_model = updated_model;
     vr_base_rib = base_rib;
     vr_updated_rib = updated_rib;
     vr_updated_traffic = updated_traffic;
-    vr_sim_seconds = Unix.gettimeofday () -. t0;
+    (* elapsed minus whatever the intent checks spent forcing traffic:
+       the traffic cost lives in [vr_traffic_seconds] only, whether the
+       lazy was forced here or later by the caller *)
+    vr_sim_seconds = Unix.gettimeofday () -. t0 -. !traffic_seconds;
+    vr_traffic_seconds = traffic_seconds;
   }
   end
 
@@ -428,11 +506,24 @@ let report (r : result) : string =
   Buffer.add_string b
     (Printf.sprintf "result: %s (%.2fs)%s%s\n"
        (if r.vr_ok then "PASS" else "FAIL")
-       r.vr_sim_seconds
+       (total_seconds r)
        (if r.vr_gated then " [stopped by the static-analysis gate]" else "")
        (if r.vr_sim_skipped then
           " [all intents resolved statically; simulation skipped]"
         else ""));
+  (match r.vr_inc with
+  | Some st ->
+      Buffer.add_string b
+        (if st.Incremental.st_full_fallback then
+           Printf.sprintf "incremental: full fallback (%s)\n"
+             (Option.value ~default:"?" st.Incremental.st_fallback_reason)
+         else
+           Printf.sprintf
+             "incremental: %d dirty prefix(es), %d delta row(s) spliced \
+              over %d reused, %d device FIB(s) rebuilt\n"
+             st.Incremental.st_dirty_prefixes st.Incremental.st_delta_rows
+             st.Incremental.st_reused_rows st.Incremental.st_dirty_devices)
+  | None -> ());
   (match r.vr_diff_class with
   | Some cls ->
       Buffer.add_string b

@@ -51,12 +51,25 @@ type result = {
   vr_partial : bool;
       (** the simulated state is missing permanently-failed subtasks'
           results; [vr_ok] is never [true] when this is set *)
+  vr_inc : Hoyan_sim.Incremental.stats option;
+      (** set when the request was simulated through the incremental
+          splice engine ([?inc] / [?inc_sim]): per-plan dirty-region and
+          fallback accounting *)
   vr_updated_model : Hoyan_sim.Model.t;
   vr_base_rib : Route.t list;
   vr_updated_rib : Route.t list;
   vr_updated_traffic : Hoyan_sim.Traffic_sim.result Lazy.t;
   vr_sim_seconds : float;
+      (** wall-clock of the eager pipeline (gate, differential, route
+          fixpoint, intent checks).  Excludes the lazy traffic
+          simulation — see [vr_traffic_seconds]. *)
+  vr_traffic_seconds : float ref;
+      (** wall-clock spent forcing [vr_updated_traffic], measured at the
+          forcing site; [0.] until (unless) something forces it *)
 }
+
+(** [vr_sim_seconds] plus the traffic-forcing time accumulated so far. *)
+val total_seconds : result -> float
 
 type sim_mode =
   | Direct  (** in-process simulation *)
@@ -111,7 +124,24 @@ type lint_gate = Lint_off | Lint_warn | Lint_fail
     picks the policy: [`Refuse] (the default) withholds intent verdicts
     over the incomplete RIB (no simulated violations are reported, and
     [vr_ok = false]); [`Degrade] verifies anyway but flags the result
-    [vr_partial] — a partial result is never [vr_ok]. *)
+    [vr_partial] — a partial result is never [vr_ok].
+
+    A partial base ([Preprocess.prepare ~partial:true], i.e. the
+    converged base state itself came from a run with failed subtasks)
+    refuses differential verdict carry-over entirely: carrying a verdict
+    proven against an incomplete base RIB would launder missing routes
+    into proven facts.  The refusal is counted
+    ([hoyan_verify_carryover_refused_total]) and every intent is
+    re-verified.
+
+    [inc] supplies a captured converged-base context
+    ({!Hoyan_sim.Incremental.ctx}): in [Direct] mode the route fixpoint
+    then re-converges only the plan's dirty region and splices into the
+    cached base RIB/FIBs ([vr_inc] reports the accounting; broad plans
+    fall back to a full run inside the engine).  [inc_sim] goes one step
+    further and reuses an already-spliced artifact for this exact plan
+    (the verification server's cache) — model application and route
+    simulation are both skipped in favor of the artifact. *)
 val run :
   ?tm:Hoyan_telemetry.Telemetry.t ->
   ?mode:sim_mode ->
@@ -121,6 +151,8 @@ val run :
   ?chaos:Hoyan_dist.Chaos.t ->
   ?on_partial:[ `Refuse | `Degrade ] ->
   ?stop_after:[ `Gate | `Static | `Full ] ->
+  ?inc:Hoyan_sim.Incremental.ctx ->
+  ?inc_sim:Hoyan_sim.Incremental.sim ->
   Preprocess.base ->
   request ->
   result

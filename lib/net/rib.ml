@@ -232,6 +232,36 @@ module Arena = struct
         { keys = Array.sub keys 0 !k; rows = Array.sub rows 0 !k; overflow }
     end
 
+  (** Keep only the rows satisfying [p].  Both sides stay sorted, so the
+      result is a valid arena over the same key ctx — this is the
+      incremental engine's "drop the dirty region" step. *)
+  let filter (p : Route.t -> bool) (t : t) : t =
+    let n = Array.length t.rows in
+    let kept = ref 0 in
+    let mask = Array.make (max n 1) false in
+    for i = 0 to n - 1 do
+      if p t.rows.(i) then begin
+        mask.(i) <- true;
+        incr kept
+      end
+    done;
+    let overflow = List.filter p t.overflow in
+    if !kept = n then { t with overflow }
+    else if !kept = 0 then { empty with overflow }
+    else begin
+      let keys = Array.make !kept 0 in
+      let rows = Array.make !kept t.rows.(0) in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        if mask.(i) then begin
+          keys.(!k) <- t.keys.(i);
+          rows.(!k) <- t.rows.(i);
+          incr k
+        end
+      done;
+      { keys; rows; overflow }
+    end
+
   (** Pairwise-round merge of many arenas into one global RIB, in
       exactly the order [List.sort_uniq Route.compare] would produce
       over the concatenation of the inputs. *)

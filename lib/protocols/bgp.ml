@@ -444,25 +444,34 @@ let export_routes (ctx : device_ctx) (s : session) (selected : Route.t list) :
 (* Local origination: networks, redistribution, aggregates, leaking    *)
 (* ------------------------------------------------------------------ *)
 
-let originate_networks sim (ctx : device_ctx) =
+(* [keep] is the incremental engine's prefix restriction (see
+   {!Hoyan_sim.Incremental}): origination sites skip prefixes outside the
+   dirty region, so a restricted run converges exactly the restriction of
+   the full fixpoint (every per-prefix pipeline stage — ingress, export,
+   selection, delivery — is prefix-local; the only cross-prefix coupling
+   is aggregation, which the caller closes over before restricting). *)
+let originate_networks sim keep (ctx : device_ctx) =
   List.iter
     (fun (p, vrf) ->
-      let r =
-        Route.make ~device:ctx.d_name ~prefix:p ~vrf ~proto:Route.Bgp
-          ~source:Route.Local ~origin:Route.Igp
-          ~preference:ctx.d_vsb.Vsb.default_pref_ibgp ()
-      in
-      ignore (set_rib_in sim ctx.d_name vrf p "_local" [ r ]))
+      if keep p then
+        let r =
+          Route.make ~device:ctx.d_name ~prefix:p ~vrf ~proto:Route.Bgp
+            ~source:Route.Local ~origin:Route.Igp
+            ~preference:ctx.d_vsb.Vsb.default_pref_ibgp ()
+        in
+        ignore (set_rib_in sim ctx.d_name vrf p "_local" [ r ]))
     ctx.d_cfg.Types.dc_bgp.Types.bgp_networks
 
-let redistribute sim (ctx : device_ctx) (local_table : Route.t list) =
+let redistribute sim keep (ctx : device_ctx) (local_table : Route.t list) =
   List.iter
     (fun (proto, policy) ->
       let peer_key =
         Printf.sprintf "_redist:%s" (Route.proto_to_string proto)
       in
       let sources =
-        List.filter (fun (r : Route.t) -> r.Route.proto = proto) local_table
+        List.filter
+          (fun (r : Route.t) -> r.Route.proto = proto && keep r.Route.prefix)
+          local_table
       in
       List.iter
         (fun (r : Route.t) ->
@@ -514,10 +523,12 @@ let redistribute sim (ctx : device_ctx) (local_table : Route.t list) =
 
 (** Originate aggregates whose component routes are present; returns true
     when something changed (keeps the fixpoint going). *)
-let originate_aggregates sim (ctx : device_ctx) : bool =
+let originate_aggregates sim keep (ctx : device_ctx) : bool =
   let st = state_of sim ctx.d_name in
   List.fold_left
     (fun changed (ag : Types.aggregate) ->
+      if not (keep ag.Types.ag_prefix) then changed
+      else
       let components =
         Hashtbl.fold
           (fun (vrf, _) routes acc ->
@@ -702,11 +713,18 @@ let max_rounds = 64
 (** Run the fixpoint and return (global RIB of BGP routes, stats).
     [originate=false] skips network statements and redistribution — used
     by distributed subtask workers, whose shared base RIB file carries
-    those input-independent routes.  [tm] (default: the process-global
-    telemetry handle) receives per-round journal events and
-    decision-process counters. *)
-let run ?tm ?(originate = true) (net : network) (input : input) :
+    those input-independent routes.  [only] restricts the fixpoint to a
+    prefix set: input seeds, network statements, redistribution sources
+    and aggregates outside it are never injected, so the run converges
+    exactly the restriction of the unrestricted fixpoint {e provided} the
+    set is closed under aggregate contribution (dirty component ⇒ its
+    aggregates dirty, dirty aggregate ⇒ its candidate components dirty) —
+    the incremental engine's contract, oracle-checked by its selfcheck.
+    [tm] (default: the process-global telemetry handle) receives
+    per-round journal events and decision-process counters. *)
+let run ?tm ?(originate = true) ?only (net : network) (input : input) :
     Route.t list * stats =
+  let keep = match only with None -> fun _ -> true | Some f -> f in
   let tm =
     match tm with
     | Some tm -> tm
@@ -736,18 +754,18 @@ let run ?tm ?(originate = true) (net : network) (input : input) :
     input.in_routes;
   Hashtbl.iter
     (fun (dev, vrf, prefix) routes ->
-      if Smap.mem dev net then
+      if Smap.mem dev net && keep prefix then
         ignore (set_rib_in sim dev vrf prefix "_ext" routes))
     by_injection;
   (* seed: networks and redistribution *)
   if originate then
     Smap.iter
       (fun name ctx ->
-        originate_networks sim ctx;
+        originate_networks sim keep ctx;
         let local_table =
           Option.value (Smap.find_opt name input.in_local_tables) ~default:[]
         in
-        redistribute sim ctx local_table)
+        redistribute sim keep ctx local_table)
       net;
   (* fixpoint *)
   let rounds = ref 0 in
@@ -806,7 +824,7 @@ let run ?tm ?(originate = true) (net : network) (input : input) :
                 end)
               dirty;
             (* aggregates and VRF leaking may create new local routes *)
-            if originate_aggregates sim ctx then continue_ := true;
+            if originate_aggregates sim keep ctx then continue_ := true;
             if leak_vrfs sim ctx then continue_ := true)
       work;
     (* Phase 2: deliver advertisements, batched per (sender, session).

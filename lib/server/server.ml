@@ -16,6 +16,7 @@ module Verify_request = Hoyan_core.Verify_request
 module Intents = Hoyan_core.Intents
 module Kfailure = Hoyan_core.Kfailure
 module Model = Hoyan_sim.Model
+module Incremental = Hoyan_sim.Incremental
 module Db = Hoyan_dist.Db
 module Schedule = Hoyan_dist.Schedule
 module Costmodel = Hoyan_dist.Costmodel
@@ -97,6 +98,13 @@ type t = {
   cache : (status * string) Cache.t;
   db : Db.t;
   snaps : (string, Snapshot.t) Hashtbl.t;
+  (* incremental-simulation state, both lazily populated on the first
+     simulating request: one converged-base context per snapshot, and
+     spliced artifacts keyed "<snapshot digest>/<plan digest>" so
+     requests from different tenants that carry the same plan against
+     the same snapshot share one dirty-region fixpoint *)
+  inc_ctxs : (string, Incremental.ctx) Hashtbl.t;
+  inc_sims : (string, Incremental.sim) Hashtbl.t;
   mutable snap_order : string list;  (* registration order, reversed *)
   mutable default_snap : string option;
   mutable queue : pending list;  (* reversed submission order *)
@@ -126,6 +134,8 @@ let create ?tm ?(config = default_config) () =
     cache = Cache.create ~capacity:config.c_cache_capacity;
     db = Db.create ();
     snaps = Hashtbl.create 4;
+    inc_ctxs = Hashtbl.create 4;
+    inc_sims = Hashtbl.create 64;
     snap_order = [];
     default_snap = None;
     queue = [];
@@ -213,8 +223,8 @@ let verdict_body (r : Verify_request.result) : string =
    snapshot's base network.  The property comes from the request's
    first `intent reach present' stanza; the verdict body is
    deterministic (counts and violations only, no timings). *)
-let run_whatif ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
-    status * string =
+let run_whatif ?(tm = Telemetry.noop) ?inc (snap : Snapshot.t)
+    (rq : Request.t) : status * string =
   let base = snap.Snapshot.sn_base in
   let prop =
     List.find_map
@@ -236,7 +246,7 @@ let run_whatif ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
         | Request.Links_and_devices -> (true, true)
       in
       let res =
-        Kfailure.check ~tm ~devices ~links base.Preprocess.b_model
+        Kfailure.check ~tm ~devices ~links ?inc base.Preprocess.b_model
           ~input_routes:base.Preprocess.b_input_routes
           ~flows:base.Preprocess.b_flows ~k:rq.Request.r_k prop
       in
@@ -264,8 +274,12 @@ let run_whatif ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
       ( (if res.Kfailure.kr_violations = [] then Ok else Fail),
         Buffer.contents b )
 
-let run_direct ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
-    status * string =
+(* Internal variant returning the per-phase timing split (route/static
+   pipeline seconds, traffic-forcing seconds) so [execute_one] can
+   attribute the server.request span honestly instead of lumping the
+   lazy traffic cost into the route-simulation time. *)
+let run_direct_timed ?(tm = Telemetry.noop) ?inc ?inc_sim (snap : Snapshot.t)
+    (rq : Request.t) : status * string * float * float =
   let base = snap.Snapshot.sn_base in
   let vrq =
     {
@@ -276,7 +290,9 @@ let run_direct ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
   in
   try
     match rq.Request.r_class with
-    | Request.Whatif -> run_whatif ~tm snap rq
+    | Request.Whatif ->
+        let st, body = run_whatif ~tm ?inc snap rq in
+        (st, body, 0., 0.)
     | _ ->
         let res =
           match rq.Request.r_class with
@@ -286,12 +302,22 @@ let run_direct ?(tm = Telemetry.noop) (snap : Snapshot.t) (rq : Request.t) :
           | Request.Precheck ->
               Verify_request.run ~tm ~lint:Verify_request.Lint_off
                 ~stop_after:`Static base vrq
-          | Request.Diff -> Verify_request.run ~tm ~diff:true base vrq
-          | Request.Simulate -> Verify_request.run ~tm base vrq
+          | Request.Diff ->
+              Verify_request.run ~tm ~diff:true ?inc ?inc_sim base vrq
+          | Request.Simulate ->
+              Verify_request.run ~tm ?inc ?inc_sim base vrq
           | Request.Whatif -> assert false
         in
-        ((if res.Verify_request.vr_ok then Ok else Fail), verdict_body res)
-  with e -> (Error (Printexc.to_string e), "")
+        ( (if res.Verify_request.vr_ok then Ok else Fail),
+          verdict_body res,
+          res.Verify_request.vr_sim_seconds,
+          !(res.Verify_request.vr_traffic_seconds) )
+  with e -> (Error (Printexc.to_string e), "", 0., 0.)
+
+let run_direct ?tm ?inc ?inc_sim (snap : Snapshot.t) (rq : Request.t) :
+    status * string =
+  let st, body, _, _ = run_direct_timed ?tm ?inc ?inc_sim snap rq in
+  (st, body)
 
 (* ------------------------------------------------------------------ *)
 (* Cost model                                                          *)
@@ -410,6 +436,56 @@ let submit t (rq : Request.t) : (unit, response) result =
 (* The drain loop                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* For the simulating classes, provision the incremental machinery:
+   capture the snapshot's converged-base context once, then look the
+   plan's spliced artifact up by (snapshot digest, plan digest) —
+   computing and caching it on a miss, so a repeated plan (any tenant,
+   any intent set) never re-runs even the dirty-region fixpoint. *)
+let inc_for t (snap : Snapshot.t) (rq : Request.t) :
+    Incremental.ctx option * Incremental.sim option =
+  match rq.Request.r_class with
+  | Request.Lint | Request.Precheck -> (None, None)
+  | Request.Simulate | Request.Diff | Request.Whatif -> (
+      let ctx =
+        match Hashtbl.find_opt t.inc_ctxs snap.Snapshot.sn_digest with
+        | Some c -> c
+        | None ->
+            let base = snap.Snapshot.sn_base in
+            let c =
+              Incremental.capture ~tm:t.tm ~model:base.Preprocess.b_model
+                ~input_routes:base.Preprocess.b_input_routes
+                ~flows:base.Preprocess.b_flows
+                ~rib:(Lazy.force base.Preprocess.b_rib) ()
+            in
+            Hashtbl.replace t.inc_ctxs snap.Snapshot.sn_digest c;
+            c
+      in
+      match rq.Request.r_class with
+      | Request.Whatif ->
+          (* the sweep reuses the base context per scenario; there is no
+             change plan to splice, hence no artifact *)
+          (Some ctx, None)
+      | _ ->
+          let key =
+            snap.Snapshot.sn_digest ^ "/"
+            ^ Request.plan_digest
+                ~configs:
+                  snap.Snapshot.sn_base.Preprocess.b_model.Model.configs
+                rq.Request.r_plan
+          in
+          let sim =
+            match Hashtbl.find_opt t.inc_sims key with
+            | Some s ->
+                Telemetry.count t.tm "hoyan_server_inc_artifact_hit_total" 1;
+                s
+            | None ->
+                Telemetry.count t.tm "hoyan_server_inc_artifact_miss_total" 1;
+                let s = Incremental.simulate ~tm:t.tm ctx rq.Request.r_plan in
+                Hashtbl.replace t.inc_sims key s;
+                s
+          in
+          (Some ctx, Some sim))
+
 let execute_one t (p : pending) : response =
   let rq = p.p_rq in
   let sp =
@@ -428,10 +504,14 @@ let execute_one t (p : pending) : response =
   ignore (Db.start_attempt ~lease_s:budget p.p_entry);
   let t0 = Unix.gettimeofday () in
   let queue_s = t0 -. p.p_submit_t in
-  let status, body, cached =
+  let run () =
+    let inc, inc_sim = inc_for t p.p_snap rq in
+    run_direct_timed ~tm:t.tm ?inc ?inc_sim p.p_snap rq
+  in
+  let status, body, cached, sim_s, traffic_s =
     if rq.Request.r_no_cache then
-      let st, body = run_direct ~tm:t.tm p.p_snap rq in
-      (st, body, false)
+      let st, body, ss, ts = run () in
+      (st, body, false, ss, ts)
     else
       let key =
         Request.cache_key ~snapshot_digest:p.p_snap.Snapshot.sn_digest
@@ -439,13 +519,13 @@ let execute_one t (p : pending) : response =
           rq
       in
       match Cache.find t.cache key with
-      | Some (st, body) -> (st, body, true)
+      | Some (st, body) -> (st, body, true, 0., 0.)
       | None ->
-          let st, body = run_direct ~tm:t.tm p.p_snap rq in
+          let st, body, ss, ts = run () in
           (match st with
           | Ok | Fail -> Cache.add t.cache key (st, body)
           | Rejected _ | Timeout | Error _ -> ());
-          (st, body, false)
+          (st, body, false, ss, ts)
   in
   let now = Unix.gettimeofday () in
   let exec_s = now -. t0 in
@@ -481,6 +561,12 @@ let execute_one t (p : pending) : response =
       "hoyan_server_requests_total" 1;
     Telemetry.observe t.tm ~labels:[ ("class", cls) ]
       "hoyan_server_request_seconds" exec_s;
+    if not cached then begin
+      Telemetry.observe t.tm ~labels:[ ("class", cls) ]
+        "hoyan_server_request_sim_seconds" sim_s;
+      Telemetry.observe t.tm ~labels:[ ("class", cls) ]
+        "hoyan_server_request_traffic_seconds" traffic_s
+    end;
     Telemetry.observe t.tm "hoyan_server_queue_seconds" queue_s;
     Telemetry.count t.tm
       (if cached then "hoyan_server_cache_hit_total"
@@ -500,6 +586,8 @@ let execute_one t (p : pending) : response =
       [
         ("status", status_to_string status);
         ("cached", string_of_bool cached);
+        ("sim_s", Printf.sprintf "%.6f" sim_s);
+        ("traffic_s", Printf.sprintf "%.6f" traffic_s);
       ]
     sp;
   {

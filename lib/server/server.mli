@@ -102,9 +102,18 @@ val drain : t -> response list
     through {!Hoyan_core.Verify_request.run} with the class's flags,
     bypassing queue, cache and budgets.  The server's executed
     responses are byte-identical to this — the serve bench and
-    [--selfcheck] assert it. *)
+    [--selfcheck] assert it (the incremental engine's splice contract
+    is exactly what makes the identity hold when the server passes
+    [?inc]/[?inc_sim]).
+
+    [inc] supplies the snapshot's captured incremental context and
+    [inc_sim] an already-spliced artifact for the request's plan; the
+    drain loop provisions both automatically for the simulating
+    classes and caches artifacts by (snapshot digest, plan digest). *)
 val run_direct :
   ?tm:Hoyan_telemetry.Telemetry.t ->
+  ?inc:Hoyan_sim.Incremental.ctx ->
+  ?inc_sim:Hoyan_sim.Incremental.sim ->
   Snapshot.t ->
   Request.t ->
   status * string

@@ -29,9 +29,18 @@ type t = {
 val digest_of_base : Hoyan_core.Preprocess.base -> string
 
 (** Register a base: compute its digest and force the converged state.
+    Registration is deduplicated on the digest: a base whose digest is
+    already registered returns the {e existing} snapshot without
+    re-forcing anything (counted as
+    [hoyan_server_snapshot_dedup_total]), so replayed or duplicate
+    registrations cost one digest computation, not a re-convergence.
     [tm] receives a [server.snapshot] span and registration gauges. *)
 val register :
   ?tm:Hoyan_telemetry.Telemetry.t -> Hoyan_core.Preprocess.base -> t
+
+(** Drop all registered snapshots (tests only: makes registration
+    behavior deterministic across test cases). *)
+val reset_registry : unit -> unit
 
 (** One-line summary (digest prefix, sizes, convergence cost). *)
 val to_string : t -> string

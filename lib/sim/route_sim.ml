@@ -49,23 +49,36 @@ let ev_result (tm : Telemetry.t) (r : result) =
   end
 
 let run ?tm ?(use_ecs = true) ?(include_locals = true) ?(originate = true)
-    (model : Model.t) ~(input_routes : Route.t list) ?(new_routes = []) () :
-    result =
+    ?only (model : Model.t) ~(input_routes : Route.t list) ?(new_routes = [])
+    () : result =
   let tm = match tm with Some tm -> tm | None -> Telemetry.get () in
-  let all_inputs = input_routes @ new_routes in
+  let keep =
+    match only with None -> fun (_ : Prefix.t) -> true | Some f -> f
+  in
+  let all_inputs =
+    match only with
+    | None -> input_routes @ new_routes
+    | Some _ ->
+        List.filter
+          (fun (r : Route.t) -> keep r.Route.prefix)
+          (input_routes @ new_routes)
+  in
   let input_count = List.length all_inputs in
+  let local_rows () =
+    Smap.fold
+      (fun _ rs acc ->
+        List.fold_left
+          (fun acc (r : Route.t) ->
+            if keep r.Route.prefix then r :: acc else acc)
+          acc rs)
+      model.Model.local_tables []
+  in
   if not use_ecs then begin
     let rib, stats =
-      Bgp.run ~tm ~originate model.Model.net
+      Bgp.run ~tm ~originate ?only model.Model.net
         { Bgp.in_routes = all_inputs; in_local_tables = model.Model.local_tables }
     in
-    let locals =
-      if not include_locals then []
-      else
-        Smap.fold
-          (fun _ rs acc -> List.rev_append rs acc)
-          model.Model.local_tables []
-    in
+    let locals = if not include_locals then [] else local_rows () in
     let res =
       {
         rib = rib @ locals;
@@ -87,7 +100,7 @@ let run ?tm ?(use_ecs = true) ?(include_locals = true) ?(originate = true)
     let reps = Ec.simulated_routes groups in
     let rib, stats =
       Telemetry.with_span tm "route.fixpoint" (fun () ->
-          Bgp.run ~tm ~originate model.Model.net
+          Bgp.run ~tm ~originate ?only model.Model.net
             { Bgp.in_routes = reps; in_local_tables = model.Model.local_tables })
     in
     (* index resulting rows by prefix for expansion *)
@@ -114,13 +127,7 @@ let run ?tm ?(use_ecs = true) ?(include_locals = true) ?(originate = true)
             g.Ec.member_prefixes)
         groups
     in
-    let locals =
-      if not include_locals then []
-      else
-        Smap.fold
-          (fun _ rs acc -> List.rev_append rs acc)
-          model.Model.local_tables []
-    in
+    let locals = if not include_locals then [] else local_rows () in
     let res =
       {
         rib = rib @ expanded @ locals;

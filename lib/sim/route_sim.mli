@@ -25,6 +25,13 @@ type result = {
       (again for subtask workers).
     - [new_routes] are additional inputs from the change plan, e.g. a new
       prefix announcement.
+    - [only] restricts the whole simulation to a prefix set: inputs,
+      origination (networks / redistribution / aggregates) and the
+      local-table rows of the result are filtered by it, and the BGP
+      fixpoint never injects a prefix outside it.  Sound iff the set is
+      closed under aggregate contribution — see
+      {!Hoyan_sim.Incremental}, which owns that closure and the
+      selfcheck oracle for it.
     - [tm] (default: the process-global handle) receives EC-compression
       and fixpoint telemetry. *)
 val run :
@@ -32,6 +39,7 @@ val run :
   ?use_ecs:bool ->
   ?include_locals:bool ->
   ?originate:bool ->
+  ?only:(Prefix.t -> bool) ->
   Model.t ->
   input_routes:Route.t list ->
   ?new_routes:Route.t list ->

@@ -29,13 +29,19 @@ type fib = (string, Route.t list Trie.Dual.t) Hashtbl.t
 
 (** Build per-device FIBs (default VRF) from a global RIB: per prefix the
     lowest-preference protocol wins, and its Best/Ecmp routes are
-    installed. *)
-let build_fibs (rib : Route.t list) : fib =
+    installed.  Leaf route lists are [Route.compare]-sorted, so the trie
+    contents are a function of the RIB's row {e set} — never its list
+    order.  That canonicalization is what lets the incremental engine
+    share clean-device tries between a base build and a spliced rebuild
+    ({!rebuild_fibs}) with byte-identical traffic results.  [keep]
+    restricts the build to a device subset (the splice's dirty set). *)
+let build_fibs ?(keep = fun (_ : string) -> true) (rib : Route.t list) : fib =
   (* group per device, prefix *)
   let tbl : (string * Prefix.t, Route.t list) Hashtbl.t = Hashtbl.create 4096 in
   List.iter
     (fun (r : Route.t) ->
-      if String.equal r.Route.vrf Route.default_vrf then begin
+      if String.equal r.Route.vrf Route.default_vrf && keep r.Route.device
+      then begin
         let key = (r.Route.device, r.Route.prefix) in
         let existing = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
         Hashtbl.replace tbl key (r :: existing)
@@ -68,6 +74,7 @@ let build_fibs (rib : Route.t list) : fib =
         List.filter
           (fun (r : Route.t) -> r.Route.preference = min_pref)
           selected
+        |> List.sort Route.compare
       in
       if installed <> [] then begin
         let b =
@@ -85,6 +92,19 @@ let build_fibs (rib : Route.t list) : fib =
   Hashtbl.iter
     (fun dev b -> Hashtbl.replace fibs dev (Trie.Dual.Builder.build b))
     builders;
+  fibs
+
+(** Splice-rebuild: reuse the [base] tries of every clean device and
+    rebuild only the [dirty] ones from the (spliced) global RIB.  Because
+    {!build_fibs} leaves are order-canonical, a clean device's shared
+    trie is identical to what a from-scratch build over the spliced RIB
+    would produce. *)
+let rebuild_fibs ~(base : fib) ~(dirty : string -> bool)
+    (rib : Route.t list) : fib =
+  let fibs = build_fibs ~keep:dirty rib in
+  Hashtbl.iter
+    (fun dev trie -> if not (dirty dev) then Hashtbl.replace fibs dev trie)
+    base;
   fibs
 
 let fib_lookup (fibs : fib) dev (addr : Ip.t) :

@@ -15,8 +15,17 @@ open Hoyan_net
 type fib = (string, Route.t list Trie.Dual.t) Hashtbl.t
 
 (** Build FIBs from a global RIB: per prefix, the selected (Best/Ecmp)
-    routes of the lowest-admin-preference protocol are installed. *)
-val build_fibs : Route.t list -> fib
+    routes of the lowest-admin-preference protocol are installed.  Leaf
+    lists are [Route.compare]-sorted (trie contents depend on the row
+    set, not list order).  [keep] restricts the build to a device
+    subset. *)
+val build_fibs : ?keep:(string -> bool) -> Route.t list -> fib
+
+(** Reuse [base]'s tries for clean devices; rebuild only [dirty] devices
+    from the given (spliced) global RIB.  Identical to a from-scratch
+    [build_fibs] when every changed device is marked dirty — the
+    incremental engine's FIB path. *)
+val rebuild_fibs : base:fib -> dirty:(string -> bool) -> Route.t list -> fib
 
 val fib_lookup : fib -> string -> Ip.t -> (Prefix.t * Route.t list) option
 

@@ -23,4 +23,5 @@ let () =
       ("intern", Test_intern.suite);
       ("server", Test_server.suite);
       ("kfailure", Test_kfailure.suite);
+      ("incremental", Test_incremental.suite);
     ]
